@@ -1,0 +1,74 @@
+// Command ensembler-bench regenerates the paper's evaluation tables from
+// the command line:
+//
+//	ensembler-bench -table 1              # Table I (defense quality, 3 datasets)
+//	ensembler-bench -table 2              # Table II (defense battery, CIFAR-10-like)
+//	ensembler-bench -table 3              # Table III (latency model)
+//	ensembler-bench -table all -scale paper
+//	ensembler-bench -claims               # §IV headline percentages
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ensembler/internal/experiments"
+	"ensembler/internal/latency"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 1, 2, 3, or all")
+	scaleName := flag.String("scale", "small", "experiment scale: small or paper")
+	seed := flag.Int64("seed", 42, "experiment seed")
+	n := flag.Int("n", 10, "ensemble size for the latency model (Table III)")
+	claims := flag.Bool("claims", false, "also print the paper's §IV headline claims")
+	verbose := flag.Bool("v", false, "log training progress")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "small":
+		sc = experiments.Small()
+	case "paper":
+		sc = experiments.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want small or paper)\n", *scaleName)
+		os.Exit(2)
+	}
+	var log *os.File
+	if *verbose {
+		log = os.Stderr
+	}
+
+	runI := *table == "1" || *table == "all"
+	runII := *table == "2" || *table == "all" || *claims
+	runIII := *table == "3" || *table == "all"
+	if !runI && !runII && !runIII {
+		fmt.Fprintf(os.Stderr, "unknown table %q (want 1, 2, 3, or all)\n", *table)
+		os.Exit(2)
+	}
+
+	if runI {
+		for _, blk := range experiments.TableI(sc, *seed, log) {
+			experiments.RenderRows(os.Stdout,
+				fmt.Sprintf("\nTable I — %s (N=%d, P=%d)", blk.Kind, sc.N, blk.P), blk.Rows)
+		}
+	}
+	if runII {
+		rows := experiments.TableII(sc, *seed+1, log)
+		experiments.RenderRows(os.Stdout, "\nTable II — defense mechanisms, cifar10-like", rows)
+		if *claims {
+			rep := experiments.ComputeClaims(rows, sc.N)
+			fmt.Printf("\n§IV claims (paper → measured):\n")
+			fmt.Printf("  SSIM decrease vs Single:  43.5%% → %.1f%%\n", rep.SSIMDropVsSingle)
+			fmt.Printf("  PSNR decrease vs Single:  40.5%% → %.1f%%\n", rep.PSNRDropVsSingle)
+			fmt.Printf("  latency overhead:          4.8%% → %.1f%%\n", rep.LatencyOverhead)
+		}
+	}
+	if runIII {
+		fmt.Println()
+		experiments.RenderTableIII(os.Stdout, experiments.TableIII(*n))
+		fmt.Printf("Ensembler overhead vs Standard CI: %.1f%% (paper: 4.8%%)\n", latency.OverheadPercent(*n))
+	}
+}

@@ -1,0 +1,40 @@
+// Command ensembler-serve hosts the N server bodies of a trained pipeline
+// over TCP — the cloud half of the collaborative-inference deployment. The
+// secret selector and the client tail stay with whoever holds the model
+// file; the server only ever sees intermediate features and returns all N
+// feature vectors.
+//
+//	ensembler-serve -model ensembler.gob -addr :7946
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"ensembler/internal/comm"
+	"ensembler/internal/ensemble"
+)
+
+func main() {
+	modelPath := flag.String("model", "ensembler.gob", "trained pipeline from ensembler-train")
+	addr := flag.String("addr", "127.0.0.1:7946", "listen address")
+	flag.Parse()
+
+	e, err := ensemble.LoadFile(*modelPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loading model: %v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "listening: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("serving %d ensemble bodies on %s (selector stays client-side)\n", e.Cfg.N, ln.Addr())
+	if err := comm.NewServer(e.Bodies()).Serve(ln); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(1)
+	}
+}

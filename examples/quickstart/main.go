@@ -1,0 +1,86 @@
+// Quickstart: the Fig. 1 pipeline end to end in under a minute.
+//
+// It trains a small collaborative-inference model (client conv head + server
+// ResNet body + client FC tail), runs the model inversion attack of the
+// paper's threat model against it, then trains an Ensembler defense and runs
+// the same attack again, printing the reconstruction-quality drop.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ensembler/internal/attack"
+	"ensembler/internal/data"
+	"ensembler/internal/defense"
+	"ensembler/internal/ensemble"
+	"ensembler/internal/split"
+	"ensembler/internal/tensor"
+)
+
+func main() {
+	// A CIFAR-10-like synthetic workload: Train is the client's private
+	// data, Aux is the attacker's in-distribution auxiliary data, Test holds
+	// the private inputs the attacker will try to reconstruct.
+	sp := data.Generate(data.Config{Kind: data.CIFAR10Like, Train: 384, Aux: 192, Test: 96, Seed: 7})
+	arch := split.DefaultArch(data.CIFAR10Like)
+	opts := split.TrainOptions{Epochs: 5, BatchSize: 32, LR: 0.05}
+
+	fmt.Println("== 1. Standard collaborative inference (no defense) ==")
+	none := defense.TrainNone(arch, sp.Train, opts, 1)
+	fmt.Printf("test accuracy: %.3f\n", none.Accuracy(sp.Test))
+
+	acfg := attack.Config{
+		Arch: arch, ShadowEpochs: 20, DecoderEpochs: 8, BatchSize: 32,
+		ShadowLR: 0.01, Seed: 9, StructuredShadow: true,
+	}
+	fmt.Println("mounting the model inversion attack (shadow net + decoder)...")
+	oNone := attack.RunDecoderAttack(acfg, "MIA vs undefended", none.Bodies(), false, none, sp.Aux, sp.Test, 32)
+	fmt.Printf("%s  (higher = worse privacy)\n\n", oNone)
+
+	fmt.Println("== 2. Ensembler defense (N=4 bodies, secret P=2) ==")
+	cfg := ensemble.Config{
+		Arch: arch, N: 4, P: 2, Sigma: 0.05, Lambda: 1.0, Seed: 11,
+		Stage1:      opts,
+		Stage3:      split.TrainOptions{Epochs: 8, BatchSize: 32, LR: 0.05},
+		Stage1Noise: true,
+	}
+	ens := defense.TrainEnsembler(cfg, sp.Train, nil)
+	fmt.Printf("test accuracy: %.3f (Δ vs undefended: %+.1f%%)\n",
+		ens.Accuracy(sp.Test), 100*(ens.Accuracy(sp.Test)-none.Accuracy(sp.Test)))
+
+	fmt.Println("attacking each server body (the adversary's best guess)...")
+	singles := attack.SingleBodyAttacks(acfg, ens.Bodies(), ens, sp.Aux, sp.Test, 32)
+	best := attack.BestBy(singles, "psnr")
+	fmt.Printf("strongest single-body attack: %s\n", best)
+	ad := attack.AdaptiveAttack(acfg, ens.Bodies(), ens, sp.Aux, sp.Test, 32)
+	fmt.Printf("adaptive all-body attack:     %s\n\n", ad)
+
+	fmt.Printf("PSNR of the best attack dropped from %.2f dB (undefended) to %.2f dB (Ensembler).\n",
+		oNone.PSNR, best.PSNR)
+	fmt.Printf("A brute-force attacker faces %.0f candidate subsets (O(2^N), §III-D).\n",
+		ensemble.SubsetCount(cfg.N))
+
+	// Dump contact sheets for visual inspection: truth vs what the attacker
+	// recovered with and without the defense.
+	truth, _ := sp.Test.Batch([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	for name, batch := range map[string]*tensor.Tensor{
+		"quickstart_truth.ppm":    truth,
+		"quickstart_mia_none.ppm": oNone.Recon,
+		"quickstart_mia_ours.ppm": best.Recon,
+	} {
+		grid := batch
+		if grid.Shape[0] > 8 {
+			sub := tensor.New(8, grid.Shape[1], grid.Shape[2], grid.Shape[3])
+			copy(sub.Data, grid.Data[:sub.Size()])
+			grid = sub
+		}
+		path := filepath.Join(os.TempDir(), name)
+		if err := data.SaveGrid(path, grid, 4); err == nil {
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+}

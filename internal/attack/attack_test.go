@@ -1,0 +1,296 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"ensembler/internal/data"
+	"ensembler/internal/metrics"
+	"ensembler/internal/nn"
+	"ensembler/internal/rng"
+	"ensembler/internal/split"
+	"ensembler/internal/tensor"
+)
+
+func tinyArch() split.Arch {
+	return split.Arch{InC: 3, H: 8, W: 8, HeadC: 4, BlockWidths: []int{8, 16}, Classes: 4, UseMaxPool: true}
+}
+
+func tinySplits(seed int64) *data.Splits {
+	sp := data.Generate(data.Config{Kind: data.CIFAR10Like, H: 8, W: 8, Train: 96, Aux: 64, Test: 32, Seed: seed})
+	for _, ds := range []*data.Dataset{sp.Train, sp.Aux, sp.Test} {
+		ds.Classes = 4
+		for i, l := range ds.Labels {
+			ds.Labels[i] = l % 4
+		}
+	}
+	return sp
+}
+
+func trainVictim(sp *data.Splits, seed int64) *split.Model {
+	m := split.NewModel("victim", tinyArch(), 0.05, nn.NoiseFixed, 0, rng.New(seed))
+	split.Train(m, sp.Train, split.TrainOptions{Epochs: 3, BatchSize: 16, LR: 0.05, Seed: seed})
+	return m
+}
+
+type victimAdapter struct{ m *split.Model }
+
+func (v victimAdapter) ClientFeatures(x *tensor.Tensor) *tensor.Tensor {
+	return v.m.ClientFeatures(x, false)
+}
+
+func TestShadowShapes(t *testing.T) {
+	sp := tinySplits(1)
+	v := trainVictim(sp, 2)
+	for _, structured := range []bool{true, false} {
+		s := NewShadow(tinyArch(), []*nn.Network{v.Body}, false, structured, rng.New(3))
+		x, _ := sp.Aux.Batch([]int{0, 1})
+		logits := s.Forward(x, false)
+		if logits.Shape[0] != 2 || logits.Shape[1] != 4 {
+			t.Fatalf("structured=%v logits shape %v", structured, logits.Shape)
+		}
+		f := s.HeadFeatures(x)
+		if f.Shape[1] != 4 || f.Shape[2] != 8 || f.Shape[3] != 8 {
+			t.Fatalf("shadow features shape %v", f.Shape)
+		}
+	}
+}
+
+func TestShadowPanicsWithoutBodies(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewShadow(tinyArch(), nil, false, false, rng.New(1))
+}
+
+func TestAdaptiveGatesLearn(t *testing.T) {
+	sp := tinySplits(4)
+	vA := trainVictim(sp, 5)
+	vB := trainVictim(sp, 6)
+	cfg := Config{Arch: tinyArch(), ShadowEpochs: 3, BatchSize: 16, Seed: 7}
+	s := TrainShadow(cfg, []*nn.Network{vA.Body, vB.Body}, true, sp.Aux)
+	if s.Gates == nil {
+		t.Fatal("adaptive shadow must have gates")
+	}
+	init := 1.0 / 2
+	moved := false
+	for _, g := range s.Gates.Value.Data {
+		if math.Abs(g-init) > 1e-6 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("gates did not move from the uniform initialization")
+	}
+}
+
+func TestShadowTrainingReducesLoss(t *testing.T) {
+	sp := tinySplits(8)
+	v := trainVictim(sp, 9)
+	x, labels := sp.Aux.Batch([]int{0, 1, 2, 3, 4, 5, 6, 7})
+
+	fresh := NewShadow(tinyArch(), []*nn.Network{v.Body}, false, true, rng.New(10))
+	lossBefore, _ := nn.SoftmaxCrossEntropy(fresh.Forward(x, false), labels)
+
+	cfg := Config{Arch: tinyArch(), ShadowEpochs: 6, BatchSize: 16, Seed: 10}
+	trained := TrainShadow(cfg, []*nn.Network{v.Body}, false, sp.Aux)
+	lossAfter, _ := nn.SoftmaxCrossEntropy(trained.Forward(x, false), labels)
+	if lossAfter >= lossBefore {
+		t.Errorf("shadow training did not reduce loss: %.3f -> %.3f", lossBefore, lossAfter)
+	}
+}
+
+func TestChannelStats(t *testing.T) {
+	f := tensor.New(2, 2, 2, 2)
+	for i := range f.Data {
+		f.Data[i] = float64(i % 2) // channel-dependent pattern
+	}
+	st := ComputeChannelStats(f)
+	if len(st.Mean) != 2 || len(st.Std) != 2 {
+		t.Fatal("wrong stat lengths")
+	}
+	for c := 0; c < 2; c++ {
+		if math.Abs(st.Mean[c]-0.5) > 1e-9 {
+			t.Errorf("mean[%d] = %v", c, st.Mean[c])
+		}
+	}
+}
+
+func TestMeanFeatureMap(t *testing.T) {
+	f := tensor.New(2, 1, 2, 2)
+	for j := 0; j < 4; j++ {
+		f.Data[j] = 1   // sample 0
+		f.Data[4+j] = 3 // sample 1
+	}
+	m := MeanFeatureMap(f)
+	for _, v := range m.Data {
+		if v != 2 {
+			t.Fatalf("mean map = %v", m.Data)
+		}
+	}
+}
+
+func TestAlignLossGradNumeric(t *testing.T) {
+	r := rng.New(11)
+	h := tensor.New(2, 2, 3, 3)
+	r.FillNormal(h.Data, 0, 1)
+	obsF := tensor.New(4, 2, 3, 3)
+	r.FillNormal(obsF.Data, 0.5, 1.2)
+	obs := ComputeChannelStats(obsF)
+	_, grad := alignLossGrad(h, obs)
+	const eps = 1e-6
+	for _, idx := range []int{0, 9, 17} {
+		old := h.Data[idx]
+		h.Data[idx] = old + eps
+		lp, _ := alignLossGrad(h, obs)
+		h.Data[idx] = old - eps
+		lm, _ := alignLossGrad(h, obs)
+		h.Data[idx] = old
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-grad.Data[idx]) > 1e-5*(1+math.Abs(num)) {
+			t.Errorf("align grad[%d]: numeric %v vs analytic %v", idx, num, grad.Data[idx])
+		}
+	}
+}
+
+func TestMeanMapLossGradNumeric(t *testing.T) {
+	r := rng.New(12)
+	h := tensor.New(2, 2, 3, 3)
+	r.FillNormal(h.Data, 0, 1)
+	obsF := tensor.New(4, 2, 3, 3)
+	r.FillNormal(obsF.Data, 0.2, 1)
+	obsMap := MeanFeatureMap(obsF)
+	_, grad := meanMapLossGrad(h, obsMap)
+	const eps = 1e-6
+	for _, idx := range []int{0, 13, 35} {
+		old := h.Data[idx]
+		h.Data[idx] = old + eps
+		lp, _ := meanMapLossGrad(h, obsMap)
+		h.Data[idx] = old - eps
+		lm, _ := meanMapLossGrad(h, obsMap)
+		h.Data[idx] = old
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-grad.Data[idx]) > 1e-5*(1+math.Abs(num)) {
+			t.Errorf("mean-map grad[%d]: numeric %v vs analytic %v", idx, num, grad.Data[idx])
+		}
+	}
+}
+
+func TestDecoderOutputRange(t *testing.T) {
+	d := NewDecoder(tinyArch(), rng.New(13))
+	f := tensor.New(2, 4, 8, 8)
+	rng.New(14).FillNormal(f.Data, 0, 1)
+	img := d.Reconstruct(f)
+	if img.Shape[1] != 3 || img.Shape[2] != 8 || img.Shape[3] != 8 {
+		t.Fatalf("recon shape %v", img.Shape)
+	}
+	for _, v := range img.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("decoder output %v outside [0,1]", v)
+		}
+	}
+}
+
+func TestOracleDecoderBeatsGrayBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training smoke test")
+	}
+	sp := tinySplits(15)
+	v := trainVictim(sp, 16)
+	cfg := Config{Arch: tinyArch(), DecoderEpochs: 10, BatchSize: 16, Seed: 17}
+	o := OracleDecoderAttack(cfg, victimAdapter{v}, sp.Aux, sp.Test, 16)
+
+	// Gray-image baseline: the score an attacker gets with zero information.
+	x, _ := sp.Test.Batch([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	gray := tensor.Full(0.5, x.Shape...)
+	grayPSNR := metrics.BatchPSNR(gray, x)
+	if o.PSNR <= grayPSNR {
+		t.Errorf("oracle attack PSNR %.2f should beat gray baseline %.2f", o.PSNR, grayPSNR)
+	}
+	if o.SSIM <= 0.2 {
+		t.Errorf("oracle attack SSIM %.3f too low — decoder machinery broken?", o.SSIM)
+	}
+}
+
+func TestRunDecoderAttackProducesOutcome(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training smoke test")
+	}
+	sp := tinySplits(18)
+	v := trainVictim(sp, 19)
+	cfg := Config{Arch: tinyArch(), ShadowEpochs: 4, DecoderEpochs: 4, BatchSize: 16, Seed: 20, StructuredShadow: true}
+	o := RunDecoderAttack(cfg, "t", []*nn.Network{v.Body}, false, victimAdapter{v}, sp.Aux, sp.Test, 8)
+	if o.Recon == nil || o.Recon.Shape[0] != 8 {
+		t.Fatal("attack must return reconstructions")
+	}
+	if o.SSIM < -1 || o.SSIM > 1 || math.IsNaN(o.PSNR) {
+		t.Errorf("degenerate metrics: %+v", o)
+	}
+}
+
+func TestBestBy(t *testing.T) {
+	outs := []Outcome{
+		{Name: "a", SSIM: 0.2, PSNR: 9},
+		{Name: "b", SSIM: 0.5, PSNR: 7},
+		{Name: "c", SSIM: 0.1, PSNR: 12},
+	}
+	if BestBy(outs, "ssim").Name != "b" {
+		t.Error("BestBy ssim wrong")
+	}
+	if BestBy(outs, "psnr").Name != "c" {
+		t.Error("BestBy psnr wrong")
+	}
+}
+
+func TestBestByUnknownMetricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BestBy([]Outcome{{Name: "a"}, {Name: "b"}}, "nope")
+}
+
+func TestTVLossGradNumeric(t *testing.T) {
+	r := rng.New(21)
+	x := tensor.New(1, 2, 4, 4)
+	r.FillNormal(x.Data, 0, 1)
+	_, grad := tvLossGrad(x)
+	const eps = 1e-6
+	for _, idx := range []int{0, 10, 31} {
+		old := x.Data[idx]
+		x.Data[idx] = old + eps
+		lp, _ := tvLossGrad(x)
+		x.Data[idx] = old - eps
+		lm, _ := tvLossGrad(x)
+		x.Data[idx] = old
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-grad.Data[idx]) > 1e-5*(1+math.Abs(num)) {
+			t.Errorf("tv grad[%d]: numeric %v vs analytic %v", idx, num, grad.Data[idx])
+		}
+	}
+}
+
+func TestRMLEReducesFeatureDistance(t *testing.T) {
+	sp := tinySplits(22)
+	v := trainVictim(sp, 23)
+	x, _ := sp.Test.Batch([]int{0, 1})
+	observed := v.ClientFeatures(x, false)
+
+	// Use the true head as the "shadow" (white-box rMLE): the optimization
+	// must pull the candidate's features toward the observation.
+	gray := tensor.Full(0.5, 2, 3, 8, 8)
+	before := metrics.MSE(v.Head.Forward(gray, false), observed)
+	recon := RMLE(v.Head, observed, []int{2, 3, 8, 8}, RMLEConfig{Steps: 80, LR: 0.05, TVWeight: 1e-4})
+	after := metrics.MSE(v.Head.Forward(recon, false), observed)
+	if after >= before {
+		t.Errorf("rMLE did not reduce feature distance: %.4f -> %.4f", before, after)
+	}
+	for _, vpx := range recon.Data {
+		if vpx < 0 || vpx > 1 {
+			t.Fatalf("rMLE pixel %v outside [0,1]", vpx)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package attack
+
+import (
+	"fmt"
+
+	"ensembler/internal/data"
+	"ensembler/internal/nn"
+	"ensembler/internal/optim"
+	"ensembler/internal/rng"
+	"ensembler/internal/split"
+	"ensembler/internal/tensor"
+)
+
+// Decoder is the inverse network ~Mc,h⁻¹: it maps intermediate feature maps
+// [HeadC,H,W] back to images [InC,H,W] with a convolutional stack ending in
+// a sigmoid so outputs live in image range. The client's head is a stride-1
+// convolution, so feature maps and images share spatial extent and no
+// upsampling is needed at this split point.
+type Decoder struct {
+	Arch split.Arch
+	Net  *nn.Network
+}
+
+// NewDecoder builds an untrained decoder for the given architecture.
+func NewDecoder(arch split.Arch, r *rng.RNG) *Decoder {
+	hidden := arch.HeadC * 4
+	net := nn.NewNetwork("decoder",
+		nn.NewConv2D("dec.conv1", arch.HeadC, hidden, 3, 1, 1, true, r),
+		nn.NewLeakyReLU(0.1),
+		nn.NewConv2D("dec.conv2", hidden, hidden, 3, 1, 1, true, r),
+		nn.NewLeakyReLU(0.1),
+		nn.NewConv2D("dec.conv3", hidden, arch.InC, 3, 1, 1, true, r),
+		nn.NewSigmoid(),
+	)
+	return &Decoder{Arch: arch, Net: net}
+}
+
+// Reconstruct inverts a batch of observed intermediate features into images.
+func (d *Decoder) Reconstruct(features *tensor.Tensor) *tensor.Tensor {
+	return d.Net.Forward(features, false)
+}
+
+// TrainDecoder fits the decoder on the attacker's auxiliary images: for each
+// aux image x, the input is featFn(x) (the shadow head's surrogate of the
+// victim's transmitted features, treated as a constant) and the target is x
+// itself, optimized with MSE + Adam.
+func TrainDecoder(cfg Config, featFn func(x *tensor.Tensor) *tensor.Tensor, aux *data.Dataset) *Decoder {
+	cfg = cfg.withDefaults()
+	r := rng.New(cfg.Seed + 1)
+	d := NewDecoder(cfg.Arch, r.Split())
+	opt := optim.NewAdam(d.Net.Params(), cfg.DecoderLR)
+	for epoch := 0; epoch < cfg.DecoderEpochs; epoch++ {
+		total, batches := 0.0, 0
+		for _, idxs := range aux.Batches(cfg.BatchSize, r) {
+			x, _ := aux.Batch(idxs)
+			f := featFn(x)
+			recon := d.Net.Forward(f, true)
+			loss, grad := nn.MSELoss(recon, x)
+			d.Net.Backward(grad)
+			opt.Step()
+			total += loss
+			batches++
+		}
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "decoder: epoch %d/%d mse %.5f\n", epoch+1, cfg.DecoderEpochs, total/float64(batches))
+		}
+	}
+	return d
+}

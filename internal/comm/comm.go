@@ -1,0 +1,183 @@
+// Package comm implements collaborative inference over a real network: a
+// server that hosts the N ensemble bodies behind a gob-encoded TCP protocol,
+// and a client that transmits its head's output, receives all N feature
+// vectors, and applies its secret Selector and tail locally. This is the
+// deployment form of Fig. 1/Fig. 2: the selection indices never appear on
+// the wire, which is precisely what the defense relies on.
+package comm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ensembler/internal/nn"
+	"ensembler/internal/tensor"
+)
+
+// Request is the client→server message: the intermediate features
+// Mc,h(x)+noise for a batch.
+type Request struct {
+	Features *tensor.Tensor
+}
+
+// Response is the server→client message: one feature matrix per hosted body
+// (the server cannot know which the client will use).
+type Response struct {
+	Features []*tensor.Tensor
+	Err      string
+}
+
+// Server hosts ensemble bodies for remote clients.
+type Server struct {
+	bodies []*nn.Network
+	mu     sync.Mutex // bodies cache per-forward state; serialize passes
+}
+
+// NewServer creates a server over the given bodies.
+func NewServer(bodies []*nn.Network) *Server {
+	if len(bodies) == 0 {
+		panic("comm: server needs at least one body")
+	}
+	return &Server{bodies: bodies}
+}
+
+// Serve accepts connections until the listener closes, handling each client
+// in its own goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+// handle processes one client connection until it closes.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // client closed or protocol error
+		}
+		resp := s.process(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// process runs every body over the transmitted features.
+func (s *Server) process(req *Request) *Response {
+	if req.Features == nil || len(req.Features.Shape) != 4 {
+		return &Response{Err: "comm: request must carry [N,C,H,W] features"}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*tensor.Tensor, len(s.bodies))
+	for i, b := range s.bodies {
+		out[i] = b.Forward(req.Features, false)
+	}
+	return &Response{Features: out}
+}
+
+// Timing breaks down one remote inference round trip as measured at the
+// client — the empirical analogue of a Table III row.
+type Timing struct {
+	Client    time.Duration // head + selector + tail compute
+	RoundTrip time.Duration // upload + server compute + download
+	BytesUp   int
+	BytesDown int
+}
+
+// countingConn wraps a net.Conn tallying payload bytes in each direction.
+type countingConn struct {
+	net.Conn
+	up, down int
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.down += n
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.up += n
+	return n, err
+}
+
+// Client performs remote ensemble inference: local head+noise, remote
+// bodies, local secret selection and tail.
+type Client struct {
+	conn *countingConn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+
+	// ComputeFeatures produces the transmitted features for an image batch
+	// (head + noise).
+	ComputeFeatures func(x *tensor.Tensor) *tensor.Tensor
+	// Select applies the secret selector to the N returned feature
+	// matrices, producing the tail input.
+	Select func(features []*tensor.Tensor) *tensor.Tensor
+	// Tail maps the selected features to logits.
+	Tail *nn.Network
+}
+
+// Dial connects a client to a comm.Server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("comm: dialing %s: %w", addr, err)
+	}
+	cc := &countingConn{Conn: conn}
+	return &Client{conn: cc, enc: gob.NewEncoder(cc), dec: gob.NewDecoder(cc)}, nil
+}
+
+// NewLocalClient wraps an existing connection (for tests over net.Pipe).
+func NewLocalClient(conn net.Conn) *Client {
+	cc := &countingConn{Conn: conn}
+	return &Client{conn: cc, enc: gob.NewEncoder(cc), dec: gob.NewDecoder(cc)}
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Infer runs the full collaborative pipeline for an image batch and returns
+// logits plus the measured timing breakdown.
+func (c *Client) Infer(x *tensor.Tensor) (*tensor.Tensor, Timing, error) {
+	var t Timing
+	upBefore, downBefore := c.conn.up, c.conn.down
+
+	start := time.Now()
+	features := c.ComputeFeatures(x)
+	t.Client += time.Since(start)
+
+	netStart := time.Now()
+	if err := c.enc.Encode(&Request{Features: features}); err != nil {
+		return nil, t, fmt.Errorf("comm: sending features: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, t, fmt.Errorf("comm: receiving features: %w", err)
+	}
+	t.RoundTrip = time.Since(netStart)
+	if resp.Err != "" {
+		return nil, t, fmt.Errorf("comm: server error: %s", resp.Err)
+	}
+
+	start = time.Now()
+	selected := c.Select(resp.Features)
+	logits := c.Tail.Forward(selected, false)
+	t.Client += time.Since(start)
+	t.BytesUp = c.conn.up - upBefore
+	t.BytesDown = c.conn.down - downBefore
+	return logits, t, nil
+}

@@ -1,0 +1,54 @@
+package comm
+
+import (
+	"encoding/gob"
+	"net"
+	"testing"
+
+	"ensembler/internal/nn"
+	"ensembler/internal/rng"
+	"ensembler/internal/tensor"
+)
+
+// TestLocalClientOverPipe exercises the client protocol over an in-memory
+// net.Pipe with a hand-rolled server loop — no TCP, no training, pure
+// protocol mechanics.
+func TestLocalClientOverPipe(t *testing.T) {
+	clientEnd, serverEnd := net.Pipe()
+	defer clientEnd.Close()
+
+	arch := tinyArch()
+	body := arch.NewBody("b", rng.New(1))
+	srv := NewServer([]*nn.Network{body})
+	go func() {
+		defer serverEnd.Close()
+		dec := gob.NewDecoder(serverEnd)
+		enc := gob.NewEncoder(serverEnd)
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		_ = enc.Encode(srv.process(&req))
+	}()
+
+	client := NewLocalClient(clientEnd)
+	client.ComputeFeatures = func(x *tensor.Tensor) *tensor.Tensor {
+		// Identity "head": the protocol doesn't care what computes features.
+		return x
+	}
+	client.Select = func(features []*tensor.Tensor) *tensor.Tensor { return features[0] }
+	client.Tail = nn.NewNetwork("t", nn.NewLinear("fc", arch.FeatureDim(), arch.Classes, rng.New(2)))
+
+	x := tensor.New(2, arch.HeadC, 8, 8)
+	rng.New(3).FillNormal(x.Data, 0, 1)
+	logits, timing, err := client.Infer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logits.Shape[0] != 2 || logits.Shape[1] != arch.Classes {
+		t.Fatalf("logits shape %v", logits.Shape)
+	}
+	if timing.BytesUp == 0 || timing.BytesDown == 0 {
+		t.Error("pipe byte accounting missing")
+	}
+}

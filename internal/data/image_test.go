@@ -1,0 +1,80 @@
+package data
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ensembler/internal/tensor"
+)
+
+func TestEncodePPMHeaderAndSize(t *testing.T) {
+	img := tensor.New(3, 4, 5)
+	var buf bytes.Buffer
+	if err := EncodePPM(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	var w, h, max int
+	var magic string
+	if _, err := fmt.Fscanf(bytes.NewReader(buf.Bytes()), "%s\n%d %d\n%d\n", &magic, &w, &h, &max); err != nil {
+		t.Fatal(err)
+	}
+	if magic != "P6" || w != 5 || h != 4 || max != 255 {
+		t.Errorf("header %s %d %d %d", magic, w, h, max)
+	}
+	// Payload: exactly 3·H·W bytes after the header.
+	header := fmt.Sprintf("P6\n%d %d\n255\n", w, h)
+	if got := buf.Len() - len(header); got != 3*4*5 {
+		t.Errorf("payload %d bytes, want %d", got, 60)
+	}
+}
+
+func TestEncodePPMClampsAndQuantizes(t *testing.T) {
+	img := tensor.New(3, 1, 2)
+	img.Set(-0.5, 0, 0, 0) // clamps to 0
+	img.Set(2.0, 1, 0, 0)  // clamps to 255
+	img.Set(0.5, 2, 0, 0)  // rounds to 128
+	var buf bytes.Buffer
+	if err := EncodePPM(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	payload := buf.Bytes()[len("P6\n2 1\n255\n"):]
+	if payload[0] != 0 || payload[1] != 255 || payload[2] != 128 {
+		t.Errorf("pixel 0 = (%d,%d,%d)", payload[0], payload[1], payload[2])
+	}
+}
+
+func TestEncodePPMRejectsBadShape(t *testing.T) {
+	if err := EncodePPM(&bytes.Buffer{}, tensor.New(1, 4, 4)); err == nil {
+		t.Error("grayscale shape must be rejected")
+	}
+}
+
+func TestSaveGrid(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "grid.ppm")
+	batch := tensor.New(5, 3, 2, 2)
+	for i := range batch.Data {
+		batch.Data[i] = 0.5
+	}
+	if err := SaveGrid(path, batch, 2); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 images in 2 columns → 3 rows: canvas 4px wide (2·2), 6px tall (3·2).
+	want := fmt.Sprintf("P6\n%d %d\n255\n", 4, 6)
+	if string(b[:len(want)]) != want {
+		t.Errorf("grid header %q", string(b[:len(want)]))
+	}
+}
+
+func TestSaveGridRejectsBadShape(t *testing.T) {
+	if err := SaveGrid(filepath.Join(t.TempDir(), "x.ppm"), tensor.New(2, 1, 2, 2), 2); err == nil {
+		t.Error("non-RGB batch must be rejected")
+	}
+}

@@ -1,0 +1,152 @@
+package defense
+
+import (
+	"testing"
+
+	"ensembler/internal/data"
+	"ensembler/internal/ensemble"
+	"ensembler/internal/nn"
+	"ensembler/internal/split"
+)
+
+func tinyArch() split.Arch {
+	return split.Arch{InC: 3, H: 8, W: 8, HeadC: 4, BlockWidths: []int{8, 16}, Classes: 4, UseMaxPool: true}
+}
+
+func tinySplits(seed int64) *data.Splits {
+	sp := data.Generate(data.Config{Kind: data.CIFAR10Like, H: 8, W: 8, Train: 96, Aux: 32, Test: 48, Seed: seed})
+	for _, ds := range []*data.Dataset{sp.Train, sp.Aux, sp.Test} {
+		ds.Classes = 4
+		for i, l := range ds.Labels {
+			ds.Labels[i] = l % 4
+		}
+	}
+	return sp
+}
+
+var opts = split.TrainOptions{Epochs: 3, BatchSize: 16, LR: 0.05}
+
+func TestNonePipeline(t *testing.T) {
+	sp := tinySplits(1)
+	p := TrainNone(tinyArch(), sp.Train, opts, 2)
+	if p.Name() != "None" {
+		t.Errorf("name %q", p.Name())
+	}
+	if p.Model.Noise != nil {
+		t.Error("None must have no noise layer")
+	}
+	if len(p.Bodies()) != 1 {
+		t.Error("single pipeline exposes one body")
+	}
+	if acc := p.Accuracy(sp.Test); acc < 0.3 {
+		t.Errorf("accuracy %.3f below chance margin", acc)
+	}
+	x, _ := sp.Test.Batch([]int{0, 1})
+	f := p.ClientFeatures(x)
+	if f.Shape[1] != 4 {
+		t.Errorf("feature shape %v", f.Shape)
+	}
+}
+
+func TestSinglePipelineHasFixedNoise(t *testing.T) {
+	sp := tinySplits(3)
+	p := TrainSingle(tinyArch(), 0.1, sp.Train, opts, 4)
+	if p.Model.Noise == nil || p.Model.Noise.Mode != nn.NoiseFixed {
+		t.Fatal("Single must carry fixed noise")
+	}
+	// Features must include the noise: differ from the raw head output.
+	x, _ := sp.Test.Batch([]int{0})
+	if p.ClientFeatures(x).AllClose(p.Model.Head.Forward(x, false), 1e-9) {
+		t.Error("noise not applied to transmitted features")
+	}
+}
+
+func TestDRSingleHasDropoutTail(t *testing.T) {
+	sp := tinySplits(5)
+	p := TrainDRSingle(tinyArch(), 0.5, sp.Train, opts, 6)
+	if _, ok := p.Model.Tail.Layers[0].(*nn.Dropout); !ok {
+		t.Fatal("DR-single tail must start with dropout")
+	}
+	if acc := p.Accuracy(sp.Test); acc < 0.3 {
+		t.Errorf("accuracy %.3f below chance margin", acc)
+	}
+}
+
+func TestShredderNoiseGrows(t *testing.T) {
+	sp := tinySplits(7)
+	p := TrainShredder(tinyArch(), 0.05, 5e-3, sp.Train, opts, 8, nil)
+	if p.Model.Noise == nil || p.Model.Noise.Mode != nn.NoiseTrainable {
+		t.Fatal("Shredder must carry trainable noise")
+	}
+	// The learned noise should have grown beyond its tiny initialization
+	// (the −μ‖n‖² bonus pushes it up wherever CE allows).
+	c, h, w := tinyArch().HeadOutShape()
+	initNorm := 0.05 * float64(c*h*w) // loose bound: E[|n|] per element ~ 0.05
+	if p.Model.Noise.Noise.Value.L2Norm() < 0.05 {
+		t.Error("Shredder noise should be nonzero after training")
+	}
+	_ = initNorm
+	if acc := p.Accuracy(sp.Test); acc < 0.3 {
+		t.Errorf("accuracy %.3f collapsed — noise bonus too strong", acc)
+	}
+}
+
+func ensCfg(seed int64) ensemble.Config {
+	return ensemble.Config{
+		Arch: tinyArch(), N: 3, P: 2, Sigma: 0.05, Lambda: 0.5, Seed: seed,
+		Stage1:      opts,
+		Stage3:      split.TrainOptions{Epochs: 5, BatchSize: 16, LR: 0.05},
+		Stage1Noise: true,
+	}
+}
+
+func TestEnsemblePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training smoke test")
+	}
+	sp := data.Generate(data.Config{Kind: data.CIFAR10Like, H: 8, W: 8, Train: 192, Aux: 32, Test: 64, Seed: 9})
+	for _, ds := range []*data.Dataset{sp.Train, sp.Aux, sp.Test} {
+		ds.Classes = 4
+		for i, l := range ds.Labels {
+			ds.Labels[i] = l % 4
+		}
+	}
+	cfg := ensCfg(10)
+	cfg.Stage1.Epochs = 5
+	cfg.Stage3.Epochs = 7
+	p := TrainEnsembler(cfg, sp.Train, nil)
+	if p.Name() != "Ensembler" {
+		t.Errorf("name %q", p.Name())
+	}
+	if len(p.Bodies()) != 3 {
+		t.Errorf("expected 3 bodies, got %d", len(p.Bodies()))
+	}
+	if acc := p.Accuracy(sp.Test); acc < 0.3 {
+		t.Errorf("accuracy %.3f below chance margin", acc)
+	}
+	if p.Ensembler() == nil {
+		t.Error("Ensembler accessor nil")
+	}
+}
+
+func TestDRNVariantSkipsNoiseAndReg(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training smoke test")
+	}
+	sp := tinySplits(11)
+	p := TrainDRN(ensCfg(12), 0.3, sp.Train, nil)
+	if p.Name() != "DR-10" {
+		t.Errorf("name %q", p.Name())
+	}
+	e := p.Ensembler()
+	if e.Cfg.Lambda != 0 || e.Cfg.Sigma != 0 || e.Cfg.Stage1Noise {
+		t.Error("DR-N must disable noise and the regularizer")
+	}
+	if e.Noise != nil {
+		t.Error("DR-N final pipeline must have no noise layer")
+	}
+	// Members' tails must carry dropout.
+	if _, ok := e.Members[0].Tail.Layers[0].(*nn.Dropout); !ok {
+		t.Error("DR-N member tails must start with dropout")
+	}
+}

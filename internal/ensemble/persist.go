@@ -1,0 +1,179 @@
+package ensemble
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"ensembler/internal/nn"
+	"ensembler/internal/rng"
+	"ensembler/internal/split"
+	"ensembler/internal/tensor"
+)
+
+// savedState is the on-disk form of a trained Ensembler: the configuration
+// (enough to rebuild identically shaped networks), the secret selection, all
+// parameter tensors keyed by network role, and the fixed noise tensors.
+type savedState struct {
+	Cfg       Config
+	Selection []int
+	// Nets maps role keys ("member3.body", "final.head", ...) to the gob
+	// bytes produced by nn.Network.Save.
+	Nets map[string][]byte
+	// Noises maps role keys ("member3.noise", "final.noise") to the fixed
+	// noise tensors, which live outside the parameter lists.
+	Noises map[string]*tensor.Tensor
+}
+
+// saveNet serializes one network into the state map.
+func (st *savedState) saveNet(key string, n *nn.Network) error {
+	var buf byteBuffer
+	if err := n.Save(&buf); err != nil {
+		return fmt.Errorf("ensemble: saving %s: %w", key, err)
+	}
+	st.Nets[key] = buf.b
+	return nil
+}
+
+// loadNet restores one network from the state map.
+func (st *savedState) loadNet(key string, n *nn.Network) error {
+	b, ok := st.Nets[key]
+	if !ok {
+		return fmt.Errorf("ensemble: saved state missing network %q", key)
+	}
+	return n.Load(&byteReader{b: b})
+}
+
+// byteBuffer / byteReader avoid importing bytes for two trivial uses.
+type byteBuffer struct{ b []byte }
+
+func (w *byteBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+type byteReader struct {
+	b []byte
+	i int
+}
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.i:])
+	r.i += n
+	return n, nil
+}
+
+// Save writes the full trained pipeline to w.
+func (e *Ensembler) Save(w io.Writer) error {
+	st := savedState{
+		Cfg:       e.Cfg,
+		Selection: e.Selector.Indices,
+		Nets:      map[string][]byte{},
+		Noises:    map[string]*tensor.Tensor{},
+	}
+	for i, m := range e.Members {
+		if err := st.saveNet(fmt.Sprintf("member%d.head", i), m.Head); err != nil {
+			return err
+		}
+		if err := st.saveNet(fmt.Sprintf("member%d.body", i), m.Body); err != nil {
+			return err
+		}
+		if err := st.saveNet(fmt.Sprintf("member%d.tail", i), m.Tail); err != nil {
+			return err
+		}
+		if m.Noise != nil {
+			st.Noises[fmt.Sprintf("member%d.noise", i)] = m.Noise.Noise.Value
+		}
+	}
+	if err := st.saveNet("final.head", e.Head); err != nil {
+		return err
+	}
+	if err := st.saveNet("final.tail", e.Tail); err != nil {
+		return err
+	}
+	if e.Noise != nil {
+		st.Noises["final.noise"] = e.Noise.Noise.Value
+	}
+	return gob.NewEncoder(w).Encode(&st)
+}
+
+// Load reconstructs a trained pipeline from r. The stored Config rebuilds
+// the network skeletons; saved parameters then overwrite the fresh
+// initialization. The training-time RNG stream is irrelevant here because
+// every tensor is restored explicitly.
+func Load(r io.Reader) (*Ensembler, error) {
+	var st savedState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("ensemble: decoding saved state: %w", err)
+	}
+	cfg := st.Cfg
+	e := &Ensembler{Cfg: cfg}
+	seedR := rng.New(cfg.Seed)
+	for i := 0; i < cfg.N; i++ {
+		sigma := cfg.Sigma
+		if !cfg.Stage1Noise {
+			sigma = 0
+		}
+		m := split.NewModel(fmt.Sprintf("member%d", i), cfg.Arch, sigma, nn.NoiseFixed, cfg.Dropout, seedR.Split())
+		if err := st.loadNet(fmt.Sprintf("member%d.head", i), m.Head); err != nil {
+			return nil, err
+		}
+		if err := st.loadNet(fmt.Sprintf("member%d.body", i), m.Body); err != nil {
+			return nil, err
+		}
+		if err := st.loadNet(fmt.Sprintf("member%d.tail", i), m.Tail); err != nil {
+			return nil, err
+		}
+		if m.Noise != nil {
+			saved, ok := st.Noises[fmt.Sprintf("member%d.noise", i)]
+			if !ok {
+				return nil, fmt.Errorf("ensemble: saved state missing member %d noise", i)
+			}
+			copy(m.Noise.Noise.Value.Data, saved.Data)
+		}
+		e.Members = append(e.Members, m)
+	}
+	e.Selector = FixedSelector(cfg.N, st.Selection)
+	r3 := rng.New(1)
+	e.Head = cfg.Arch.NewHead("final.head", r3)
+	e.Tail = cfg.Arch.NewTail("final.tail", cfg.P, cfg.Dropout, r3)
+	if err := st.loadNet("final.head", e.Head); err != nil {
+		return nil, err
+	}
+	if err := st.loadNet("final.tail", e.Tail); err != nil {
+		return nil, err
+	}
+	if saved, ok := st.Noises["final.noise"]; ok {
+		c, h, w := cfg.Arch.HeadOutShape()
+		e.Noise = nn.NewAdditiveNoise("final.noise", nn.NoiseFixed, c, h, w, cfg.Sigma, rng.New(2))
+		copy(e.Noise.Noise.Value.Data, saved.Data)
+	}
+	return e, nil
+}
+
+// SaveFile writes the pipeline to path.
+func (e *Ensembler) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := e.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a pipeline from path.
+func LoadFile(path string) (*Ensembler, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

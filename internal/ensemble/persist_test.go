@@ -1,0 +1,50 @@
+package ensemble
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training smoke test")
+	}
+	train := tinyData(51)
+	cfg := tinyConfig(52)
+	e := Train(cfg, train, nil)
+
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical secret selection.
+	if len(loaded.Selector.Indices) != len(e.Selector.Indices) {
+		t.Fatal("selection length changed")
+	}
+	for i := range e.Selector.Indices {
+		if loaded.Selector.Indices[i] != e.Selector.Indices[i] {
+			t.Fatal("secret selection changed across save/load")
+		}
+	}
+
+	// Identical predictions, end to end.
+	x, _ := train.Batch([]int{0, 1, 2, 3})
+	if !loaded.Predict(x).AllClose(e.Predict(x), 1e-9) {
+		t.Error("loaded pipeline predicts differently")
+	}
+	// Identical transmitted features (head + noise both restored).
+	if !loaded.ClientFeatures(x).AllClose(e.ClientFeatures(x), 1e-9) {
+		t.Error("loaded client features differ")
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("expected decode error")
+	}
+}

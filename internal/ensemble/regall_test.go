@@ -1,0 +1,31 @@
+package ensemble
+
+import "testing"
+
+func TestRegAllHeadsExpandsRegularizerSet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training smoke test")
+	}
+	train := tinyData(61)
+
+	cfg := tinyConfig(62)
+	cfg.RegAllHeads = false
+	e := Train(cfg, train, nil)
+	if got := len(e.regHeads()); got != cfg.P {
+		t.Errorf("selected-only regularizer set has %d heads, want P=%d", got, cfg.P)
+	}
+
+	cfg2 := tinyConfig(62)
+	cfg2.RegAllHeads = true
+	e2 := Train(cfg2, train, nil)
+	if got := len(e2.regHeads()); got != cfg2.N {
+		t.Errorf("all-heads regularizer set has %d heads, want N=%d", got, cfg2.N)
+	}
+}
+
+func TestSelectorContains(t *testing.T) {
+	s := FixedSelector(5, []int{1, 4})
+	if !s.Contains(1) || !s.Contains(4) || s.Contains(0) || s.Contains(3) {
+		t.Error("Contains wrong")
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLatencySweepN(t *testing.T) {
+	rows := LatencySweepN([]int{1, 5, 10})
+	if len(rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Total() <= rows[i-1].Total() {
+			t.Error("total latency should grow with N (communication term)")
+		}
+	}
+}
+
+func TestRenderAblation(t *testing.T) {
+	var buf bytes.Buffer
+	RenderAblation(&buf, "sweep", []AblationPoint{{Label: "N=4 P=2", Acc: 0.9, BestSSIM: 0.1, BestPSNR: 9, Adaptive: 0.05}})
+	out := buf.String()
+	for _, want := range []string{"sweep", "N=4 P=2", "0.900", "0.100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepPSkipsInvalid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training smoke test")
+	}
+	sc := microScale()
+	pts := SweepP(sc, []int{0, 1, 99}, 7) // 0 and 99 are invalid for N=2
+	if len(pts) != 1 {
+		t.Fatalf("want exactly the valid point, got %d", len(pts))
+	}
+	if pts[0].Label != "N=2 P=1" {
+		t.Errorf("label %q", pts[0].Label)
+	}
+	if pts[0].Acc <= 0 {
+		t.Error("accuracy not measured")
+	}
+}
+
+func TestSweepStage1NoiseBothPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training smoke test")
+	}
+	pts := SweepStage1Noise(microScale(), 8)
+	if len(pts) != 2 {
+		t.Fatalf("want 2 points, got %d", len(pts))
+	}
+	if pts[0].Label == pts[1].Label {
+		t.Error("labels must distinguish the variants")
+	}
+}

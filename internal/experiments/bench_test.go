@@ -1,0 +1,32 @@
+package experiments_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"ensembler/internal/experiments"
+)
+
+// benchScale picks the experiment operating point (see bench_test.go at the
+// repository root for the Table I/III counterparts; Table II lives here so
+// that no single package exceeds go test's default 10-minute timeout).
+func benchScale() experiments.Scale {
+	if os.Getenv("ENSEMBLER_BENCH_SCALE") == "paper" {
+		return experiments.Paper()
+	}
+	return experiments.Small()
+}
+
+// BenchmarkTableII regenerates Table II: the full defense battery on the
+// CIFAR-10-like workload, plus the §IV claim percentages derived from it.
+func BenchmarkTableII(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.TableII(sc, 43, nil)
+		experiments.RenderRows(os.Stdout, "\nTable II — defense mechanisms, cifar10-like", rows)
+		claims := experiments.ComputeClaims(rows, sc.N)
+		fmt.Printf("claims: SSIM drop vs Single %.1f%%, PSNR drop vs Single %.1f%%, latency overhead %.1f%%\n",
+			claims.SSIMDropVsSingle, claims.PSNRDropVsSingle, claims.LatencyOverhead)
+	}
+}

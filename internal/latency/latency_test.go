@@ -1,0 +1,111 @@
+package latency
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTableIIICalibration pins the cost model to the paper's measured
+// operating point: Standard CI 0.66/0.98/2.30/3.94 s, Ensembler total 4.13 s
+// (+4.8%), STAMP 309.7 s. The model is analytic, so a loose 10% band
+// suffices to catch regressions without over-fitting the constants.
+func TestTableIIICalibration(t *testing.T) {
+	rows := TableIII(10)
+	type want struct{ client, server, comm, total float64 }
+	wants := []want{
+		{0.66, 0.98, 2.30, 3.94},
+		{0.66, 1.02, 2.45, 4.13},
+		{0, 0, 0, 309.7}, // STAMP: only the total is quoted by the paper
+	}
+	const tol = 0.10
+	check := func(name string, got, paper float64) {
+		t.Helper()
+		if paper == 0 {
+			return
+		}
+		if math.Abs(got-paper)/paper > tol {
+			t.Errorf("%s: got %.2f, paper %.2f (>±10%%)", name, got, paper)
+		}
+	}
+	for i, r := range rows {
+		check(r.Name+"/client", r.Client, wants[i].client)
+		check(r.Name+"/server", r.Server, wants[i].server)
+		check(r.Name+"/comm", r.Communication, wants[i].comm)
+		check(r.Name+"/total", r.Total(), wants[i].total)
+	}
+}
+
+func TestOverheadNearPaper(t *testing.T) {
+	got := OverheadPercent(10)
+	if got < 2 || got > 8 {
+		t.Errorf("Ensembler overhead %.1f%%, paper reports 4.8%%", got)
+	}
+}
+
+func TestClientTimeIndependentOfN(t *testing.T) {
+	std := Run(StandardCI())
+	ens := Run(Ensembler(10))
+	if math.Abs(std.Client-ens.Client) > 1e-9 {
+		t.Error("client time must not depend on N (§III-D)")
+	}
+}
+
+func TestServerScalesWithWaves(t *testing.T) {
+	// With parallelism 1, ten bodies cost ~10× the single-body server time.
+	sc := Ensembler(10)
+	sc.Server.Parallelism = 1
+	serial := Run(sc)
+	std := Run(StandardCI())
+	ratio := serial.Server / std.Server
+	if ratio < 9 || ratio > 11.5 {
+		t.Errorf("serialized ensemble server ratio %.2f, want ~10", ratio)
+	}
+}
+
+func TestParallelismSweepMonotone(t *testing.T) {
+	rows := ParallelismSweep(10, []int{1, 2, 5, 10})
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Total() > rows[i-1].Total()+1e-9 {
+			t.Errorf("latency must not increase with parallelism: %v", rows)
+		}
+	}
+	// Full parallelism should be far below serial.
+	if rows[len(rows)-1].Total() > 0.7*rows[0].Total() {
+		t.Error("parallel execution should substantially beat serial (§III-D)")
+	}
+}
+
+func TestSTAMPOrdersOfMagnitudeSlower(t *testing.T) {
+	rows := TableIII(10)
+	if rows[2].Total() < 50*rows[0].Total() {
+		t.Error("encrypted inference must be orders of magnitude slower")
+	}
+}
+
+func TestCommunicationGrowsWithN(t *testing.T) {
+	a := Run(Ensembler(2))
+	b := Run(Ensembler(10))
+	if b.Communication <= a.Communication {
+		t.Error("returning more feature vectors must cost more communication")
+	}
+}
+
+func TestLinkTransferAccounting(t *testing.T) {
+	l := Link{UpBps: 1e6, DownBps: 2e6, RTTSeconds: 0.01}
+	if got := l.Upload(1e6); math.Abs(got-1.005) > 1e-9 {
+		t.Errorf("upload = %v", got)
+	}
+	if got := l.Download(1e6); math.Abs(got-0.505) > 1e-9 {
+		t.Errorf("download = %v", got)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Breakdown{Name: "x", Client: 1, Server: 2, Communication: 3}
+	if b.Total() != 6 {
+		t.Errorf("total = %v", b.Total())
+	}
+	if s := b.String(); s == "" {
+		t.Error("empty string rendering")
+	}
+}

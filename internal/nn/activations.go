@@ -1,0 +1,135 @@
+package nn
+
+import (
+	"math"
+
+	"ensembler/internal/tensor"
+)
+
+// ReLU is the rectified linear activation max(0, x).
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward clamps negatives to zero, caching the pass-through mask.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	if cap(r.mask) < len(out.Data) {
+		r.mask = make([]bool, len(out.Data))
+	}
+	r.mask = r.mask[:len(out.Data)]
+	for i, v := range out.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward zeroes gradients where the forward input was non-positive.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Params returns nil; ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// LeakyReLU is max(x, alpha*x); used in the attacker's decoder where dead
+// units would stall inversion training.
+type LeakyReLU struct {
+	Alpha float64
+	x     *tensor.Tensor
+}
+
+// NewLeakyReLU returns a LeakyReLU with the given negative slope.
+func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
+
+// Forward applies the leaky rectifier.
+func (l *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.x = x
+	return x.Apply(func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return l.Alpha * v
+	})
+}
+
+// Backward scales negative-side gradients by Alpha.
+func (l *LeakyReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	for i, v := range l.x.Data {
+		if v <= 0 {
+			out.Data[i] *= l.Alpha
+		}
+	}
+	return out
+}
+
+// Params returns nil; LeakyReLU has no parameters.
+func (l *LeakyReLU) Params() []*Param { return nil }
+
+// Sigmoid squashes to (0,1); the decoder's output layer uses it so
+// reconstructions live in image range.
+type Sigmoid struct {
+	y *tensor.Tensor
+}
+
+// NewSigmoid returns a sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward computes 1/(1+e^-x).
+func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	s.y = x.Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	return s.y
+}
+
+// Backward multiplies by y(1-y).
+func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	for i, y := range s.y.Data {
+		out.Data[i] *= y * (1 - y)
+	}
+	return out
+}
+
+// Params returns nil; Sigmoid has no parameters.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic tangent activation.
+type Tanh struct {
+	y *tensor.Tensor
+}
+
+// NewTanh returns a tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward computes tanh(x).
+func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	t.y = x.Apply(math.Tanh)
+	return t.y
+}
+
+// Backward multiplies by 1 - y².
+func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	for i, y := range t.y.Data {
+		out.Data[i] *= 1 - y*y
+	}
+	return out
+}
+
+// Params returns nil; Tanh has no parameters.
+func (t *Tanh) Params() []*Param { return nil }

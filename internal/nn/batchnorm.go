@@ -1,0 +1,175 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"ensembler/internal/tensor"
+)
+
+// BatchNorm2D normalizes each channel of an NCHW tensor over the batch and
+// spatial dimensions, with learnable scale (gamma) and shift (beta) and
+// running statistics for evaluation mode. The backward pass supports both
+// modes: training mode differentiates through the batch statistics, while
+// eval mode treats the running statistics as constants — the latter is what
+// the attack package relies on when backpropagating through the server's
+// frozen bodies.
+type BatchNorm2D struct {
+	C        int
+	Eps      float64
+	Momentum float64 // fraction of the old running statistic kept per step
+	Gamma    *Param
+	Beta     *Param
+	RunMean  *tensor.Tensor
+	RunVar   *tensor.Tensor
+
+	// caches for Backward
+	trainMode bool
+	xhat      *tensor.Tensor
+	invStd    []float64
+}
+
+// NewBatchNorm2D creates a batch-norm layer for c channels with gamma=1,
+// beta=0, running mean 0 and running variance 1.
+func NewBatchNorm2D(name string, c int) *BatchNorm2D {
+	return &BatchNorm2D{
+		C: c, Eps: 1e-5, Momentum: 0.9,
+		Gamma:   NewParam(name+".gamma", tensor.Full(1, c)),
+		Beta:    NewParam(name+".beta", tensor.New(c)),
+		RunMean: tensor.New(c),
+		RunVar:  tensor.Full(1, c),
+	}
+}
+
+// Forward normalizes x; in training mode it also updates running statistics.
+func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != b.C {
+		panic(fmt.Sprintf("nn: BatchNorm2D %s expects [N,%d,H,W], got %v", b.Gamma.Name, b.C, x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	hw := h * w
+	m := float64(n * hw)
+	out := tensor.New(x.Shape...)
+	b.trainMode = train
+	if cap(b.invStd) < c {
+		b.invStd = make([]float64, c)
+	}
+	b.invStd = b.invStd[:c]
+
+	if train {
+		b.xhat = tensor.New(x.Shape...)
+		for ci := 0; ci < c; ci++ {
+			sum := 0.0
+			for ni := 0; ni < n; ni++ {
+				base := (ni*c + ci) * hw
+				for j := 0; j < hw; j++ {
+					sum += x.Data[base+j]
+				}
+			}
+			mean := sum / m
+			vsum := 0.0
+			for ni := 0; ni < n; ni++ {
+				base := (ni*c + ci) * hw
+				for j := 0; j < hw; j++ {
+					d := x.Data[base+j] - mean
+					vsum += d * d
+				}
+			}
+			variance := vsum / m
+			inv := 1 / math.Sqrt(variance+b.Eps)
+			b.invStd[ci] = inv
+			g, bt := b.Gamma.Value.Data[ci], b.Beta.Value.Data[ci]
+			for ni := 0; ni < n; ni++ {
+				base := (ni*c + ci) * hw
+				for j := 0; j < hw; j++ {
+					xh := (x.Data[base+j] - mean) * inv
+					b.xhat.Data[base+j] = xh
+					out.Data[base+j] = g*xh + bt
+				}
+			}
+			b.RunMean.Data[ci] = b.Momentum*b.RunMean.Data[ci] + (1-b.Momentum)*mean
+			b.RunVar.Data[ci] = b.Momentum*b.RunVar.Data[ci] + (1-b.Momentum)*variance
+		}
+		return out
+	}
+
+	// Eval mode: normalize with running statistics. xhat is still cached so
+	// Backward can produce gamma/beta gradients (needed when an attacker
+	// fine-tunes a network that stays in eval mode).
+	b.xhat = tensor.New(x.Shape...)
+	for ci := 0; ci < c; ci++ {
+		inv := 1 / math.Sqrt(b.RunVar.Data[ci]+b.Eps)
+		b.invStd[ci] = inv
+		mean := b.RunMean.Data[ci]
+		g, bt := b.Gamma.Value.Data[ci], b.Beta.Value.Data[ci]
+		for ni := 0; ni < n; ni++ {
+			base := (ni*c + ci) * hw
+			for j := 0; j < hw; j++ {
+				xh := (x.Data[base+j] - mean) * inv
+				b.xhat.Data[base+j] = xh
+				out.Data[base+j] = g*xh + bt
+			}
+		}
+	}
+	return out
+}
+
+// Backward returns dL/dx and accumulates gamma/beta gradients.
+func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, c := grad.Shape[0], grad.Shape[1]
+	hw := grad.Shape[2] * grad.Shape[3]
+	m := float64(n * hw)
+	out := tensor.New(grad.Shape...)
+
+	if !b.trainMode {
+		// Running stats are constants: dx = dy * gamma * invStd, and the
+		// affine parameters still receive their usual gradients.
+		for ci := 0; ci < c; ci++ {
+			k := b.Gamma.Value.Data[ci] * b.invStd[ci]
+			sumDy, sumDyXhat := 0.0, 0.0
+			for ni := 0; ni < n; ni++ {
+				base := (ni*c + ci) * hw
+				for j := 0; j < hw; j++ {
+					dy := grad.Data[base+j]
+					sumDy += dy
+					sumDyXhat += dy * b.xhat.Data[base+j]
+					out.Data[base+j] = dy * k
+				}
+			}
+			b.Beta.Grad.Data[ci] += sumDy
+			b.Gamma.Grad.Data[ci] += sumDyXhat
+		}
+		return out
+	}
+
+	if b.xhat == nil {
+		panic("nn: BatchNorm2D Backward before Forward")
+	}
+	for ci := 0; ci < c; ci++ {
+		sumDy, sumDyXhat := 0.0, 0.0
+		for ni := 0; ni < n; ni++ {
+			base := (ni*c + ci) * hw
+			for j := 0; j < hw; j++ {
+				dy := grad.Data[base+j]
+				sumDy += dy
+				sumDyXhat += dy * b.xhat.Data[base+j]
+			}
+		}
+		b.Beta.Grad.Data[ci] += sumDy
+		b.Gamma.Grad.Data[ci] += sumDyXhat
+		g := b.Gamma.Value.Data[ci]
+		inv := b.invStd[ci]
+		for ni := 0; ni < n; ni++ {
+			base := (ni*c + ci) * hw
+			for j := 0; j < hw; j++ {
+				dy := grad.Data[base+j]
+				xh := b.xhat.Data[base+j]
+				out.Data[base+j] = g * inv / m * (m*dy - sumDy - xh*sumDyXhat)
+			}
+		}
+	}
+	return out
+}
+
+// Params returns gamma and beta.
+func (b *BatchNorm2D) Params() []*Param { return []*Param{b.Gamma, b.Beta} }

@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"fmt"
+
+	"ensembler/internal/rng"
+	"ensembler/internal/tensor"
+)
+
+// BasicBlock is the ResNet-18 residual unit:
+//
+//	y = ReLU( BN2(Conv2(ReLU(BN1(Conv1(x))))) + shortcut(x) )
+//
+// where shortcut is the identity when stride==1 and channels match, and a
+// 1×1 strided convolution + batch norm otherwise. The block handles its own
+// two-branch backward pass (the gradient splits at the output sum and
+// re-merges at the input).
+type BasicBlock struct {
+	Conv1 *Conv2D
+	BN1   *BatchNorm2D
+	Relu1 *ReLU
+	Conv2 *Conv2D
+	BN2   *BatchNorm2D
+	Relu2 *ReLU
+
+	// Shortcut projection; nil means identity.
+	ShortConv *Conv2D
+	ShortBN   *BatchNorm2D
+}
+
+// NewBasicBlock creates a residual block mapping inC channels to outC with
+// the given stride on the first convolution.
+func NewBasicBlock(name string, inC, outC, stride int, r *rng.RNG) *BasicBlock {
+	b := &BasicBlock{
+		Conv1: NewConv2D(name+".conv1", inC, outC, 3, stride, 1, false, r),
+		BN1:   NewBatchNorm2D(name+".bn1", outC),
+		Relu1: NewReLU(),
+		Conv2: NewConv2D(name+".conv2", outC, outC, 3, 1, 1, false, r),
+		BN2:   NewBatchNorm2D(name+".bn2", outC),
+		Relu2: NewReLU(),
+	}
+	if stride != 1 || inC != outC {
+		b.ShortConv = NewConv2D(name+".short", inC, outC, 1, stride, 0, false, r)
+		b.ShortBN = NewBatchNorm2D(name+".shortbn", outC)
+	}
+	return b
+}
+
+// Forward runs both branches and the final rectified sum.
+func (b *BasicBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	main := b.Conv1.Forward(x, train)
+	main = b.BN1.Forward(main, train)
+	main = b.Relu1.Forward(main, train)
+	main = b.Conv2.Forward(main, train)
+	main = b.BN2.Forward(main, train)
+
+	short := x
+	if b.ShortConv != nil {
+		short = b.ShortConv.Forward(x, train)
+		short = b.ShortBN.Forward(short, train)
+	}
+	if !main.SameShape(short) {
+		panic(fmt.Sprintf("nn: BasicBlock branch shapes %v vs %v", main.Shape, short.Shape))
+	}
+	return b.Relu2.Forward(main.Add(short), train)
+}
+
+// Backward propagates through both branches and sums their input gradients.
+func (b *BasicBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := b.Relu2.Backward(grad)
+
+	// Main branch.
+	gm := b.BN2.Backward(g)
+	gm = b.Conv2.Backward(gm)
+	gm = b.Relu1.Backward(gm)
+	gm = b.BN1.Backward(gm)
+	gm = b.Conv1.Backward(gm)
+
+	// Shortcut branch.
+	gs := g
+	if b.ShortConv != nil {
+		gs = b.ShortBN.Backward(g)
+		gs = b.ShortConv.Backward(gs)
+	}
+	return gm.Add(gs)
+}
+
+// Params returns the parameters of every sublayer.
+func (b *BasicBlock) Params() []*Param {
+	ps := append(b.Conv1.Params(), b.BN1.Params()...)
+	ps = append(ps, b.Conv2.Params()...)
+	ps = append(ps, b.BN2.Params()...)
+	if b.ShortConv != nil {
+		ps = append(ps, b.ShortConv.Params()...)
+		ps = append(ps, b.ShortBN.Params()...)
+	}
+	return ps
+}

@@ -1,0 +1,236 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"ensembler/internal/tensor"
+)
+
+// MaxPool2D applies max pooling with a square window. The paper's ResNet-18
+// setup keeps the MaxPool layer for CIFAR-10 and removes it for CIFAR-100;
+// the split-model builders honor that switch.
+type MaxPool2D struct {
+	K, Stride int
+	argmax    []int
+	inShape   []int
+}
+
+// NewMaxPool2D creates a max-pooling layer with window k and the given stride.
+func NewMaxPool2D(k, stride int) *MaxPool2D { return &MaxPool2D{K: k, Stride: stride} }
+
+// Forward pools each window to its maximum, caching argmax indices.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("nn: MaxPool2D expects NCHW, got %v", x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := tensor.ConvOutSize(h, p.K, p.Stride, 0)
+	ow := tensor.ConvOutSize(w, p.K, p.Stride, 0)
+	out := tensor.New(n, c, oh, ow)
+	p.inShape = append([]int(nil), x.Shape...)
+	p.argmax = make([]int, n*c*oh*ow)
+	oi := 0
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			base := (ni*c + ci) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := math.Inf(-1)
+					bestIdx := -1
+					for ky := 0; ky < p.K; ky++ {
+						iy := oy*p.Stride + ky
+						if iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.K; kx++ {
+							ix := ox*p.Stride + kx
+							if ix >= w {
+								continue
+							}
+							idx := base + iy*w + ix
+							if v := x.Data[idx]; v > best {
+								best, bestIdx = v, idx
+							}
+						}
+					}
+					out.Data[oi] = best
+					p.argmax[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward routes each output gradient to the input position that won the max.
+func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(p.inShape...)
+	for i, idx := range p.argmax {
+		out.Data[idx] += grad.Data[i]
+	}
+	return out
+}
+
+// Params returns nil; pooling has no parameters.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// GlobalAvgPool reduces [N,C,H,W] to [N,C] by averaging each channel; it is
+// the penultimate layer of the ResNet bodies, producing the feature vectors
+// the server returns to the client.
+type GlobalAvgPool struct {
+	inShape []int
+}
+
+// NewGlobalAvgPool creates a global average pooling layer.
+func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
+
+// Forward averages over the spatial dimensions.
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("nn: GlobalAvgPool expects NCHW, got %v", x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	g.inShape = append([]int(nil), x.Shape...)
+	hw := float64(h * w)
+	out := tensor.New(n, c)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			base := (ni*c + ci) * h * w
+			s := 0.0
+			for j := 0; j < h*w; j++ {
+				s += x.Data[base+j]
+			}
+			out.Data[ni*c+ci] = s / hw
+		}
+	}
+	return out
+}
+
+// Backward spreads each channel gradient uniformly over its spatial extent.
+func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := g.inShape[0], g.inShape[1], g.inShape[2], g.inShape[3]
+	out := tensor.New(g.inShape...)
+	inv := 1 / float64(h*w)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			gv := grad.Data[ni*c+ci] * inv
+			base := (ni*c + ci) * h * w
+			for j := 0; j < h*w; j++ {
+				out.Data[base+j] = gv
+			}
+		}
+	}
+	return out
+}
+
+// Params returns nil; pooling has no parameters.
+func (g *GlobalAvgPool) Params() []*Param { return nil }
+
+// Upsample2D performs nearest-neighbour upsampling by an integer factor; the
+// attacker's decoder uses it (conv + upsample is a stabler inverse than
+// transposed convolution at this scale).
+type Upsample2D struct {
+	Factor  int
+	inShape []int
+}
+
+// NewUpsample2D creates a nearest-neighbour upsampler.
+func NewUpsample2D(factor int) *Upsample2D { return &Upsample2D{Factor: factor} }
+
+// Forward repeats each pixel factor×factor times.
+func (u *Upsample2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("nn: Upsample2D expects NCHW, got %v", x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	u.inShape = append([]int(nil), x.Shape...)
+	f := u.Factor
+	out := tensor.New(n, c, h*f, w*f)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			inBase := (ni*c + ci) * h * w
+			outBase := (ni*c + ci) * h * f * w * f
+			for iy := 0; iy < h*f; iy++ {
+				srcRow := inBase + (iy/f)*w
+				dstRow := outBase + iy*w*f
+				for ix := 0; ix < w*f; ix++ {
+					out.Data[dstRow+ix] = x.Data[srcRow+ix/f]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward sums gradients over each factor×factor block.
+func (u *Upsample2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := u.inShape[0], u.inShape[1], u.inShape[2], u.inShape[3]
+	f := u.Factor
+	out := tensor.New(u.inShape...)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			inBase := (ni*c + ci) * h * w
+			gBase := (ni*c + ci) * h * f * w * f
+			for iy := 0; iy < h*f; iy++ {
+				dstRow := inBase + (iy/f)*w
+				srcRow := gBase + iy*w*f
+				for ix := 0; ix < w*f; ix++ {
+					out.Data[dstRow+ix/f] += grad.Data[srcRow+ix]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Params returns nil; upsampling has no parameters.
+func (u *Upsample2D) Params() []*Param { return nil }
+
+// Flatten reshapes [N, ...] to [N, D].
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten creates a flattening layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward flattens all trailing dimensions.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = append([]int(nil), x.Shape...)
+	n := x.Shape[0]
+	return x.Reshape(n, x.Size()/n)
+}
+
+// Backward restores the cached input shape.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+// Params returns nil; flatten has no parameters.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Reshape2D4D reshapes [N, C*H*W] vectors into [N, C, H, W] maps; the
+// attacker's decoder uses it to turn feature vectors back into spatial maps.
+type Reshape2D4D struct {
+	C, H, W int
+}
+
+// NewReshape2D4D creates the vector→map reshape layer.
+func NewReshape2D4D(c, h, w int) *Reshape2D4D { return &Reshape2D4D{C: c, H: h, W: w} }
+
+// Forward reshapes to NCHW.
+func (r *Reshape2D4D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Shape[0]
+	return x.Reshape(n, r.C, r.H, r.W)
+}
+
+// Backward flattens the gradient back to [N, D].
+func (r *Reshape2D4D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := grad.Shape[0]
+	return grad.Reshape(n, r.C*r.H*r.W)
+}
+
+// Params returns nil; reshape has no parameters.
+func (r *Reshape2D4D) Params() []*Param { return nil }

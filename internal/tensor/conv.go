@@ -1,0 +1,179 @@
+package tensor
+
+import "fmt"
+
+// ConvOutSize returns the spatial output size of a convolution or pooling
+// window of size k applied with the given stride and symmetric zero padding
+// to an input of size in.
+func ConvOutSize(in, k, stride, pad int) int {
+	out := (in+2*pad-k)/stride + 1
+	if out <= 0 {
+		panic(fmt.Sprintf("tensor: conv output size %d for in=%d k=%d stride=%d pad=%d", out, in, k, stride, pad))
+	}
+	return out
+}
+
+// Im2Col expands one image x of shape [C,H,W] into a patch matrix of shape
+// [C*KH*KW, OH*OW], where column (oy*OW+ox) holds the receptive field of
+// output position (oy,ox). Out-of-bounds taps (from zero padding) read 0.
+// A convolution then reduces to W[outC, C*KH*KW] × cols.
+func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	if len(x.Shape) != 3 {
+		panic("tensor: Im2Col expects [C,H,W]")
+	}
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(w, kw, stride, pad)
+	cols := New(c*kh*kw, oh*ow)
+	colStride := oh * ow
+	for ci := 0; ci < c; ci++ {
+		chanBase := ci * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				rowBase := ((ci*kh+ky)*kw + kx) * colStride
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					srcRow := chanBase + iy*w
+					dstRow := rowBase + oy*ow
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= w {
+							continue
+						}
+						cols.Data[dstRow+ox] = x.Data[srcRow+ix]
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im scatter-adds a patch matrix of shape [C*KH*KW, OH*OW] (as produced
+// by Im2Col) back into an image of shape [C,H,W]. Overlapping taps
+// accumulate, which is exactly the adjoint of Im2Col and therefore the
+// gradient path of a convolution's input.
+func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(w, kw, stride, pad)
+	if len(cols.Shape) != 2 || cols.Shape[0] != c*kh*kw || cols.Shape[1] != oh*ow {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v incompatible with c=%d h=%d w=%d kh=%d kw=%d", cols.Shape, c, h, w, kh, kw))
+	}
+	img := New(c, h, w)
+	colStride := oh * ow
+	for ci := 0; ci < c; ci++ {
+		chanBase := ci * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				rowBase := ((ci*kh+ky)*kw + kx) * colStride
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					dstRow := chanBase + iy*w
+					srcRow := rowBase + oy*ow
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= w {
+							continue
+						}
+						img.Data[dstRow+ix] += cols.Data[srcRow+ox]
+					}
+				}
+			}
+		}
+	}
+	return img
+}
+
+// SampleView returns sample n of a batched [N, ...] tensor as a tensor that
+// shares t's backing array (writes are visible in both).
+func (t *Tensor) SampleView(n int) *Tensor {
+	if len(t.Shape) < 2 {
+		panic("tensor: SampleView on rank < 2")
+	}
+	per := len(t.Data) / t.Shape[0]
+	return &Tensor{Shape: append([]int(nil), t.Shape[1:]...), Data: t.Data[n*per : (n+1)*per]}
+}
+
+// ConvForward computes a batched 2-D convolution.
+//
+//	x: [N, C, H, W], weight: [OC, C*KH*KW], bias: [OC] (may be nil)
+//	returns y: [N, OC, OH, OW] and the per-sample im2col matrices (cached for
+//	the backward pass; callers not training may discard them).
+//
+// Samples are processed in parallel.
+func ConvForward(x, weight, bias *Tensor, kh, kw, stride, pad int) (*Tensor, []*Tensor) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oc := weight.Shape[0]
+	if weight.Shape[1] != c*kh*kw {
+		panic(fmt.Sprintf("tensor: ConvForward weight %v vs c*kh*kw=%d", weight.Shape, c*kh*kw))
+	}
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(w, kw, stride, pad)
+	y := New(n, oc, oh, ow)
+	cols := make([]*Tensor, n)
+	parallelFor(n, func(i int) {
+		ci := Im2Col(x.SampleView(i), kh, kw, stride, pad)
+		cols[i] = ci
+		yi := MatMul(weight, ci) // [OC, OH*OW]
+		dst := y.Data[i*oc*oh*ow : (i+1)*oc*oh*ow]
+		copy(dst, yi.Data)
+		if bias != nil {
+			hw := oh * ow
+			for o := 0; o < oc; o++ {
+				b := bias.Data[o]
+				row := dst[o*hw : (o+1)*hw]
+				for j := range row {
+					row[j] += b
+				}
+			}
+		}
+	})
+	return y, cols
+}
+
+// ConvBackward computes gradients of a batched convolution given the cached
+// im2col matrices from ConvForward.
+//
+//	gradY: [N, OC, OH, OW]
+//	returns gradX: [N, C, H, W], gradW: [OC, C*KH*KW], gradB: [OC].
+func ConvBackward(gradY, weight *Tensor, cols []*Tensor, c, h, w, kh, kw, stride, pad int) (gradX, gradW, gradB *Tensor) {
+	n, oc := gradY.Shape[0], gradY.Shape[1]
+	oh, ow := gradY.Shape[2], gradY.Shape[3]
+	gradX = New(n, c, h, w)
+	gradB = New(oc)
+	// Per-sample weight gradients accumulate into per-worker buffers to stay
+	// deterministic; with modest N it is simplest to serialize the reduction.
+	gws := make([]*Tensor, n)
+	parallelFor(n, func(i int) {
+		gy := &Tensor{Shape: []int{oc, oh * ow}, Data: gradY.Data[i*oc*oh*ow : (i+1)*oc*oh*ow]}
+		// gradW_i = gy × cols_iᵀ : [OC, C*KH*KW]
+		gws[i] = MatMulTransB(gy, cols[i])
+		// grad cols = Wᵀ × gy : [C*KH*KW, OH*OW]
+		gc := MatMulTransA(weight, gy)
+		gx := Col2Im(gc, c, h, w, kh, kw, stride, pad)
+		copy(gradX.Data[i*c*h*w:(i+1)*c*h*w], gx.Data)
+	})
+	gradW = New(oc, c*kh*kw)
+	for i := 0; i < n; i++ {
+		gradW.AddInPlace(gws[i])
+	}
+	hw := oh * ow
+	for i := 0; i < n; i++ {
+		base := i * oc * hw
+		for o := 0; o < oc; o++ {
+			s := 0.0
+			row := gradY.Data[base+o*hw : base+(o+1)*hw]
+			for _, v := range row {
+				s += v
+			}
+			gradB.Data[o] += s
+		}
+	}
+	return gradX, gradW, gradB
+}

@@ -1,0 +1,425 @@
+// Package tensor implements the dense numeric arrays that the rest of the
+// Ensembler reproduction is built on: contiguous, row-major float64 tensors
+// with the elementwise arithmetic, matrix multiplication and im2col/col2im
+// transforms needed to train and invert split convolutional networks on the
+// CPU. All operations are deterministic; parallel kernels split work in fixed
+// chunk order so results do not depend on scheduling.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Tensor is a dense row-major array of float64 values. Shape holds the
+// extent of each dimension; Data holds len = product(Shape) values. Both
+// fields are exported so tensors serialize directly with encoding/gob.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// numElems returns the number of elements implied by shape, validating that
+// every dimension is positive.
+func numElems(shape []int) int {
+	if len(shape) == 0 {
+		panic("tensor: empty shape")
+	}
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// New returns a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, numElems(shape))}
+}
+
+// Full returns a tensor with every element set to v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+	return t
+}
+
+// FromSlice wraps data (copied) in a tensor of the given shape. It panics if
+// len(data) does not match the shape.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	if len(data) != numElems(shape) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: append([]float64(nil), data...)}
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	return &Tensor{Shape: append([]int(nil), t.Shape...), Data: append([]float64(nil), t.Data...)}
+}
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.Data) }
+
+// Dim returns the extent of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != o.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// offset converts a multi-index to a flat offset.
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d vs shape rank %d", len(idx), len(t.Shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 { return t.Data[t.offset(idx)] }
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.offset(idx)] = v }
+
+// Reshape returns a view-copy of t with a new shape of equal size.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	if numElems(shape) != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.Shape, shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// String renders a short description (shape plus a few leading values), keeping
+// logs readable for large tensors.
+func (t *Tensor) String() string {
+	n := len(t.Data)
+	if n > 8 {
+		n = 8
+	}
+	return fmt.Sprintf("Tensor%v%v...", t.Shape, t.Data[:n])
+}
+
+// checkSame panics unless t and o share a shape; op names the caller.
+func (t *Tensor) checkSame(o *Tensor, op string) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, t.Shape, o.Shape))
+	}
+}
+
+// AddInPlace adds o into t elementwise and returns t.
+func (t *Tensor) AddInPlace(o *Tensor) *Tensor {
+	t.checkSame(o, "Add")
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+	return t
+}
+
+// SubInPlace subtracts o from t elementwise and returns t.
+func (t *Tensor) SubInPlace(o *Tensor) *Tensor {
+	t.checkSame(o, "Sub")
+	for i, v := range o.Data {
+		t.Data[i] -= v
+	}
+	return t
+}
+
+// MulInPlace multiplies t by o elementwise and returns t.
+func (t *Tensor) MulInPlace(o *Tensor) *Tensor {
+	t.checkSame(o, "Mul")
+	for i, v := range o.Data {
+		t.Data[i] *= v
+	}
+	return t
+}
+
+// Add returns t + o elementwise.
+func (t *Tensor) Add(o *Tensor) *Tensor { return t.Clone().AddInPlace(o) }
+
+// Sub returns t - o elementwise.
+func (t *Tensor) Sub(o *Tensor) *Tensor { return t.Clone().SubInPlace(o) }
+
+// Mul returns t * o elementwise.
+func (t *Tensor) Mul(o *Tensor) *Tensor { return t.Clone().MulInPlace(o) }
+
+// ScaleInPlace multiplies every element by s and returns t.
+func (t *Tensor) ScaleInPlace(s float64) *Tensor {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+	return t
+}
+
+// Scale returns s * t.
+func (t *Tensor) Scale(s float64) *Tensor { return t.Clone().ScaleInPlace(s) }
+
+// AddScalarInPlace adds s to every element and returns t.
+func (t *Tensor) AddScalarInPlace(s float64) *Tensor {
+	for i := range t.Data {
+		t.Data[i] += s
+	}
+	return t
+}
+
+// AddScaledInPlace performs t += s*o elementwise and returns t. This is the
+// axpy primitive used by the optimizers.
+func (t *Tensor) AddScaledInPlace(o *Tensor, s float64) *Tensor {
+	t.checkSame(o, "AddScaled")
+	for i, v := range o.Data {
+		t.Data[i] += s * v
+	}
+	return t
+}
+
+// Apply returns a new tensor with f applied to every element.
+func (t *Tensor) Apply(f func(float64) float64) *Tensor {
+	out := t.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// Zero resets all elements to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the mean of all elements.
+func (t *Tensor) Mean() float64 { return t.Sum() / float64(len(t.Data)) }
+
+// Min returns the smallest element.
+func (t *Tensor) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range t.Data {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest element.
+func (t *Tensor) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range t.Data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the flat index of the largest element (first on ties).
+func (t *Tensor) ArgMax() int {
+	best, bi := math.Inf(-1), 0
+	for i, v := range t.Data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// Dot returns the inner product of t and o viewed as flat vectors.
+func (t *Tensor) Dot(o *Tensor) float64 {
+	t.checkSame(o, "Dot")
+	s := 0.0
+	for i, v := range t.Data {
+		s += v * o.Data[i]
+	}
+	return s
+}
+
+// L2Norm returns the Euclidean norm of t viewed as a flat vector.
+func (t *Tensor) L2Norm() float64 { return math.Sqrt(t.Dot(t)) }
+
+// AllClose reports whether every element of t is within tol of o.
+func (t *Tensor) AllClose(o *Tensor, tol float64) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	for i, v := range t.Data {
+		if math.Abs(v-o.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Row returns row i of a 2-D tensor as a copied 1-D tensor.
+func (t *Tensor) Row(i int) *Tensor {
+	if len(t.Shape) != 2 {
+		panic("tensor: Row on non-matrix")
+	}
+	cols := t.Shape[1]
+	return FromSlice(t.Data[i*cols:(i+1)*cols], cols)
+}
+
+// parallelFor runs body(i) for i in [0, n), splitting the range across
+// GOMAXPROCS workers in fixed chunks. For small n it runs inline to avoid
+// goroutine overhead.
+func parallelFor(n int, body func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 4 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul returns the matrix product a×b for 2-D tensors [m,k]·[k,n] → [m,n].
+// Rows of the output are computed in parallel.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic("tensor: MatMul requires 2-D tensors")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+	}
+	out := New(m, n)
+	parallelFor(m, func(i int) {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	})
+	return out
+}
+
+// MatMulTransB returns a × bᵀ for a:[m,k], b:[n,k] → [m,n]. Using the
+// transposed layout directly avoids materializing bᵀ in conv backward passes.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic("tensor: MatMulTransB requires 2-D tensors")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dims %d vs %d", k, k2))
+	}
+	out := New(m, n)
+	parallelFor(m, func(i int) {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			orow[j] = s
+		}
+	})
+	return out
+}
+
+// MatMulTransA returns aᵀ × b for a:[k,m], b:[k,n] → [m,n].
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic("tensor: MatMulTransA requires 2-D tensors")
+	}
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dims %d vs %d", k, k2))
+	}
+	out := New(m, n)
+	parallelFor(m, func(i int) {
+		orow := out.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := a.Data[p*m+i]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	})
+	return out
+}
+
+// Transpose2D returns the transpose of a 2-D tensor.
+func (t *Tensor) Transpose2D() *Tensor {
+	if len(t.Shape) != 2 {
+		panic("tensor: Transpose2D on non-matrix")
+	}
+	m, n := t.Shape[0], t.Shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = t.Data[i*n+j]
+		}
+	}
+	return out
+}
