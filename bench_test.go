@@ -1,7 +1,8 @@
 // Benchmarks regenerating the paper's evaluation. One benchmark exists per
 // table of the paper (Tables I-III) plus ablation benches for the §III-D
-// claims; the architecture-diagram figures (Figs. 1-2) are reproduced
-// functionally by the examples (see DESIGN.md §4).
+// claims and serving benches for the concurrent deployment path; the
+// architecture-diagram figures (Figs. 1-2) are reproduced functionally by
+// the examples (see DESIGN.md §4).
 //
 // The table benches print the regenerated rows to stdout; each iteration
 // performs the full experiment, so Go's default -benchtime runs them exactly
@@ -10,11 +11,18 @@
 package ensembler_test
 
 import (
+	"context"
 	"fmt"
+	"net"
 	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"ensembler/internal/attack"
+	"ensembler/internal/comm"
+	"ensembler/internal/commtest"
 	"ensembler/internal/data"
 	"ensembler/internal/defense"
 	"ensembler/internal/ensemble"
@@ -205,5 +213,156 @@ func BenchmarkOracleAttack(b *testing.B) {
 func BenchmarkFLOPsSpec(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		flops.ResNet18(32, 10, true)
+	}
+}
+
+// --- Serving throughput under concurrency ---
+//
+// The pair below demonstrates the concurrent serving subsystem: the same
+// loopback server measured from one connection and from eight simultaneous
+// connections. On a multi-core host the replicated worker pool turns the
+// extra connections into parallel body computation, so the concurrent
+// variant's ns/op (time per request) drops well below the single-connection
+// number — the >2× throughput regime modeled by latency.ConcurrencySweep.
+// Compare with:
+//
+//	go test -bench 'BenchmarkServe' -run '^$' .
+
+const servingConns = 8
+
+// startServingBench boots a replicated worker-pool server over the shared
+// commtest harness on loopback and returns its address plus a shutdown
+// function.
+func startServingBench(b *testing.B, nBodies int) (string, func()) {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	arch := benchArch()
+	srv := comm.NewServer(commtest.Bodies(arch, nBodies),
+		comm.WithWorkers(runtime.GOMAXPROCS(0)),
+		comm.WithReplicas(func() []*nn.Network { return commtest.Bodies(arch, nBodies) }),
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, ln) }()
+	return ln.Addr().String(), func() {
+		cancel()
+		ln.Close()
+		<-served
+	}
+}
+
+// servingClient dials and wires one raw-protocol client (identity head,
+// concat-all selector, private tail).
+func servingClient(b *testing.B, addr string, nBodies int) *comm.Client {
+	b.Helper()
+	client, err := comm.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	commtest.Wire(client, benchArch(), nBodies)
+	return client
+}
+
+// servingInput builds the fixed per-request feature batch.
+func servingInput() *tensor.Tensor {
+	return commtest.Input(benchArch(), 7, 4)
+}
+
+// BenchmarkServeSingleConnection measures request latency (= 1/throughput)
+// over one connection.
+func BenchmarkServeSingleConnection(b *testing.B) {
+	const nBodies = 4
+	addr, shutdown := startServingBench(b, nBodies)
+	defer shutdown()
+	client := servingClient(b, addr, nBodies)
+	defer client.Close()
+	x := servingInput()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := client.Infer(ctx, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeConcurrentConnections distributes b.N requests over eight
+// simultaneous connections; per-request ns/op directly compares against
+// BenchmarkServeSingleConnection.
+func BenchmarkServeConcurrentConnections(b *testing.B) {
+	const nBodies = 4
+	addr, shutdown := startServingBench(b, nBodies)
+	defer shutdown()
+	clients := make([]*comm.Client, servingConns)
+	for i := range clients {
+		clients[i] = servingClient(b, addr, nBodies)
+		defer clients[i].Close()
+	}
+	x := servingInput()
+	ctx := context.Background()
+	requests := make(chan struct{})
+	var failed atomic.Bool
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for _, client := range clients {
+		wg.Add(1)
+		go func(client *comm.Client) {
+			defer wg.Done()
+			// Keep draining after a failure so the b.N send loop below never
+			// deadlocks on a channel with no receivers.
+			for range requests {
+				if failed.Load() {
+					continue
+				}
+				if _, _, err := client.Infer(ctx, x); err != nil {
+					b.Error(err)
+					failed.Store(true)
+				}
+			}
+		}(client)
+	}
+	for i := 0; i < b.N; i++ {
+		requests <- struct{}{}
+	}
+	close(requests)
+	wg.Wait()
+}
+
+// BenchmarkServeBatchedRequests carries the same four-image payload as the
+// single-connection bench but packs four payloads per round trip; ns/op is
+// per request of four inputs.
+func BenchmarkServeBatchedRequests(b *testing.B) {
+	const nBodies = 4
+	addr, shutdown := startServingBench(b, nBodies)
+	defer shutdown()
+	client := servingClient(b, addr, nBodies)
+	defer client.Close()
+	x := servingInput()
+	batch := []*tensor.Tensor{x, x, x, x}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := client.InferBatch(ctx, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServingModel evaluates the analytic concurrency/batching model
+// (the planning-time counterpart of the live benches above).
+func BenchmarkServingModel(b *testing.B) {
+	base := latency.Ensembler(10)
+	for i := 0; i < b.N; i++ {
+		rows := latency.ConcurrencySweep(base, 4, 1, []int{1, 2, 4, 8, 16})
+		if i == 0 {
+			for _, r := range rows {
+				fmt.Println(r)
+			}
+			fmt.Printf("predicted speedup, 8 clients vs 1: %.2f×\n",
+				latency.ConcurrencySpeedup(base, 4, 1, 8))
+		}
 	}
 }

@@ -1,30 +1,52 @@
 // Command ensembler-bench regenerates the paper's evaluation tables from
-// the command line:
+// the command line and measures the serving subsystem:
 //
 //	ensembler-bench -table 1              # Table I (defense quality, 3 datasets)
 //	ensembler-bench -table 2              # Table II (defense battery, CIFAR-10-like)
 //	ensembler-bench -table 3              # Table III (latency model)
 //	ensembler-bench -table all -scale paper
 //	ensembler-bench -claims               # §IV headline percentages
+//	ensembler-bench -serving -clients 8   # throughput under concurrency
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"ensembler/internal/comm"
+	"ensembler/internal/commtest"
+	"ensembler/internal/data"
 	"ensembler/internal/experiments"
 	"ensembler/internal/latency"
+	"ensembler/internal/nn"
+	"ensembler/internal/split"
 )
 
 func main() {
 	table := flag.String("table", "all", "which table to regenerate: 1, 2, 3, or all")
 	scaleName := flag.String("scale", "small", "experiment scale: small or paper")
 	seed := flag.Int64("seed", 42, "experiment seed")
-	n := flag.Int("n", 10, "ensemble size for the latency model (Table III)")
+	n := flag.Int("n", 10, "ensemble size for the latency model and serving bench")
 	claims := flag.Bool("claims", false, "also print the paper's §IV headline claims")
 	verbose := flag.Bool("v", false, "log training progress")
+	serving := flag.Bool("serving", false, "measure concurrent serving throughput over loopback instead of regenerating tables")
+	clients := flag.Int("clients", 8, "concurrent client connections for -serving")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "server worker replicas for -serving")
+	reqBatch := flag.Int("req-batch", 1, "images per request for -serving")
+	duration := flag.Duration("duration", 2*time.Second, "measurement window per -serving regime")
 	flag.Parse()
+
+	if *serving {
+		runServingBench(*n, *clients, *workers, *reqBatch, *duration)
+		return
+	}
 
 	var sc experiments.Scale
 	switch *scaleName {
@@ -71,4 +93,83 @@ func main() {
 		experiments.RenderTableIII(os.Stdout, experiments.TableIII(*n))
 		fmt.Printf("Ensembler overhead vs Standard CI: %.1f%% (paper: 4.8%%)\n", latency.OverheadPercent(*n))
 	}
+}
+
+// benchArch is the serving-bench operating point: the default CIFAR-10-like
+// split architecture with untrained weights (inference cost is identical to
+// a trained pipeline's); bodies and wiring come from the shared commtest
+// harness.
+func benchArch() split.Arch { return split.DefaultArch(data.CIFAR10Like) }
+
+// runServingBench measures sustained request throughput over loopback TCP
+// for a single connection and for the requested concurrency, then prints
+// the analytic model's prediction for the same regimes.
+func runServingBench(n, clients, workers, reqBatch int, window time.Duration) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "listen: %v\n", err)
+		os.Exit(1)
+	}
+	defer ln.Close()
+	srv := comm.NewServer(commtest.Bodies(benchArch(), n),
+		comm.WithWorkers(workers),
+		comm.WithReplicas(func() []*nn.Network { return commtest.Bodies(benchArch(), n) }),
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, ln) }()
+
+	fmt.Printf("serving bench: N=%d bodies, %d workers, %d images/request, %v per regime, GOMAXPROCS=%d\n",
+		n, srv.Workers(), reqBatch, window, runtime.GOMAXPROCS(0))
+
+	single := measureThroughput(ln.Addr().String(), n, 1, reqBatch, window)
+	many := measureThroughput(ln.Addr().String(), n, clients, reqBatch, window)
+	fmt.Printf("  1 connection:   %7.2f req/s  (%.2f img/s)\n", single, single*float64(reqBatch))
+	fmt.Printf("  %d connections: %7.2f req/s  (%.2f img/s)\n", clients, many, many*float64(reqBatch))
+	if single > 0 {
+		fmt.Printf("  speedup: %.2f×\n", many/single)
+	}
+
+	fmt.Printf("\nanalytic model (calibrated to the paper's Table III devices, not this host):\n")
+	for _, est := range latency.ConcurrencySweep(latency.Ensembler(n), workers, reqBatch, []int{1, 2, 4, clients}) {
+		fmt.Printf("  %s\n", est)
+	}
+	fmt.Printf("  predicted speedup at %d clients: %.2f×\n",
+		clients, latency.ConcurrencySpeedup(latency.Ensembler(n), workers, reqBatch, clients))
+
+	cancel()
+	<-served
+}
+
+// measureThroughput counts completed requests across `conns` connections
+// hammering the server for the window.
+func measureThroughput(addr string, nBodies, conns, reqBatch int, window time.Duration) float64 {
+	var completed atomic.Int64
+	deadline := time.Now().Add(window)
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client, err := comm.Dial(addr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dial: %v\n", err)
+				return
+			}
+			defer client.Close()
+			commtest.Wire(client, benchArch(), nBodies)
+			x := commtest.Input(benchArch(), 7, reqBatch)
+			ctx := context.Background()
+			for time.Now().Before(deadline) {
+				if _, _, err := client.Infer(ctx, x); err != nil {
+					fmt.Fprintf(os.Stderr, "infer: %v\n", err)
+					return
+				}
+				completed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	return float64(completed.Load()) / window.Seconds()
 }

@@ -4,14 +4,24 @@
 // file; the server only ever sees intermediate features and returns all N
 // feature vectors.
 //
-//	ensembler-serve -model ensembler.gob -addr :7946
+// Requests from concurrent connections are served by a bounded worker pool;
+// each worker owns a private replica of the bodies, and within one request
+// the N body passes run in parallel. SIGINT/SIGTERM triggers a graceful
+// shutdown: in-flight requests finish, their responses flush, and Serve
+// returns.
+//
+//	ensembler-serve -model ensembler.gob -addr :7946 -workers 4 -max-batch 64
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
 
 	"ensembler/internal/comm"
 	"ensembler/internal/ensemble"
@@ -20,7 +30,12 @@ import (
 func main() {
 	modelPath := flag.String("model", "ensembler.gob", "trained pipeline from ensembler-train")
 	addr := flag.String("addr", "127.0.0.1:7946", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "compute worker pool size (each worker holds a body replica)")
+	maxBatch := flag.Int("max-batch", comm.DefaultMaxBatch, "max inputs per batched request")
 	flag.Parse()
+	if *maxBatch <= 0 {
+		*maxBatch = comm.DefaultMaxBatch // mirror the server's clamping in the banner
+	}
 
 	e, err := ensemble.LoadFile(*modelPath)
 	if err != nil {
@@ -32,9 +47,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "listening: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("serving %d ensemble bodies on %s (selector stays client-side)\n", e.Cfg.N, ln.Addr())
-	if err := comm.NewServer(e.Bodies()).Serve(ln); err != nil {
+
+	srv := comm.NewServer(e.Bodies(),
+		comm.WithWorkers(*workers),
+		comm.WithMaxBatch(*maxBatch),
+		comm.WithReplicas(e.CloneBodies),
+	)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("serving %d ensemble bodies on %s (%d workers, max batch %d; selector stays client-side)\n",
+		e.Cfg.N, ln.Addr(), srv.Workers(), *maxBatch)
+	if err := srv.Serve(ctx, ln); err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(1)
 	}
+	fmt.Println("shutdown complete")
 }

@@ -1,7 +1,7 @@
 // Ablation study: the design-choice sweeps DESIGN.md calls out, at a small
 // scale — subset size P, regularizer strength λ, Stage-1 noise on/off, and
-// the latency cost of growing N. Also demonstrates the stronger-than-paper
-// "traffic-aligned" attacker documented in EXPERIMENTS.md.
+// the latency cost of growing N. Also demonstrates a stronger-than-paper
+// "traffic-aligned" attacker that trains its shadow on observed traffic.
 //
 //	go run ./examples/ablation_study        (several minutes of CPU)
 package main

@@ -1,23 +1,27 @@
 // Remote inference: the deployed form of the system. A TCP server hosts the
-// N ensemble bodies (the cloud); the client keeps its head, fixed noise,
-// secret selector, and tail, and performs classification over the wire. The
-// example verifies the remote result matches local inference bit-for-bit and
-// prints the measured timing/byte breakdown — the empirical analogue of
-// Table III at this scale.
+// N ensemble bodies (the cloud) behind a replicated worker pool; the client
+// keeps its head, fixed noise, secret selector, and tail, and performs
+// classification over the wire. The example verifies the remote result
+// matches local inference bit-for-bit, then drives the concurrent serving
+// path: a connection pool issuing simultaneous single and batched requests.
 //
 //	go run ./examples/remote_inference
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
+	"sync"
+	"time"
 
 	"ensembler/internal/comm"
 	"ensembler/internal/data"
 	"ensembler/internal/ensemble"
 	"ensembler/internal/nn"
 	"ensembler/internal/split"
+	"ensembler/internal/tensor"
 )
 
 func main() {
@@ -31,14 +35,22 @@ func main() {
 	fmt.Println("training a small Ensembler pipeline...")
 	e := ensemble.Train(cfg, sp.Train, nil)
 
-	// Cloud side: only the bodies travel to the server.
+	// Cloud side: only the bodies travel to the server. Each worker owns a
+	// replica, so requests from different connections compute in parallel.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer ln.Close()
-	go comm.NewServer(e.Bodies()).Serve(ln)
-	fmt.Printf("server hosting %d bodies at %s\n", cfg.N, ln.Addr())
+	srv := comm.NewServer(e.Bodies(),
+		comm.WithWorkers(4),
+		comm.WithReplicas(e.CloneBodies),
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, ln) }()
+	fmt.Printf("server hosting %d bodies at %s (%d workers)\n", cfg.N, ln.Addr(), srv.Workers())
 
 	// Edge side: head, noise, secret selector, tail.
 	client, err := comm.Dial(ln.Addr().String())
@@ -55,7 +67,7 @@ func main() {
 		idxs[i] = i
 	}
 	x, labels := sp.Test.Batch(idxs)
-	logits, timing, err := client.Infer(x)
+	logits, timing, err := client.Infer(ctx, x)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,5 +80,55 @@ func main() {
 		timing.Client.Seconds()*1e3, timing.RoundTrip.Seconds()*1e3)
 	fmt.Printf("wire:   %.1f KiB up (features), %.1f KiB down (%d bodies × features)\n",
 		float64(timing.BytesUp)/1024, float64(timing.BytesDown)/1024, cfg.N)
+
+	// One round trip can carry several inputs: the server stacks them, runs
+	// each body once over the stack, and splits the results back.
+	a, _ := sp.Test.Batch([]int{0, 1, 2, 3})
+	b, _ := sp.Test.Batch([]int{4, 5, 6, 7})
+	batched, bt, err := client.InferBatch(ctx, []*tensor.Tensor{a, b})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if batched[0].AllClose(e.Predict(a), 1e-9) && batched[1].AllClose(e.Predict(b), 1e-9) {
+		fmt.Printf("batched round trip (2 inputs, %.1fms) matches local inference ✓\n",
+			bt.RoundTrip.Seconds()*1e3)
+	}
+
+	// Concurrent serving: a connection pool, each connection wired through
+	// its own clone of the client-side networks.
+	pool, err := comm.NewPool(ln.Addr().String(), 4, func(c *comm.Client) error {
+		rt := e.NewClientRuntime()
+		c.ComputeFeatures = rt.Features
+		c.Select = rt.Select
+		c.Tail = rt.Tail
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+
+	const requests = 16
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := pool.Infer(ctx, x); err != nil {
+				log.Printf("pooled request: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	fmt.Printf("pool: %d concurrent requests in %.1fms (%.1f req/s)\n",
+		requests, elapsed.Seconds()*1e3, float64(requests)/elapsed.Seconds())
+
+	cancel()
+	if err := <-served; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("graceful shutdown complete")
 	fmt.Printf("the %v secret selection never appeared on the wire.\n", e.Selector.Indices)
 }

@@ -1,0 +1,3 @@
+module ensembler
+
+go 1.24

@@ -1,0 +1,219 @@
+package comm
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+
+	"ensembler/internal/nn"
+	"ensembler/internal/tensor"
+)
+
+// Client performs remote ensemble inference: local head+noise, remote
+// bodies, local secret selection and tail. A Client is bound to one
+// connection and is safe for one goroutine at a time (the head and tail
+// networks cache forward state); use a Pool for concurrent callers.
+type Client struct {
+	conn *countingConn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	// broken is set after any transport failure: the gob stream may hold a
+	// partial or stale message, so reusing the connection could silently
+	// return the previous request's response. A broken client fails fast
+	// until redialed.
+	broken bool
+
+	// ComputeFeatures produces the transmitted features for an image batch
+	// (head + noise).
+	ComputeFeatures func(x *tensor.Tensor) *tensor.Tensor
+	// Select applies the secret selector to the N returned feature
+	// matrices, producing the tail input.
+	Select func(features []*tensor.Tensor) *tensor.Tensor
+	// Tail maps the selected features to logits.
+	Tail *nn.Network
+}
+
+// Dial connects a client to a comm.Server.
+func Dial(addr string) (*Client, error) {
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext connects a client to a comm.Server, honoring the context's
+// deadline and cancellation during connection establishment.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("comm: dialing %s: %w", addr, err)
+	}
+	return NewLocalClient(conn), nil
+}
+
+// NewLocalClient wraps an existing connection (for tests over net.Pipe).
+func NewLocalClient(conn net.Conn) *Client {
+	cc := &countingConn{Conn: conn}
+	return &Client{conn: cc, enc: gob.NewEncoder(cc), dec: gob.NewDecoder(cc)}
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip performs one encode/decode exchange under ctx: a context
+// deadline maps onto the connection deadline and cancellation aborts the
+// blocked I/O. Any transport failure — including a context-induced abort —
+// leaves the gob stream in an unknown state, so it breaks the client.
+func (c *Client) roundTrip(ctx context.Context, req *Request) (*Response, error) {
+	if c.broken {
+		return nil, fmt.Errorf("comm: connection broken by an earlier failed request; redial")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("comm: %w", err)
+	}
+	// The watcher is only needed when the context can actually fire; the
+	// common context.Background() path skips the goroutine entirely.
+	if ctx.Done() != nil {
+		if d, ok := ctx.Deadline(); ok {
+			c.conn.SetDeadline(d)
+		}
+		stop := make(chan struct{})
+		watcher := make(chan struct{})
+		go func() {
+			defer close(watcher)
+			select {
+			case <-ctx.Done():
+				// Expiring the deadline fails the pending read/write.
+				c.conn.SetDeadline(time.Unix(1, 0))
+			case <-stop:
+			}
+		}()
+		// Join the watcher before clearing the deadline: a cancellation
+		// racing the return would otherwise leave an expired deadline
+		// behind on a connection whose round trip succeeded.
+		defer func() {
+			close(stop)
+			<-watcher
+			c.conn.SetDeadline(time.Time{})
+		}()
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return nil, c.fail(ctx, fmt.Errorf("comm: sending features: %w", err))
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, c.fail(ctx, fmt.Errorf("comm: receiving features: %w", err))
+	}
+	// A server-reported error leaves the stream synchronized; the
+	// connection stays usable.
+	if resp.Err != "" {
+		return nil, fmt.Errorf("comm: server error: %s", resp.Err)
+	}
+	return &resp, nil
+}
+
+// fail marks the connection unusable after a transport error — the stream
+// may hold a stale response that a later request would otherwise consume as
+// its own — and prefers the context's verdict when the failure was induced
+// by cancellation or deadline expiry.
+func (c *Client) fail(ctx context.Context, err error) error {
+	c.broken = true
+	c.conn.Close()
+	if ctx.Err() != nil {
+		return fmt.Errorf("comm: %w", ctx.Err())
+	}
+	return err
+}
+
+// Infer runs the full collaborative pipeline for an image batch and returns
+// logits plus the measured timing breakdown.
+func (c *Client) Infer(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, Timing, error) {
+	var t Timing
+	upBefore, downBefore := c.conn.up, c.conn.down
+
+	start := time.Now()
+	features := c.ComputeFeatures(x)
+	t.Client += time.Since(start)
+
+	netStart := time.Now()
+	resp, err := c.roundTrip(ctx, &Request{Features: features})
+	t.RoundTrip = time.Since(netStart)
+	if err != nil {
+		return nil, t, err
+	}
+
+	start = time.Now()
+	logits, err := c.finish(resp.Features)
+	t.Client += time.Since(start)
+	if err != nil {
+		return nil, t, err
+	}
+	t.BytesUp = c.conn.up - upBefore
+	t.BytesDown = c.conn.down - downBefore
+	return logits, t, nil
+}
+
+// finish runs the client-side selection and tail over one response's
+// feature list. The server is the adversary of the threat model, so its
+// response is as untrusted as a request is to the server: tensors are
+// structurally validated, and a panic in Select/Tail (e.g. a response
+// carrying the wrong number of bodies for the selector) becomes an error
+// instead of crashing the client application.
+func (c *Client) finish(features []*tensor.Tensor) (logits *tensor.Tensor, err error) {
+	for i, f := range features {
+		if err := validateTensor(f); err != nil {
+			return nil, fmt.Errorf("comm: server response tensor %d: %w", i, err)
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			logits, err = nil, fmt.Errorf("comm: server response rejected: %v", r)
+		}
+	}()
+	return c.Tail.Forward(c.Select(features), false), nil
+}
+
+// InferBatch runs the collaborative pipeline for B image batches in a single
+// round trip and returns one logits tensor per input. The server stacks the
+// transmitted features, runs each body once over the stack, and splits the
+// results back — amortizing both the protocol overhead and the per-body
+// dispatch across the whole batch.
+func (c *Client) InferBatch(ctx context.Context, xs []*tensor.Tensor) ([]*tensor.Tensor, Timing, error) {
+	var t Timing
+	if len(xs) == 0 {
+		return nil, t, fmt.Errorf("comm: empty inference batch")
+	}
+	upBefore, downBefore := c.conn.up, c.conn.down
+
+	start := time.Now()
+	inputs := make([]*tensor.Tensor, len(xs))
+	for i, x := range xs {
+		inputs[i] = c.ComputeFeatures(x)
+	}
+	t.Client += time.Since(start)
+
+	netStart := time.Now()
+	resp, err := c.roundTrip(ctx, &Request{Inputs: inputs})
+	t.RoundTrip = time.Since(netStart)
+	if err != nil {
+		return nil, t, err
+	}
+	if len(resp.Outputs) != len(xs) {
+		return nil, t, fmt.Errorf("comm: server returned %d outputs for %d inputs", len(resp.Outputs), len(xs))
+	}
+
+	start = time.Now()
+	logits := make([]*tensor.Tensor, len(xs))
+	for i, features := range resp.Outputs {
+		out, err := c.finish(features)
+		if err != nil {
+			t.Client += time.Since(start)
+			return nil, t, fmt.Errorf("comm: output %d: %w", i, err)
+		}
+		logits[i] = out
+	}
+	t.Client += time.Since(start)
+	t.BytesUp = c.conn.up - upBefore
+	t.BytesDown = c.conn.down - downBefore
+	return logits, t, nil
+}

@@ -4,87 +4,48 @@
 // vectors, and applies its secret Selector and tail locally. This is the
 // deployment form of Fig. 1/Fig. 2: the selection indices never appear on
 // the wire, which is precisely what the defense relies on.
+//
+// The serving path is concurrent end to end. The server accepts many
+// simultaneous connections, pipelines requests per connection, and dispatches
+// them to a bounded worker pool; within one request the N body passes fan out
+// across goroutines and join before the reply. Because every layer caches its
+// forward activations (see package nn), a body network is safe for one
+// goroutine at a time only — each worker therefore owns a private replica of
+// the bodies (WithReplicas), and per-body fan-out is safe because the N
+// bodies of one replica set are distinct networks.
+//
+// One round trip can carry a whole batch: a Request either holds a single
+// [B,C,H,W] feature tensor or a list of them (InferBatch), which the server
+// stacks along the batch axis, pushes through each body once, and splits
+// back per input. Context plumbing runs through Serve and Infer for graceful
+// shutdown and per-request deadlines.
 package comm
 
 import (
-	"encoding/gob"
 	"fmt"
 	"net"
-	"sync"
 	"time"
 
-	"ensembler/internal/nn"
 	"ensembler/internal/tensor"
 )
 
-// Request is the client→server message: the intermediate features
-// Mc,h(x)+noise for a batch.
+// Request is the client→server message. Exactly one of the two payload
+// fields is set: Features carries the intermediate activations
+// Mc,h(x)+noise for one input batch, Inputs carries B of them to be served
+// in a single round trip.
 type Request struct {
 	Features *tensor.Tensor
+	Inputs   []*tensor.Tensor
 }
 
-// Response is the server→client message: one feature matrix per hosted body
-// (the server cannot know which the client will use).
+// Response is the server→client message mirroring the request form.
+// Features holds one feature matrix per hosted body (the server cannot know
+// which the client will use); Outputs holds that per-body list for each of
+// the B batched inputs.
 type Response struct {
 	Features []*tensor.Tensor
+	Outputs  [][]*tensor.Tensor
 	Err      string
-}
-
-// Server hosts ensemble bodies for remote clients.
-type Server struct {
-	bodies []*nn.Network
-	mu     sync.Mutex // bodies cache per-forward state; serialize passes
-}
-
-// NewServer creates a server over the given bodies.
-func NewServer(bodies []*nn.Network) *Server {
-	if len(bodies) == 0 {
-		panic("comm: server needs at least one body")
-	}
-	return &Server{bodies: bodies}
-}
-
-// Serve accepts connections until the listener closes, handling each client
-// in its own goroutine.
-func (s *Server) Serve(ln net.Listener) error {
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return err
-		}
-		go s.handle(conn)
-	}
-}
-
-// handle processes one client connection until it closes.
-func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
-			return // client closed or protocol error
-		}
-		resp := s.process(&req)
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
-	}
-}
-
-// process runs every body over the transmitted features.
-func (s *Server) process(req *Request) *Response {
-	if req.Features == nil || len(req.Features.Shape) != 4 {
-		return &Response{Err: "comm: request must carry [N,C,H,W] features"}
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]*tensor.Tensor, len(s.bodies))
-	for i, b := range s.bodies {
-		out[i] = b.Forward(req.Features, false)
-	}
-	return &Response{Features: out}
 }
 
 // Timing breaks down one remote inference round trip as measured at the
@@ -114,70 +75,79 @@ func (c *countingConn) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Client performs remote ensemble inference: local head+noise, remote
-// bodies, local secret selection and tail.
-type Client struct {
-	conn *countingConn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-
-	// ComputeFeatures produces the transmitted features for an image batch
-	// (head + noise).
-	ComputeFeatures func(x *tensor.Tensor) *tensor.Tensor
-	// Select applies the secret selector to the N returned feature
-	// matrices, producing the tail input.
-	Select func(features []*tensor.Tensor) *tensor.Tensor
-	// Tail maps the selected features to logits.
-	Tail *nn.Network
+// validateTensor checks the structural honesty of any tensor that came off
+// the wire — nothing about it can be trusted: non-nil, non-empty shape,
+// positive dimensions, and shape/data agreement. Both trust boundaries
+// (server validating requests, client validating responses) build on it.
+func validateTensor(f *tensor.Tensor) error {
+	if f == nil {
+		return fmt.Errorf("comm: missing tensor")
+	}
+	if len(f.Shape) == 0 {
+		return fmt.Errorf("comm: tensor has empty shape")
+	}
+	n := 1
+	for _, d := range f.Shape {
+		if d <= 0 {
+			return fmt.Errorf("comm: tensor has non-positive dimension in shape %v", f.Shape)
+		}
+		n *= d
+	}
+	if len(f.Data) != n {
+		return fmt.Errorf("comm: tensor carries %d values for shape %v", len(f.Data), f.Shape)
+	}
+	return nil
 }
 
-// Dial connects a client to a comm.Server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("comm: dialing %s: %w", addr, err)
+// validateFeatures checks one transmitted feature tensor: structurally
+// honest and of the [N,C,H,W] rank the bodies expect.
+func validateFeatures(f *tensor.Tensor) error {
+	if f == nil || len(f.Shape) != 4 {
+		return fmt.Errorf("comm: request must carry [N,C,H,W] features")
 	}
-	cc := &countingConn{Conn: conn}
-	return &Client{conn: cc, enc: gob.NewEncoder(cc), dec: gob.NewDecoder(cc)}, nil
+	return validateTensor(f)
 }
 
-// NewLocalClient wraps an existing connection (for tests over net.Pipe).
-func NewLocalClient(conn net.Conn) *Client {
-	cc := &countingConn{Conn: conn}
-	return &Client{conn: cc, enc: gob.NewEncoder(cc), dec: gob.NewDecoder(cc)}
+// stackInputs concatenates B feature tensors along the batch axis so each
+// body runs one forward pass per request instead of B. All inputs must share
+// the trailing [C,H,W] shape.
+func stackInputs(inputs []*tensor.Tensor) (*tensor.Tensor, []int, error) {
+	rows := make([]int, len(inputs))
+	total := 0
+	for i, in := range inputs {
+		if err := validateFeatures(in); err != nil {
+			return nil, nil, err
+		}
+		if i > 0 {
+			a, b := inputs[0].Shape, in.Shape
+			if a[1] != b[1] || a[2] != b[2] || a[3] != b[3] {
+				return nil, nil, fmt.Errorf("comm: batched inputs disagree on feature shape: %v vs %v", a[1:], b[1:])
+			}
+		}
+		rows[i] = in.Shape[0]
+		total += in.Shape[0]
+	}
+	s := inputs[0].Shape
+	out := tensor.New(total, s[1], s[2], s[3])
+	off := 0
+	for _, in := range inputs {
+		off += copy(out.Data[off:], in.Data)
+	}
+	return out, rows, nil
 }
 
-// Close tears down the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// Infer runs the full collaborative pipeline for an image batch and returns
-// logits plus the measured timing breakdown.
-func (c *Client) Infer(x *tensor.Tensor) (*tensor.Tensor, Timing, error) {
-	var t Timing
-	upBefore, downBefore := c.conn.up, c.conn.down
-
-	start := time.Now()
-	features := c.ComputeFeatures(x)
-	t.Client += time.Since(start)
-
-	netStart := time.Now()
-	if err := c.enc.Encode(&Request{Features: features}); err != nil {
-		return nil, t, fmt.Errorf("comm: sending features: %w", err)
+// splitRows undoes stackInputs on a server output: it slices a [ΣB_i, D...]
+// tensor back into per-input tensors of row counts rows.
+func splitRows(t *tensor.Tensor, rows []int) []*tensor.Tensor {
+	per := t.Size() / t.Shape[0]
+	out := make([]*tensor.Tensor, len(rows))
+	off := 0
+	for i, r := range rows {
+		shape := append([]int{r}, t.Shape[1:]...)
+		part := tensor.New(shape...)
+		copy(part.Data, t.Data[off:off+r*per])
+		out[i] = part
+		off += r * per
 	}
-	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, t, fmt.Errorf("comm: receiving features: %w", err)
-	}
-	t.RoundTrip = time.Since(netStart)
-	if resp.Err != "" {
-		return nil, t, fmt.Errorf("comm: server error: %s", resp.Err)
-	}
-
-	start = time.Now()
-	selected := c.Select(resp.Features)
-	logits := c.Tail.Forward(selected, false)
-	t.Client += time.Since(start)
-	t.BytesUp = c.conn.up - upBefore
-	t.BytesDown = c.conn.down - downBefore
-	return logits, t, nil
+	return out
 }

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"context"
 	"net"
 	"testing"
 
@@ -25,7 +26,7 @@ func startServer(t *testing.T, bodies []*nn.Network) string {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { ln.Close() })
-	go NewServer(bodies).Serve(ln)
+	go NewServer(bodies).Serve(context.Background(), ln)
 	return ln.Addr().String()
 }
 
@@ -49,10 +50,21 @@ func buildPipeline(t *testing.T) (*ensemble.Ensembler, *data.Dataset) {
 }
 
 // wire connects a client to the trained pipeline's client-side functions.
+// The live networks cache forward state, so this form is for one client at a
+// time; concurrent clients use wireRuntime.
 func wire(c *Client, e *ensemble.Ensembler) {
 	c.ComputeFeatures = e.ClientFeatures
 	c.Select = e.Selector.Apply
 	c.Tail = e.Tail
+}
+
+// wireRuntime wires a client through its own cloned copy of the client-side
+// networks, making it independent of every other client.
+func wireRuntime(c *Client, e *ensemble.Ensembler) {
+	rt := e.NewClientRuntime()
+	c.ComputeFeatures = rt.Features
+	c.Select = rt.Select
+	c.Tail = rt.Tail
 }
 
 func TestRemoteInferenceMatchesLocal(t *testing.T) {
@@ -69,7 +81,7 @@ func TestRemoteInferenceMatchesLocal(t *testing.T) {
 	wire(client, e)
 
 	x, _ := test.Batch([]int{0, 1, 2, 3})
-	remote, timing, err := client.Infer(x)
+	remote, timing, err := client.Infer(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +114,7 @@ func TestMultipleRequestsOneConnection(t *testing.T) {
 	wire(client, e)
 	for i := 0; i < 3; i++ {
 		x, _ := test.Batch([]int{i})
-		if _, _, err := client.Infer(x); err != nil {
+		if _, _, err := client.Infer(context.Background(), x); err != nil {
 			t.Fatalf("request %d: %v", i, err)
 		}
 	}
@@ -126,8 +138,8 @@ func TestConcurrentClients(t *testing.T) {
 				return
 			}
 			defer client.Close()
-			wire(client, e)
-			got, _, err := client.Infer(x)
+			wireRuntime(client, e)
+			got, _, err := client.Infer(context.Background(), x)
 			if err == nil && !got.AllClose(want, 1e-9) {
 				err = errMismatch
 			}

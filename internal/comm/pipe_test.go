@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"context"
 	"encoding/gob"
 	"net"
 	"testing"
@@ -41,7 +42,7 @@ func TestLocalClientOverPipe(t *testing.T) {
 
 	x := tensor.New(2, arch.HeadC, 8, 8)
 	rng.New(3).FillNormal(x.Data, 0, 1)
-	logits, timing, err := client.Infer(x)
+	logits, timing, err := client.Infer(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,170 @@
+package comm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"ensembler/internal/tensor"
+)
+
+// Pool is a fixed-capacity pool of client connections to one server, safe
+// for concurrent use. Because a Client's head and tail networks cache
+// forward state, the pool cannot share one wired Client across goroutines;
+// instead each pooled connection is wired independently by the configure
+// hook (typically from ensemble.NewClientRuntime, which clones the
+// client-side networks).
+type Pool struct {
+	addr      string
+	configure func(*Client) error
+
+	mu      sync.Mutex
+	dialed  int
+	size    int
+	closed  bool
+	idle    chan *Client
+	freed   chan struct{} // one token per discarded connection: wakes a waiter to redial
+	closing chan struct{} // closed by Close to wake goroutines waiting in get
+}
+
+// NewPool creates a pool of up to size connections to addr. Connections are
+// dialed lazily on demand; configure wires each fresh Client (its
+// ComputeFeatures, Select, and Tail) before first use.
+func NewPool(addr string, size int, configure func(*Client) error) (*Pool, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("comm: pool size must be positive, got %d", size)
+	}
+	if configure == nil {
+		return nil, fmt.Errorf("comm: pool needs a configure hook to wire clients")
+	}
+	return &Pool{
+		addr:      addr,
+		configure: configure,
+		size:      size,
+		idle:      make(chan *Client, size),
+		freed:     make(chan struct{}, size),
+		closing:   make(chan struct{}),
+	}, nil
+}
+
+// get acquires a wired client: an idle one if available, a fresh dial while
+// under capacity, otherwise it waits for a release — either an idle
+// connection coming back or a discarded one freeing dial capacity.
+func (p *Pool) get(ctx context.Context) (*Client, error) {
+	for {
+		select {
+		case c := <-p.idle:
+			return c, nil
+		default:
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, fmt.Errorf("comm: pool is closed")
+		}
+		if p.dialed < p.size {
+			p.dialed++
+			p.mu.Unlock()
+			c, err := DialContext(ctx, p.addr)
+			if err == nil {
+				err = p.configure(c)
+				if err != nil {
+					c.Close()
+				}
+			}
+			if err != nil {
+				p.release()
+				return nil, err
+			}
+			return c, nil
+		}
+		p.mu.Unlock()
+		select {
+		case c := <-p.idle:
+			return c, nil
+		case <-p.freed:
+			// A broken connection was discarded; loop back and redial.
+		case <-ctx.Done():
+			return nil, fmt.Errorf("comm: waiting for pooled connection: %w", ctx.Err())
+		case <-p.closing:
+			// In-use connections are discarded at release once the pool
+			// closes, so no idle send is coming — fail instead of waiting
+			// forever.
+			return nil, fmt.Errorf("comm: pool is closed")
+		}
+	}
+}
+
+// release gives one unit of dial capacity back and wakes a waiter so it can
+// redial; must be called with p.mu unlocked.
+func (p *Pool) release() {
+	p.mu.Lock()
+	p.dialed--
+	p.mu.Unlock()
+	select {
+	case p.freed <- struct{}{}:
+	default: // a wake token is already pending for every waiter that needs one
+	}
+}
+
+// put releases a client back to the pool; broken connections are discarded
+// (freeing dial capacity and waking a waiter) so the next get dials a
+// replacement. The idle channel's capacity equals the pool size, so the
+// send under the lock never blocks.
+func (p *Pool) put(c *Client) {
+	p.mu.Lock()
+	if c.broken || p.closed {
+		p.mu.Unlock()
+		c.Close()
+		p.release()
+		return
+	}
+	p.idle <- c
+	p.mu.Unlock()
+}
+
+// Infer runs one single-input round trip on a pooled connection. Benign
+// failures (server-side rejections, pre-flight context errors) leave the
+// stream synchronized, so the connection returns to the pool; only a
+// transport failure discards it.
+func (p *Pool) Infer(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, Timing, error) {
+	c, err := p.get(ctx)
+	if err != nil {
+		return nil, Timing{}, err
+	}
+	logits, t, err := c.Infer(ctx, x)
+	p.put(c)
+	return logits, t, err
+}
+
+// InferBatch runs one batched round trip on a pooled connection, with the
+// same benign-vs-transport release policy as Infer.
+func (p *Pool) InferBatch(ctx context.Context, xs []*tensor.Tensor) ([]*tensor.Tensor, Timing, error) {
+	c, err := p.get(ctx)
+	if err != nil {
+		return nil, Timing{}, err
+	}
+	logits, t, err := c.InferBatch(ctx, xs)
+	p.put(c)
+	return logits, t, err
+}
+
+// Close tears down every idle connection and marks the pool closed; in-use
+// connections are closed as they are released.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.closed {
+		p.closed = true
+		close(p.closing)
+	}
+	for {
+		select {
+		case c := <-p.idle:
+			p.dialed--
+			c.Close()
+		default:
+			return nil
+		}
+	}
+}

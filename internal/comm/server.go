@@ -1,0 +1,365 @@
+package comm
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"ensembler/internal/nn"
+	"ensembler/internal/tensor"
+)
+
+// DefaultMaxBatch caps how many inputs one batched request may carry unless
+// overridden with WithMaxBatch.
+const DefaultMaxBatch = 64
+
+// DefaultDrainTimeout bounds how long a graceful shutdown waits for
+// in-flight responses to flush before force-closing connections.
+const DefaultDrainTimeout = 5 * time.Second
+
+// ServerOption configures a Server at construction time.
+type ServerOption func(*serverOptions)
+
+type serverOptions struct {
+	workers   int
+	maxBatch  int
+	drain     time.Duration
+	replicate func() []*nn.Network
+}
+
+// WithWorkers bounds the compute worker pool. Values above 1 only take
+// effect together with WithReplicas: without independent body replicas the
+// layer caches make concurrent passes over one body unsafe, so the pool is
+// clamped to a single worker.
+func WithWorkers(n int) ServerOption {
+	return func(o *serverOptions) {
+		if n > 0 {
+			o.workers = n
+		}
+	}
+}
+
+// WithMaxBatch caps the number of inputs a single batched request may carry.
+func WithMaxBatch(n int) ServerOption {
+	return func(o *serverOptions) {
+		if n > 0 {
+			o.maxBatch = n
+		}
+	}
+}
+
+// WithDrainTimeout bounds how long a graceful shutdown waits for in-flight
+// responses to flush before force-closing connections (a client that stops
+// reading its responses must not be able to hold Serve open forever).
+func WithDrainTimeout(d time.Duration) ServerOption {
+	return func(o *serverOptions) {
+		if d > 0 {
+			o.drain = d
+		}
+	}
+}
+
+// WithReplicas supplies a factory producing an independent replica of the N
+// hosted bodies (identical weights, private forward caches). Each worker
+// beyond the first owns one replica set, which is what lets requests from
+// different connections run truly in parallel.
+func WithReplicas(f func() []*nn.Network) ServerOption {
+	return func(o *serverOptions) { o.replicate = f }
+}
+
+// Server hosts ensemble bodies for remote clients behind a bounded worker
+// pool. Construct with NewServer, then call Serve; Serve may be called at
+// most once per Server.
+type Server struct {
+	bodies []*nn.Network
+	opts   serverOptions
+
+	jobs chan *job
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// job is one decoded request awaiting a pool worker; reply receives exactly
+// one response.
+type job struct {
+	req   *Request
+	reply chan *Response
+}
+
+// NewServer creates a server over the given bodies. Without options it
+// behaves like a single-worker pool: one request computes at a time, with
+// the per-body passes still fanned out across goroutines.
+func NewServer(bodies []*nn.Network, opts ...ServerOption) *Server {
+	if len(bodies) == 0 {
+		panic("comm: server needs at least one body")
+	}
+	o := serverOptions{workers: runtime.GOMAXPROCS(0), maxBatch: DefaultMaxBatch, drain: DefaultDrainTimeout}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.replicate == nil {
+		o.workers = 1
+	}
+	return &Server{bodies: bodies, opts: o, jobs: make(chan *job), conns: map[net.Conn]struct{}{}}
+}
+
+// Workers reports the effective size of the compute pool.
+func (s *Server) Workers() int { return s.opts.workers }
+
+// Serve accepts connections until ctx is cancelled or the listener fails,
+// handling each client in its own goroutine. On cancellation it stops
+// accepting, lets requests already decoded finish, flushes their responses,
+// closes every connection, and returns nil. Clients that stop reading their
+// responses are force-closed after the drain timeout (WithDrainTimeout) so
+// shutdown always completes.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	stop := make(chan struct{})
+	var workers sync.WaitGroup
+	for i := 0; i < s.opts.workers; i++ {
+		bodies := s.bodies
+		if i > 0 {
+			bodies = s.opts.replicate()
+			if len(bodies) != len(s.bodies) {
+				panic(fmt.Sprintf("comm: replica factory returned %d bodies, want %d", len(bodies), len(s.bodies)))
+			}
+		}
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			s.worker(bodies, stop)
+		}()
+	}
+
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			ln.Close()
+		case <-watchDone:
+		}
+	}()
+
+	var handlers sync.WaitGroup
+	var acceptErr error
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			acceptErr = err
+			break
+		}
+		s.track(conn)
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			defer s.untrack(conn)
+			s.handle(conn)
+		}()
+	}
+	close(watchDone)
+
+	// Unblock every reader: requests already decoded still reach the pool
+	// and their responses still flush, but no new requests are read. If a
+	// client refuses to drain its responses, force-close it after the
+	// timeout rather than hanging shutdown on its full send buffer.
+	s.interruptReads()
+	drained := make(chan struct{})
+	go func() {
+		handlers.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(s.opts.drain):
+		s.forceCloseConns()
+		<-drained
+	}
+	close(stop)
+	workers.Wait()
+
+	if ctx.Err() != nil {
+		return nil // graceful shutdown
+	}
+	return acceptErr
+}
+
+func (s *Server) track(conn net.Conn) {
+	s.mu.Lock()
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// interruptReads expires the read deadline on every live connection so
+// blocked decoders return; writes are unaffected, letting in-flight replies
+// drain.
+func (s *Server) interruptReads() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for conn := range s.conns {
+		conn.SetReadDeadline(time.Unix(1, 0))
+	}
+}
+
+// forceCloseConns tears down every connection still open after the drain
+// timeout, failing any write its handler is blocked on.
+func (s *Server) forceCloseConns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for conn := range s.conns {
+		conn.SetDeadline(time.Unix(1, 0))
+		conn.Close()
+	}
+}
+
+// handle processes one client connection until it closes or the server
+// shuts down. Requests pipeline: a reader decodes and submits to the worker
+// pool while a writer flushes responses in request order.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+
+	// pending preserves request order across the concurrent pool: the writer
+	// awaits each reply channel in FIFO order.
+	pending := make(chan chan *Response, 32)
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		failed := false
+		for ch := range pending {
+			resp := <-ch
+			if failed {
+				continue
+			}
+			if err := enc.Encode(resp); err != nil {
+				// The client is gone; closing the conn unblocks the reader,
+				// and draining keeps submitted jobs from leaking.
+				failed = true
+				conn.Close()
+			}
+		}
+	}()
+
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			break // client closed, protocol error, or shutdown deadline
+		}
+		ch := make(chan *Response, 1)
+		pending <- ch
+		// The pool outlives every handler (Serve joins handlers before
+		// stopping workers), so an unconditional send cannot deadlock and a
+		// request that was decoded always computes — even mid-shutdown,
+		// honoring the drain guarantee without racing ctx.Done against a
+		// free worker.
+		s.jobs <- &job{req: &req, reply: ch}
+	}
+	close(pending)
+	writer.Wait()
+}
+
+// worker serves pool jobs with its private replica of the bodies.
+func (s *Server) worker(bodies []*nn.Network, stop <-chan struct{}) {
+	for {
+		select {
+		case j := <-s.jobs:
+			j.reply <- s.processWith(j.req, bodies)
+		case <-stop:
+			return
+		}
+	}
+}
+
+// process runs a request over the server's primary bodies — the synchronous
+// entry point used by tests and by callers that manage their own
+// concurrency.
+func (s *Server) process(req *Request) *Response {
+	return s.processWith(req, s.bodies)
+}
+
+// processWith validates a request and runs it over one replica set. The
+// per-body passes fan out across goroutines — each body is a distinct
+// network, so its forward cache is touched by one goroutine only. A panic
+// anywhere in the pass (validation can't anticipate every shape the hosted
+// bodies reject) becomes an error response instead of killing the server.
+func (s *Server) processWith(req *Request, bodies []*nn.Network) (resp *Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp = &Response{Err: fmt.Sprintf("comm: request failed: %v", r)}
+		}
+	}()
+	return s.processUnguarded(req, bodies)
+}
+
+func (s *Server) processUnguarded(req *Request, bodies []*nn.Network) *Response {
+	switch {
+	case req.Inputs != nil:
+		if len(req.Inputs) == 0 {
+			return &Response{Err: "comm: batched request carries no inputs"}
+		}
+		if len(req.Inputs) > s.opts.maxBatch {
+			return &Response{Err: fmt.Sprintf("comm: batch of %d exceeds server cap %d", len(req.Inputs), s.opts.maxBatch)}
+		}
+		stacked, rows, err := stackInputs(req.Inputs)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		perBody := forwardAll(bodies, stacked)
+		// Transpose [body][input] into the wire layout [input][body].
+		outputs := make([][]*tensor.Tensor, len(rows))
+		for i := range outputs {
+			outputs[i] = make([]*tensor.Tensor, len(bodies))
+		}
+		for b, out := range perBody {
+			for i, part := range splitRows(out, rows) {
+				outputs[i][b] = part
+			}
+		}
+		return &Response{Outputs: outputs}
+	default:
+		if err := validateFeatures(req.Features); err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{Features: forwardAll(bodies, req.Features)}
+	}
+}
+
+// forwardAll runs every body over x concurrently and joins the results in
+// body order. A panic in any body's goroutine is re-raised on the calling
+// goroutine (where processWith's recover can turn it into an error
+// response); left alone it would kill the process.
+func forwardAll(bodies []*nn.Network, x *tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(bodies))
+	panics := make(chan any, len(bodies))
+	var wg sync.WaitGroup
+	for i, b := range bodies {
+		wg.Add(1)
+		go func(i int, b *nn.Network) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- r
+				}
+			}()
+			out[i] = b.Forward(x, false)
+		}(i, b)
+	}
+	wg.Wait()
+	select {
+	case r := <-panics:
+		panic(r)
+	default:
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package comm
+
+import (
+	"testing"
+
+	"ensembler/internal/rng"
+	"ensembler/internal/tensor"
+)
+
+// TestStackSplitRoundTrip pins the batch stacking/splitting helpers.
+func TestStackSplitRoundTrip(t *testing.T) {
+	mk := func(seed int64, rows int) *tensor.Tensor {
+		x := tensor.New(rows, 4, 8, 8)
+		rng.New(seed).FillNormal(x.Data, 0, 1)
+		return x
+	}
+	a, b := mk(56, 2), mk(57, 3)
+	stacked, rows, err := stackInputs([]*tensor.Tensor{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stacked.Shape[0] != 5 {
+		t.Fatalf("stacked rows = %d, want 5", stacked.Shape[0])
+	}
+	parts := splitRows(stacked, rows)
+	if !parts[0].AllClose(a, 0) || !parts[1].AllClose(b, 0) {
+		t.Error("stack→split must round-trip exactly")
+	}
+}
+
+// TestValidateFeaturesRejectsHostileTensors covers the wire-trust boundary:
+// tensors straight off the network can lie about their shape.
+func TestValidateFeaturesRejectsHostileTensors(t *testing.T) {
+	cases := []struct {
+		name string
+		f    *tensor.Tensor
+	}{
+		{"nil", nil},
+		{"wrong rank", &tensor.Tensor{Shape: []int{2, 2}, Data: make([]float64, 4)}},
+		{"zero dim", &tensor.Tensor{Shape: []int{0, 3, 8, 8}}},
+		{"negative dim", &tensor.Tensor{Shape: []int{1, -3, 8, 8}, Data: nil}},
+		{"shape/data mismatch", &tensor.Tensor{Shape: []int{1, 4, 8, 8}, Data: make([]float64, 5)}},
+	}
+	for _, tc := range cases {
+		if err := validateFeatures(tc.f); err == nil {
+			t.Errorf("%s: must be rejected", tc.name)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Package commtest provides the deterministic untrained serving harness
+// shared by the comm concurrency tests, the root serving benchmarks, and
+// the ensembler-bench CLI: seeded bodies that rebuild bit-identically
+// (standing in for a trained server's worker replicas), a raw-protocol
+// client wiring (identity head, concat-all selection, linear tail), and a
+// local reference computation to check remote results against. Untrained
+// networks cost exactly as much to run as trained ones, which is all a
+// serving benchmark needs.
+package commtest
+
+import (
+	"fmt"
+
+	"ensembler/internal/comm"
+	"ensembler/internal/nn"
+	"ensembler/internal/rng"
+	"ensembler/internal/split"
+	"ensembler/internal/tensor"
+)
+
+// TinyArch is the smallest split architecture the harness runs — fast
+// enough for race-detector test loops.
+func TinyArch() split.Arch {
+	return split.Arch{InC: 3, H: 8, W: 8, HeadC: 4, BlockWidths: []int{8, 16}, Classes: 4, UseMaxPool: true}
+}
+
+// Bodies deterministically builds n server bodies for arch; every call
+// returns networks with identical weights and private caches, so it doubles
+// as the server's replica factory.
+func Bodies(arch split.Arch, n int) []*nn.Network {
+	out := make([]*nn.Network, n)
+	for i := range out {
+		out[i] = arch.NewBody(fmt.Sprintf("b%d", i), rng.New(int64(i+1)))
+	}
+	return out
+}
+
+// Tail deterministically builds the concat-all linear tail matching n
+// bodies.
+func Tail(arch split.Arch, n int) *nn.Network {
+	return nn.NewNetwork("t", nn.NewLinear("fc", n*arch.FeatureDim(), arch.Classes, rng.New(99)))
+}
+
+// Wire points a client at identity features, a concat-everything selector,
+// and a fresh deterministic tail — pure protocol mechanics, no trained
+// pipeline. Each call builds a private tail, so concurrently used clients
+// don't share forward caches.
+func Wire(c *comm.Client, arch split.Arch, n int) {
+	c.ComputeFeatures = func(x *tensor.Tensor) *tensor.Tensor { return x }
+	c.Select = nn.ConcatFeatures
+	c.Tail = Tail(arch, n)
+}
+
+// Input builds a deterministic feature batch of the given row count.
+func Input(arch split.Arch, seed int64, rows int) *tensor.Tensor {
+	x := tensor.New(rows, arch.HeadC, arch.H, arch.W)
+	rng.New(seed).FillNormal(x.Data, 0, 1)
+	return x
+}
+
+// Reference computes the expected logits for x on private copies of the
+// server bodies and tail — what a remote round trip must reproduce
+// bit-for-bit.
+func Reference(arch split.Arch, n int, x *tensor.Tensor) *tensor.Tensor {
+	bodies := Bodies(arch, n)
+	feats := make([]*tensor.Tensor, n)
+	for i, b := range bodies {
+		feats[i] = b.Forward(x, false)
+	}
+	return Tail(arch, n).Forward(nn.ConcatFeatures(feats), false)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"ensembler/internal/data"
 	"ensembler/internal/metrics"
@@ -279,8 +280,11 @@ func (e *Ensembler) ClientFeatures(x *tensor.Tensor) *tensor.Tensor {
 	return f
 }
 
-// Bodies returns all N server networks — the weights the adversarial server
-// holds and can attack with.
+// Bodies returns all N live server networks — the weights the adversarial
+// server holds and can attack with. The N networks are distinct, so running
+// them concurrently with each other is safe, but each individual body caches
+// forward state and must be used by one goroutine at a time; serving stacks
+// that need several independent copies should use CloneBodies.
 func (e *Ensembler) Bodies() []*nn.Network {
 	out := make([]*nn.Network, len(e.Members))
 	for i, m := range e.Members {
@@ -290,12 +294,21 @@ func (e *Ensembler) Bodies() []*nn.Network {
 }
 
 // ServerCompute runs every body on the transmitted features, as the real
-// server would (it cannot know which are selected).
+// server would (it cannot know which are selected). The N passes fan out
+// across goroutines — the paper's §III-D observation that the O(N) server
+// cost parallelizes because the bodies are independent — and join before
+// returning, in body order.
 func (e *Ensembler) ServerCompute(features *tensor.Tensor) []*tensor.Tensor {
 	out := make([]*tensor.Tensor, len(e.Members))
+	var wg sync.WaitGroup
 	for i, m := range e.Members {
-		out[i] = m.Body.Forward(features, false)
+		wg.Add(1)
+		go func(i int, b *nn.Network) {
+			defer wg.Done()
+			out[i] = b.Forward(features, false)
+		}(i, m.Body)
 	}
+	wg.Wait()
 	return out
 }
 

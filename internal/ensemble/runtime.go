@@ -1,0 +1,94 @@
+package ensemble
+
+import (
+	"fmt"
+
+	"ensembler/internal/nn"
+	"ensembler/internal/rng"
+	"ensembler/internal/tensor"
+)
+
+// The serving-side cloning support in this file exists because the nn
+// substrate caches forward activations inside each layer: a network is safe
+// for one goroutine at a time, so concurrent serving needs independent
+// copies with identical weights but private caches. CloneBodies feeds the
+// comm server's per-worker replicas; NewClientRuntime feeds one pooled
+// client connection.
+
+// CloneBodies builds a fresh replica of the N server bodies: identical
+// weights and batch-norm running statistics, but brand-new layer objects
+// with private forward caches. Each call returns an independent set, so a
+// serving worker pool calls it once per worker.
+func (e *Ensembler) CloneBodies() []*nn.Network {
+	out := make([]*nn.Network, len(e.Members))
+	r := rng.New(0) // initialization is immediately overwritten
+	for i, m := range e.Members {
+		clone := e.Cfg.Arch.NewBody(fmt.Sprintf("replica%d.body", i), r)
+		if err := clone.CopyStateFrom(m.Body); err != nil {
+			panic(fmt.Sprintf("ensemble: cloning body %d: %v", i, err))
+		}
+		out[i] = clone
+	}
+	return out
+}
+
+// ClientRuntime is an independent copy of the client-side half of a trained
+// pipeline — final head, fixed noise, secret selector, and tail — safe for
+// exclusive use by one goroutine. The selector is shared (it is read-only at
+// inference time); the networks are cloned.
+type ClientRuntime struct {
+	Head     *nn.Network
+	Noise    *nn.AdditiveNoise
+	Selector *Selector
+	Tail     *nn.Network
+}
+
+// NewClientRuntime clones the client-side networks of a trained pipeline.
+// Each call returns an independent runtime, so a client connection pool
+// calls it once per connection.
+func (e *Ensembler) NewClientRuntime() *ClientRuntime {
+	r := rng.New(0) // initialization is immediately overwritten
+	head := e.Cfg.Arch.NewHead("runtime.head", r)
+	if err := head.CopyStateFrom(e.Head); err != nil {
+		panic(fmt.Sprintf("ensemble: cloning head: %v", err))
+	}
+	tail := e.Cfg.Arch.NewTail("runtime.tail", e.Cfg.P, e.Cfg.Dropout, r)
+	if err := tail.CopyStateFrom(e.Tail); err != nil {
+		panic(fmt.Sprintf("ensemble: cloning tail: %v", err))
+	}
+	rt := &ClientRuntime{Head: head, Selector: e.Selector, Tail: tail}
+	if e.Noise != nil {
+		c, h, w := e.Cfg.Arch.HeadOutShape()
+		rt.Noise = nn.NewAdditiveNoise("runtime.noise", nn.NoiseFixed, c, h, w, e.Cfg.Sigma, rng.New(0))
+		copy(rt.Noise.Noise.Value.Data, e.Noise.Noise.Value.Data)
+	}
+	return rt
+}
+
+// Features computes the transmitted intermediate representation
+// Mc,h(x)+noise, mirroring Ensembler.ClientFeatures on the cloned networks.
+func (rt *ClientRuntime) Features(x *tensor.Tensor) *tensor.Tensor {
+	f := rt.Head.Forward(x, false)
+	if rt.Noise != nil {
+		f = rt.Noise.Forward(f, false)
+	}
+	return f
+}
+
+// Select applies the secret selection (Eq. 1) to the N server feature
+// matrices.
+func (rt *ClientRuntime) Select(features []*tensor.Tensor) *tensor.Tensor {
+	return rt.Selector.Apply(features)
+}
+
+// Predict runs the full pipeline locally through the cloned networks —
+// the runtime analogue of Ensembler.Predict, used to cross-check remote
+// results.
+func (rt *ClientRuntime) Predict(x *tensor.Tensor, bodies []*nn.Network) *tensor.Tensor {
+	feats := make([]*tensor.Tensor, len(bodies))
+	f := rt.Features(x)
+	for i, b := range bodies {
+		feats[i] = b.Forward(f, false)
+	}
+	return rt.Tail.Forward(rt.Select(feats), false)
+}

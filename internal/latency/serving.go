@@ -1,0 +1,103 @@
+package latency
+
+import "fmt"
+
+// This file models the serving regimes of the comm subsystem: many client
+// connections, a bounded pool of server-side workers (each holding a private
+// replica of the N bodies), and batched requests that amortize protocol
+// overhead. It is the analytic counterpart of the throughput benchmark in
+// bench_test.go, built as a closed queueing system: each of C clients keeps
+// exactly one request in flight, the server completes at most one request
+// per worker every S seconds, and the round-trip time seen by an unloaded
+// client is client compute + transfer + server compute.
+
+// ServingScenario describes one operating point of the concurrent server.
+type ServingScenario struct {
+	Base    Scenario // device/link/model parameters; Base.Batch is ignored
+	Workers int      // server worker replicas computing in parallel
+	Clients int      // concurrent client connections, one request in flight each
+	Batch   int      // images per request (InferBatch size × client batch)
+}
+
+// ServingEstimate is the model's prediction for one serving scenario.
+type ServingEstimate struct {
+	Name string
+	// RequestSeconds is the unloaded round-trip latency of one request.
+	RequestSeconds float64
+	// ThroughputRPS is the sustained request rate with all clients active.
+	ThroughputRPS float64
+	// ThroughputIPS is the sustained image rate (requests × batch).
+	ThroughputIPS float64
+	// Utilization is the fraction of worker capacity kept busy.
+	Utilization float64
+}
+
+// String formats one row of the serving table.
+func (e ServingEstimate) String() string {
+	return fmt.Sprintf("%-18s rtt %.3fs  %.2f req/s  %.1f img/s  util %.0f%%",
+		e.Name, e.RequestSeconds, e.ThroughputRPS, e.ThroughputIPS, 100*e.Utilization)
+}
+
+// EstimateServing evaluates the closed-system model: throughput is bounded
+// both by the clients' request-issue rate (Clients / round-trip) and by the
+// server pool's service rate (Workers / server-time-per-request).
+func EstimateServing(sc ServingScenario) ServingEstimate {
+	base := sc.Base
+	if sc.Batch <= 0 {
+		sc.Batch = 1
+	}
+	if sc.Workers <= 0 {
+		sc.Workers = 1
+	}
+	if sc.Clients <= 0 {
+		sc.Clients = 1
+	}
+	base.Batch = sc.Batch
+	b := Run(base)
+	request := b.Total()
+	service := b.Server
+	clientBound := float64(sc.Clients) / request
+	serverBound := float64(sc.Workers) / service
+	x := clientBound
+	if serverBound < x {
+		x = serverBound
+	}
+	return ServingEstimate{
+		Name:           fmt.Sprintf("c=%d w=%d b=%d", sc.Clients, sc.Workers, sc.Batch),
+		RequestSeconds: request,
+		ThroughputRPS:  x,
+		ThroughputIPS:  x * float64(sc.Batch),
+		Utilization:    x * service / float64(sc.Workers),
+	}
+}
+
+// ConcurrencySweep evaluates the scenario across client counts — the model
+// behind the ">2× throughput under concurrency" serving claim: a single
+// connection is round-trip-bound, so adding clients raises throughput until
+// the worker pool saturates.
+func ConcurrencySweep(base Scenario, workers, batch int, clients []int) []ServingEstimate {
+	out := make([]ServingEstimate, len(clients))
+	for i, c := range clients {
+		out[i] = EstimateServing(ServingScenario{Base: base, Workers: workers, Clients: c, Batch: batch})
+	}
+	return out
+}
+
+// BatchingSweep evaluates the scenario across request batch sizes: batching
+// amortizes the per-round-trip RTT over more images, raising image
+// throughput even at fixed concurrency.
+func BatchingSweep(base Scenario, workers, clients int, batches []int) []ServingEstimate {
+	out := make([]ServingEstimate, len(batches))
+	for i, b := range batches {
+		out[i] = EstimateServing(ServingScenario{Base: base, Workers: workers, Clients: clients, Batch: b})
+	}
+	return out
+}
+
+// ConcurrencySpeedup returns the predicted throughput ratio between clients
+// concurrent connections and a single connection at the same batch size.
+func ConcurrencySpeedup(base Scenario, workers, batch, clients int) float64 {
+	one := EstimateServing(ServingScenario{Base: base, Workers: workers, Clients: 1, Batch: batch})
+	many := EstimateServing(ServingScenario{Base: base, Workers: workers, Clients: clients, Batch: batch})
+	return many.ThroughputRPS / one.ThroughputRPS
+}

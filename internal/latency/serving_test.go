@@ -1,0 +1,69 @@
+package latency
+
+import (
+	"math"
+	"testing"
+)
+
+func servingBase() Scenario {
+	sc := Ensembler(10)
+	return sc
+}
+
+func TestSingleClientMatchesRoundTrip(t *testing.T) {
+	est := EstimateServing(ServingScenario{Base: servingBase(), Workers: 4, Clients: 1, Batch: 1})
+	want := 1 / est.RequestSeconds
+	if math.Abs(est.ThroughputRPS-want)/want > 1e-12 {
+		t.Errorf("single client throughput %.6f, want 1/rtt = %.6f", est.ThroughputRPS, want)
+	}
+}
+
+func TestConcurrencyRaisesThroughputUntilSaturation(t *testing.T) {
+	const workers = 4
+	sweep := ConcurrencySweep(servingBase(), workers, 1, []int{1, 2, 4, 8, 16, 64})
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].ThroughputRPS < sweep[i-1].ThroughputRPS-1e-12 {
+			t.Errorf("throughput decreased from %v to %v", sweep[i-1], sweep[i])
+		}
+	}
+	// At saturation the pool bound is active: X = workers / serverTime.
+	last := sweep[len(sweep)-1]
+	base := servingBase()
+	base.Batch = 1
+	serverBound := float64(workers) / Run(base).Server
+	if math.Abs(last.ThroughputRPS-serverBound)/serverBound > 1e-9 {
+		t.Errorf("saturated throughput %.4f, want worker bound %.4f", last.ThroughputRPS, serverBound)
+	}
+	if math.Abs(last.Utilization-1) > 1e-9 {
+		t.Errorf("saturated utilization %.4f, want 1", last.Utilization)
+	}
+}
+
+func TestConcurrencySpeedupExceedsTwo(t *testing.T) {
+	// The acceptance regime of the serving subsystem: 8 concurrent clients
+	// against a 4-worker replicated pool must be predicted at >2× a single
+	// connection.
+	s := ConcurrencySpeedup(servingBase(), 4, 1, 8)
+	if s <= 2 {
+		t.Errorf("predicted concurrency speedup %.2f, want > 2", s)
+	}
+}
+
+func TestBatchingRaisesImageThroughput(t *testing.T) {
+	sweep := BatchingSweep(servingBase(), 4, 8, []int{1, 4, 16, 64})
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].ThroughputIPS < sweep[i-1].ThroughputIPS-1e-12 {
+			t.Errorf("image throughput decreased from %v to %v", sweep[i-1], sweep[i])
+		}
+	}
+	if sweep[len(sweep)-1].ThroughputIPS <= sweep[0].ThroughputIPS {
+		t.Error("batching must raise image throughput over single-image requests")
+	}
+}
+
+func TestEstimateServingDefaults(t *testing.T) {
+	est := EstimateServing(ServingScenario{Base: servingBase()})
+	if est.ThroughputRPS <= 0 || est.RequestSeconds <= 0 {
+		t.Errorf("defaulted estimate degenerate: %+v", est)
+	}
+}
