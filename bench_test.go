@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"ensembler/internal/attack"
 	"ensembler/internal/comm"
@@ -30,6 +31,7 @@ import (
 	"ensembler/internal/flops"
 	"ensembler/internal/latency"
 	"ensembler/internal/nn"
+	"ensembler/internal/registry"
 	"ensembler/internal/rng"
 	"ensembler/internal/split"
 	"ensembler/internal/tensor"
@@ -348,6 +350,111 @@ func BenchmarkServeBatchedRequests(b *testing.B) {
 		if _, _, err := client.InferBatch(ctx, batch); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkHotSwap measures the registry's zero-downtime swap: eight
+// clients hammer a registry-backed server while each iteration publishes a
+// new model version (even iterations) or rotates the secret selector (odd
+// iterations) and waits until a response is actually served from the new
+// epoch. ns/op is therefore the end-to-end swap propagation latency under
+// load; the reported dropped-request count must be zero — the hot-swap
+// guarantee this subsystem exists for.
+func BenchmarkHotSwap(b *testing.B) {
+	const (
+		nBodies = 4
+		conns   = 8
+	)
+	arch := benchArch()
+	reg := registry.New(nil)
+	if _, err := reg.Publish("bench", commtest.Pipeline(arch, nBodies, 2, 1)); err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := comm.NewModelServer(reg, comm.WithWorkers(runtime.GOMAXPROCS(0)))
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, ln) }()
+	defer func() {
+		cancel()
+		ln.Close()
+		<-served
+	}()
+
+	x := servingInput()
+	var (
+		dropped  atomic.Int64
+		maxSeen  atomic.Int64
+		load     sync.WaitGroup
+		stopLoad = make(chan struct{})
+	)
+	maxSeen.Store(1)
+	for i := 0; i < conns; i++ {
+		client := servingClient(b, ln.Addr().String(), nBodies)
+		defer client.Close()
+		load.Add(1)
+		go func(client *comm.Client) {
+			defer load.Done()
+			for {
+				select {
+				case <-stopLoad:
+					return
+				default:
+				}
+				if _, _, err := client.Infer(ctx, x); err != nil {
+					dropped.Add(1)
+					continue
+				}
+				_, v := client.Served()
+				for {
+					seen := maxSeen.Load()
+					if int64(v) <= seen || maxSeen.CompareAndSwap(seen, int64(v)) {
+						break
+					}
+				}
+			}
+		}(client)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var target int
+		if i%2 == 0 {
+			b.StopTimer()
+			next := commtest.Pipeline(arch, nBodies, 2, int64(i+2)) // build off the clock
+			b.StartTimer()
+			ep, err := reg.Publish("bench", next)
+			if err != nil {
+				b.Fatal(err)
+			}
+			target = ep.Version()
+		} else {
+			ep, err := reg.RotateSelector("bench", ensemble.RotateOptions{Seed: int64(i)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			target = ep.Version()
+		}
+		// The swap counts only once a response actually arrives from the new
+		// epoch at some client; a propagation regression must fail loudly,
+		// not hang the harness.
+		deadline := time.Now().Add(30 * time.Second)
+		for maxSeen.Load() < int64(target) {
+			if time.Now().After(deadline) {
+				b.Fatalf("no client observed v%d within 30s (%d requests dropped so far)", target, dropped.Load())
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	b.StopTimer()
+	close(stopLoad)
+	load.Wait()
+	b.ReportMetric(float64(dropped.Load()), "dropped")
+	if n := dropped.Load(); n != 0 {
+		b.Fatalf("hot swap dropped %d requests, want 0", n)
 	}
 }
 

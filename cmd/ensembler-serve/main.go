@@ -1,16 +1,27 @@
-// Command ensembler-serve hosts the N server bodies of a trained pipeline
-// over TCP — the cloud half of the collaborative-inference deployment. The
-// secret selector and the client tail stay with whoever holds the model
-// file; the server only ever sees intermediate features and returns all N
-// feature vectors.
+// Command ensembler-serve hosts the server bodies of trained pipelines over
+// TCP — the cloud half of the collaborative-inference deployment. The secret
+// selector and the client tail stay with whoever holds the model artifacts;
+// the server only ever sees intermediate features and returns all N feature
+// vectors.
+//
+// Models come from either a single file (-model, the legacy path) or a
+// versioned registry directory (-model-dir) written by ensembler-train or
+// registry.Store.Publish. With a registry directory the server is
+// hot-swappable with zero downtime: requests carry an optional
+// (model, version) header resolved per request, SIGHUP re-scans the
+// directory and swaps newly published versions in while in-flight requests
+// finish on their old epoch, and -rotate-every re-draws the secret selector
+// on a cadence (the switching-ensembles defense; the served bodies are
+// unchanged, so rotation is invisible on the wire).
 //
 // Requests from concurrent connections are served by a bounded worker pool;
-// each worker owns a private replica of the bodies, and within one request
-// the N body passes run in parallel. SIGINT/SIGTERM triggers a graceful
-// shutdown: in-flight requests finish, their responses flush, and Serve
-// returns.
+// each worker owns private replicas of the bodies it has served, lazily
+// re-cloned when a swap publishes a new epoch, and within one request the N
+// body passes run in parallel. SIGINT/SIGTERM triggers a graceful shutdown:
+// in-flight requests finish, their responses flush, and Serve returns.
 //
 //	ensembler-serve -model ensembler.gob -addr :7946 -workers 4 -max-batch 64
+//	ensembler-serve -model-dir models/ -model-name cifar -rotate-every 10m
 package main
 
 import (
@@ -22,45 +33,165 @@ import (
 	"os/signal"
 	"runtime"
 	"syscall"
+	"time"
 
 	"ensembler/internal/comm"
 	"ensembler/internal/ensemble"
+	"ensembler/internal/registry"
 )
 
 func main() {
-	modelPath := flag.String("model", "ensembler.gob", "trained pipeline from ensembler-train")
-	addr := flag.String("addr", "127.0.0.1:7946", "listen address")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "compute worker pool size (each worker holds a body replica)")
+	modelPath := flag.String("model", "", "trained pipeline file from ensembler-train (single-model mode)")
+	modelDir := flag.String("model-dir", "", "versioned model registry directory (multi-model, hot-swappable)")
+	modelName := flag.String("model-name", "", "default model name (registry mode; defaults to the first model found)")
+	addr := flag.String("addr", "127.0.0.1:7946", "listen address (use :0 to pick a free port)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "compute worker pool size (each worker holds body replicas)")
 	maxBatch := flag.Int("max-batch", comm.DefaultMaxBatch, "max inputs per batched request")
+	rotateEvery := flag.Duration("rotate-every", 0, "selector rotation cadence (registry mode; 0 disables)")
+	rotateSeed := flag.Int64("rotate-seed", 1, "seed stream for selector rotations")
+	keepVersions := flag.Int("keep-versions", 64, "on-disk versions kept per model when rotating (0 keeps everything)")
 	flag.Parse()
 	if *maxBatch <= 0 {
 		*maxBatch = comm.DefaultMaxBatch // mirror the server's clamping in the banner
 	}
 
-	e, err := ensemble.LoadFile(*modelPath)
+	reg, err := openRegistry(*modelPath, *modelDir, *modelName)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "loading model: %v\n", err)
+		fmt.Fprintf(os.Stderr, "ensembler-serve: %v\n", err)
 		os.Exit(1)
 	}
-	ln, err := net.Listen("tcp", *addr)
+	defaultModel := reg.Default()
+	cur, err := reg.Current(defaultModel)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "listening: %v\n", err)
+		fmt.Fprintf(os.Stderr, "ensembler-serve: %v\n", err)
 		os.Exit(1)
 	}
 
-	srv := comm.NewServer(e.Bodies(),
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ensembler-serve: listening on %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+	srv := comm.NewModelServer(reg,
 		comm.WithWorkers(*workers),
 		comm.WithMaxBatch(*maxBatch),
-		comm.WithReplicas(e.CloneBodies),
 	)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("serving %d ensemble bodies on %s (%d workers, max batch %d; selector stays client-side)\n",
-		e.Cfg.N, ln.Addr(), srv.Workers(), *maxBatch)
+	// The bound address line comes first and stands alone so scripts (and
+	// tests using -addr :0) can scrape the actual port.
+	fmt.Printf("listening on %s\n", ln.Addr())
+	fmt.Printf("serving %s v%d (%d bodies) as default — %d models total, %d workers, max batch %d; selector stays client-side\n",
+		defaultModel, cur.Version(), cur.Pipeline().Cfg.N, len(reg.Models()), srv.Workers(), *maxBatch)
+
+	// SIGHUP: re-scan the registry directory and hot-swap anything newer.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			if *modelDir == "" {
+				fmt.Println("reload: ignored (no -model-dir)")
+				continue
+			}
+			updated, err := reg.LoadStore()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "reload: %v\n", err)
+				continue
+			}
+			fmt.Printf("reload: %d model(s) swapped in\n", updated)
+		}
+	}()
+
+	// Selector rotation cadence: each tick re-draws the default model's
+	// secret subset and publishes it as a new version (persisted when a
+	// registry directory is attached). The swap is a pointer flip; workers
+	// lazily re-clone between requests, so traffic never stalls.
+	if *rotateEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(*rotateEvery)
+			defer ticker.Stop()
+			seed := *rotateSeed
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					seed++
+					start := time.Now()
+					ep, err := reg.RotateSelector(defaultModel, ensemble.RotateOptions{Seed: seed})
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "rotate: %v\n", err)
+						continue
+					}
+					fmt.Printf("rotate: %s now v%d (selection re-drawn in %v; bodies unchanged)\n",
+						ep.Name(), ep.Version(), time.Since(start).Round(time.Millisecond))
+					// A rotation cadence writes a full pipeline per tick:
+					// prune the store so disk (and the checksum-verifying
+					// Open on restart) stays bounded.
+					if store := reg.Store(); store != nil && *keepVersions > 0 {
+						if pruned, err := store.Prune(ep.Name(), *keepVersions); err != nil {
+							fmt.Fprintf(os.Stderr, "prune: %v\n", err)
+						} else if pruned > 0 {
+							fmt.Printf("prune: removed %d old version(s) of %s\n", pruned, ep.Name())
+						}
+					}
+				}
+			}
+		}()
+	}
+
 	if err := srv.Serve(ctx, ln); err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Println("shutdown complete")
+}
+
+// openRegistry builds the registry the server reads through, from either a
+// single model file or a registry directory, failing with a descriptive
+// error (never a panic) when the artifact is missing or corrupt.
+func openRegistry(modelPath, modelDir, modelName string) (*registry.Registry, error) {
+	switch {
+	case modelDir != "" && modelPath != "":
+		return nil, fmt.Errorf("-model and -model-dir are mutually exclusive")
+	case modelDir != "":
+		if _, err := os.Stat(modelDir); err != nil {
+			return nil, fmt.Errorf("model directory %s is missing (train with ensembler-train -model-dir %s first): %w", modelDir, modelDir, err)
+		}
+		reg, err := registry.OpenDir(modelDir)
+		if err != nil {
+			return nil, err
+		}
+		if len(reg.Models()) == 0 {
+			return nil, fmt.Errorf("model directory %s holds no published models", modelDir)
+		}
+		if modelName != "" {
+			if err := reg.SetDefault(modelName); err != nil {
+				return nil, err
+			}
+		}
+		return reg, nil
+	default:
+		if modelPath == "" {
+			modelPath = "ensembler.gob"
+		}
+		if _, err := os.Stat(modelPath); err != nil {
+			return nil, fmt.Errorf("model file %s is missing (train with ensembler-train -out %s first): %w", modelPath, modelPath, err)
+		}
+		e, err := ensemble.LoadFile(modelPath)
+		if err != nil {
+			return nil, fmt.Errorf("loading model %s: %w", modelPath, err)
+		}
+		name := modelName
+		if name == "" {
+			name = "default"
+		}
+		reg := registry.New(nil)
+		if _, err := reg.Publish(name, e); err != nil {
+			return nil, err
+		}
+		return reg, nil
+	}
 }

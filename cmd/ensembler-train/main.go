@@ -13,6 +13,7 @@ import (
 
 	"ensembler/internal/data"
 	"ensembler/internal/ensemble"
+	"ensembler/internal/registry"
 	"ensembler/internal/split"
 )
 
@@ -39,7 +40,9 @@ func main() {
 	epochs1 := flag.Int("stage1-epochs", 5, "Stage 1 epochs per member")
 	epochs3 := flag.Int("stage3-epochs", 8, "Stage 3 epochs")
 	seed := flag.Int64("seed", 1, "training seed")
-	out := flag.String("out", "ensembler.gob", "output model path")
+	out := flag.String("out", "ensembler.gob", "output model path (single-file mode)")
+	modelDir := flag.String("model-dir", "", "publish into a versioned model registry directory instead of -out")
+	modelName := flag.String("model-name", "", "model name inside -model-dir (default: the workload kind)")
 	flag.Parse()
 
 	kind, err := kindFromName(*kindName)
@@ -57,6 +60,27 @@ func main() {
 	fmt.Printf("training Ensembler on %s (N=%d, P=%d, σ=%.2f, λ=%.1f)...\n", kind, *n, *p, *sigma, *lambda)
 	e := ensemble.Train(cfg, sp.Train, os.Stdout)
 	fmt.Printf("test accuracy: %.3f\n", e.Accuracy(sp.Test))
+	if *modelDir != "" {
+		// Registry mode: the store assigns the next version and writes the
+		// artifact atomically, so a serving ensembler-serve -model-dir picks
+		// it up on its next SIGHUP with zero downtime.
+		store, err := registry.Create(*modelDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opening model dir: %v\n", err)
+			os.Exit(1)
+		}
+		name := *modelName
+		if name == "" {
+			name = *kindName
+		}
+		v, err := store.Publish(name, e)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "publishing: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("published %s v%d to %s (selection stays inside the artifact — guard it)\n", name, v, *modelDir)
+		return
+	}
 	if err := e.SaveFile(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "saving: %v\n", err)
 		os.Exit(1)

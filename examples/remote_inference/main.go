@@ -1,9 +1,14 @@
 // Remote inference: the deployed form of the system. A TCP server hosts the
-// N ensemble bodies (the cloud) behind a replicated worker pool; the client
-// keeps its head, fixed noise, secret selector, and tail, and performs
-// classification over the wire. The example verifies the remote result
-// matches local inference bit-for-bit, then drives the concurrent serving
-// path: a connection pool issuing simultaneous single and batched requests.
+// N ensemble bodies (the cloud) behind a replicated worker pool, reading
+// them through a model registry; the client keeps its head, fixed noise,
+// secret selector, and tail, and performs classification over the wire. The
+// example verifies the remote result matches local inference bit-for-bit,
+// drives the concurrent serving path (a connection pool issuing simultaneous
+// single and batched requests), and then hot-swaps the pipeline mid-traffic:
+// the registry rotates the secret selector and publishes the result as a new
+// version while pooled clients keep hammering the server — zero failed
+// requests, and the pool re-wires to the rotated client runtime without a
+// restart.
 //
 //	go run ./examples/remote_inference
 package main
@@ -14,12 +19,14 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ensembler/internal/comm"
 	"ensembler/internal/data"
 	"ensembler/internal/ensemble"
 	"ensembler/internal/nn"
+	"ensembler/internal/registry"
 	"ensembler/internal/split"
 	"ensembler/internal/tensor"
 )
@@ -35,22 +42,27 @@ func main() {
 	fmt.Println("training a small Ensembler pipeline...")
 	e := ensemble.Train(cfg, sp.Train, nil)
 
-	// Cloud side: only the bodies travel to the server. Each worker owns a
-	// replica, so requests from different connections compute in parallel.
+	// Cloud side: the trained pipeline is published into a registry, and the
+	// server resolves (model, version) per request through it — that is what
+	// makes the mid-traffic swap below possible. Each worker clones private
+	// body replicas from the current epoch.
+	reg := registry.New(nil)
+	ep, err := reg.Publish("cifar", e)
+	if err != nil {
+		log.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer ln.Close()
-	srv := comm.NewServer(e.Bodies(),
-		comm.WithWorkers(4),
-		comm.WithReplicas(e.CloneBodies),
-	)
+	srv := comm.NewModelServer(reg, comm.WithWorkers(4))
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	served := make(chan error, 1)
 	go func() { served <- srv.Serve(ctx, ln) }()
-	fmt.Printf("server hosting %d bodies at %s (%d workers)\n", cfg.N, ln.Addr(), srv.Workers())
+	fmt.Printf("server hosting %s v%d (%d bodies) at %s (%d workers)\n",
+		ep.Name(), ep.Version(), cfg.N, ln.Addr(), srv.Workers())
 
 	// Edge side: head, noise, secret selector, tail.
 	client, err := comm.Dial(ln.Addr().String())
@@ -75,6 +87,9 @@ func main() {
 	fmt.Printf("remote batch of %d images: accuracy %.3f\n", len(idxs), nn.Accuracy(logits, labels))
 	if logits.AllClose(e.Predict(x), 1e-9) {
 		fmt.Println("remote result matches local pipeline exactly ✓")
+	}
+	if model, version := client.Served(); model == "cifar" {
+		fmt.Printf("server reports serving %s v%d (the request carried no header — default-model fallback)\n", model, version)
 	}
 	fmt.Printf("timing: client %.1fms | network+server round trip %.1fms\n",
 		timing.Client.Seconds()*1e3, timing.RoundTrip.Seconds()*1e3)
@@ -125,10 +140,100 @@ func main() {
 	fmt.Printf("pool: %d concurrent requests in %.1fms (%.1f req/s)\n",
 		requests, elapsed.Seconds()*1e3, float64(requests)/elapsed.Seconds())
 
+	// --- Mid-traffic hot swap ---
+	//
+	// A long-lived deployment should not serve forever under one secret
+	// subset (the switching-ensembles rationale): rotate it while pooled
+	// clients keep the server busy. Server bodies are unchanged by rotation,
+	// so requests in flight during the swap still match the old pipeline
+	// bit-for-bit; afterwards the pool re-wires to the rotated runtime.
+	fmt.Printf("\nhot swap: rotating the secret selector under load (old selection %v)\n", e.Selector.Indices)
+	var swapErrs atomic.Int64
+	stopLoad := make(chan struct{})
+	var load sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		load.Add(1)
+		go func() {
+			defer load.Done()
+			for {
+				select {
+				case <-stopLoad:
+					return
+				default:
+				}
+				if _, _, err := pool.Infer(ctx, x); err != nil {
+					swapErrs.Add(1)
+					log.Printf("in-flight request during swap: %v", err)
+				}
+			}
+		}()
+	}
+
+	swapStart := time.Now()
+	rotatedEp, err := reg.RotateSelector("cifar", ensemble.RotateOptions{
+		Seed: 99,
+		Tune: sp.Train,
+		TuneOpts: split.TrainOptions{
+			Epochs: 6, BatchSize: 32, LR: 0.05,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rotated := rotatedEp.Pipeline()
+	// Client-side half of the swap: the pool's connections re-wire to the
+	// rotated head/noise/selector/tail as they are released; no caller ever
+	// sees an error.
+	pool.Reconfigure(func(c *comm.Client) error {
+		rt := rotated.NewClientRuntime()
+		c.ComputeFeatures = rt.Features
+		c.Select = rt.Select
+		c.Tail = rt.Tail
+		return nil
+	})
+	close(stopLoad)
+	load.Wait()
+	fmt.Printf("published %s v%d in %v with traffic flowing; failed requests: %d\n",
+		rotatedEp.Name(), rotatedEp.Version(), time.Since(swapStart).Round(time.Millisecond), swapErrs.Load())
+
+	// The rotated pipeline serves through the same socket; results match its
+	// local predictions bit-for-bit.
+	post, _, err := pool.Infer(ctx, x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if post.AllClose(rotated.Predict(x), 1e-9) {
+		fmt.Printf("post-swap result matches the rotated pipeline exactly ✓ (new selection %v, accuracy %.3f)\n",
+			rotated.Selector.Indices, rotated.Accuracy(sp.Test))
+	}
+
+	// Multi-model routing on the same socket: publish a canary under its own
+	// name and pin one request to it by header.
+	if _, err := reg.Publish("cifar-canary", rotated); err != nil {
+		log.Fatal(err)
+	}
+	canary, err := comm.Dial(ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer canary.Close()
+	rt := rotated.NewClientRuntime()
+	canary.Model = "cifar-canary"
+	canary.ComputeFeatures = rt.Features
+	canary.Select = rt.Select
+	canary.Tail = rt.Tail
+	if _, _, err := canary.Infer(ctx, x); err != nil {
+		log.Fatal(err)
+	}
+	if model, version := canary.Served(); model == "cifar-canary" {
+		fmt.Printf("routed a pinned request to %s v%d on the same socket ✓\n", model, version)
+	}
+
 	cancel()
 	if err := <-served; err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("graceful shutdown complete")
-	fmt.Printf("the %v secret selection never appeared on the wire.\n", e.Selector.Indices)
+	fmt.Printf("neither the old %v nor the new %v secret selection ever appeared on the wire.\n",
+		e.Selector.Indices, rotated.Selector.Indices)
 }

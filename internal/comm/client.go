@@ -24,6 +24,20 @@ type Client struct {
 	// return the previous request's response. A broken client fails fast
 	// until redialed.
 	broken bool
+	// cfgEpoch tags which Pool configuration wired this client; the pool
+	// discards clients wired under a superseded configuration on release.
+	cfgEpoch uint64
+	// servedModel/servedVersion record what the server reports serving on
+	// the last successful round trip.
+	servedModel   string
+	servedVersion int
+
+	// Model and Version route requests on a multi-model server. The zero
+	// values ("", 0) mean the server's default model at its current version
+	// — byte-identical on the wire to a pre-registry client's request — and
+	// a positive Version pins one published version.
+	Model   string
+	Version int
 
 	// ComputeFeatures produces the transmitted features for an image batch
 	// (head + noise).
@@ -33,6 +47,13 @@ type Client struct {
 	Select func(features []*tensor.Tensor) *tensor.Tensor
 	// Tail maps the selected features to logits.
 	Tail *nn.Network
+}
+
+// Served reports which model and version answered the client's last
+// successful request — how a caller observes a zero-downtime hot swap. A
+// single-model server reports "" and 0.
+func (c *Client) Served() (model string, version int) {
+	return c.servedModel, c.servedVersion
 }
 
 // Dial connects a client to a comm.Server.
@@ -109,6 +130,7 @@ func (c *Client) roundTrip(ctx context.Context, req *Request) (*Response, error)
 	if resp.Err != "" {
 		return nil, fmt.Errorf("comm: server error: %s", resp.Err)
 	}
+	c.servedModel, c.servedVersion = resp.Model, resp.Version
 	return &resp, nil
 }
 
@@ -136,7 +158,7 @@ func (c *Client) Infer(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, T
 	t.Client += time.Since(start)
 
 	netStart := time.Now()
-	resp, err := c.roundTrip(ctx, &Request{Features: features})
+	resp, err := c.roundTrip(ctx, &Request{Model: c.Model, Version: c.Version, Features: features})
 	t.RoundTrip = time.Since(netStart)
 	if err != nil {
 		return nil, t, err
@@ -193,7 +215,7 @@ func (c *Client) InferBatch(ctx context.Context, xs []*tensor.Tensor) ([]*tensor
 	t.Client += time.Since(start)
 
 	netStart := time.Now()
-	resp, err := c.roundTrip(ctx, &Request{Inputs: inputs})
+	resp, err := c.roundTrip(ctx, &Request{Model: c.Model, Version: c.Version, Inputs: inputs})
 	t.RoundTrip = time.Since(netStart)
 	if err != nil {
 		return nil, t, err

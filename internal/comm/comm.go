@@ -19,6 +19,15 @@
 // stacks along the batch axis, pushes through each body once, and splits
 // back per input. Context plumbing runs through Serve and Infer for graceful
 // shutdown and per-request deadlines.
+//
+// The server no longer owns its bodies: every request resolves a
+// (model, version) pair through a ModelProvider — a registry of published
+// model epochs, or the built-in single-model provider NewServer wraps around
+// a fixed body slice. An empty model name and version 0 (what a pre-registry
+// client's request decodes to) fall back to the provider's default, so old
+// clients keep working; a provider whose current epoch changes between
+// requests gives zero-downtime hot swaps, with each worker lazily re-cloning
+// its body replicas when it first sees the new epoch.
 package comm
 
 import (
@@ -33,7 +42,15 @@ import (
 // fields is set: Features carries the intermediate activations
 // Mc,h(x)+noise for one input batch, Inputs carries B of them to be served
 // in a single round trip.
+//
+// Model and Version route the request on a multi-model server: Model ""
+// falls back to the server's default model and Version 0 to its current
+// version, which is also exactly what a pre-registry client's request
+// decodes to (gob omits zero-valued fields, so the old and new wire forms
+// of a header-less request are identical bytes).
 type Request struct {
+	Model    string
+	Version  int
 	Features *tensor.Tensor
 	Inputs   []*tensor.Tensor
 }
@@ -41,8 +58,12 @@ type Request struct {
 // Response is the server→client message mirroring the request form.
 // Features holds one feature matrix per hosted body (the server cannot know
 // which the client will use); Outputs holds that per-body list for each of
-// the B batched inputs.
+// the B batched inputs. Model and Version echo what actually served the
+// request — how a client observes a hot swap; a single-model server leaves
+// them zero, which old clients ignore.
 type Response struct {
+	Model    string
+	Version  int
 	Features []*tensor.Tensor
 	Outputs  [][]*tensor.Tensor
 	Err      string

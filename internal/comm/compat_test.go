@@ -1,0 +1,139 @@
+package comm_test
+
+import (
+	"context"
+	"encoding/gob"
+	"net"
+	"testing"
+
+	"ensembler/internal/comm"
+	"ensembler/internal/commtest"
+	"ensembler/internal/ensemble"
+	"ensembler/internal/nn"
+	"ensembler/internal/registry"
+	"ensembler/internal/tensor"
+)
+
+// legacyRequest and legacyResponse are the pre-registry wire structs, bit
+// by bit: no model/version header. Gob matches struct fields by name and
+// skips what the receiver doesn't know, so a binary compiled against these
+// types must keep round-tripping against the new server unchanged — the
+// registry's default-model fallback serves it.
+type legacyRequest struct {
+	Features *tensor.Tensor
+	Inputs   []*tensor.Tensor
+}
+
+type legacyResponse struct {
+	Features []*tensor.Tensor
+	Outputs  [][]*tensor.Tensor
+	Err      string
+}
+
+// legacyRoundTrip speaks the old protocol over a raw connection.
+func legacyRoundTrip(t *testing.T, enc *gob.Encoder, dec *gob.Decoder, req *legacyRequest) *legacyResponse {
+	t.Helper()
+	if err := enc.Encode(req); err != nil {
+		t.Fatalf("legacy send: %v", err)
+	}
+	var resp legacyResponse
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatalf("legacy receive: %v", err)
+	}
+	if resp.Err != "" {
+		t.Fatalf("legacy request rejected: %s", resp.Err)
+	}
+	return &resp
+}
+
+// TestLegacyClientAgainstRegistryServer pins wire-protocol compatibility: a
+// version-header-less client round-trips against a registry-backed server
+// via the default-model fallback, single and batched, with bit-exact
+// results.
+func TestLegacyClientAgainstRegistryServer(t *testing.T) {
+	const nBodies = 3
+	e := commtest.Pipeline(tiny, nBodies, 2, 131)
+	x := commtest.Input(tiny, 132, 2)
+	want := bodyReference(e, x)
+
+	reg := registry.New(nil)
+	if _, err := reg.Publish("default-model", e); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	srv := comm.NewModelServer(reg)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+
+	// Single round trip: all N body outputs come back; the legacy client's
+	// local selection must land on the same logits.
+	resp := legacyRoundTrip(t, enc, dec, &legacyRequest{Features: x})
+	if len(resp.Features) != nBodies {
+		t.Fatalf("legacy response carries %d feature maps, want %d", len(resp.Features), nBodies)
+	}
+	tail := commtest.Tail(tiny, nBodies)
+	got := tail.Forward(nn.ConcatFeatures(resp.Features), false)
+	if !got.AllClose(want, 1e-12) {
+		t.Error("legacy single round trip diverges from reference")
+	}
+
+	// Batched round trip on the same connection.
+	resp = legacyRoundTrip(t, enc, dec, &legacyRequest{Inputs: []*tensor.Tensor{x, x}})
+	if len(resp.Outputs) != 2 {
+		t.Fatalf("legacy batched response carries %d outputs", len(resp.Outputs))
+	}
+	for i, feats := range resp.Outputs {
+		got := tail.Forward(nn.ConcatFeatures(feats), false)
+		if !got.AllClose(want, 1e-12) {
+			t.Errorf("legacy batched output %d diverges", i)
+		}
+	}
+
+	// A hot swap behind the fallback stays invisible: rotate and keep
+	// serving the same connection.
+	if _, err := reg.RotateSelector("", ensemble.RotateOptions{Seed: 133}); err != nil {
+		t.Fatal(err)
+	}
+	resp = legacyRoundTrip(t, enc, dec, &legacyRequest{Features: x})
+	got = tail.Forward(nn.ConcatFeatures(resp.Features), false)
+	if !got.AllClose(want, 1e-12) {
+		t.Error("legacy round trip diverges after a selector rotation")
+	}
+
+	cancel()
+	<-served
+}
+
+// TestLegacyClientAgainstStaticServer covers the NewServer path: the old
+// wire form against the old construction keeps working untouched.
+func TestLegacyClientAgainstStaticServer(t *testing.T) {
+	const nBodies = 2
+	addr, _ := startConcurrentServer(t, context.Background(), nBodies, 1)
+	x := commtest.Input(tiny, 134, 1)
+	want := commtest.Reference(tiny, nBodies, x)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	resp := legacyRoundTrip(t, enc, dec, &legacyRequest{Features: x})
+	got := commtest.Tail(tiny, nBodies).Forward(nn.ConcatFeatures(resp.Features), false)
+	if !got.AllClose(want, 1e-12) {
+		t.Error("legacy round trip against a static server diverges")
+	}
+}

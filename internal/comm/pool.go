@@ -15,16 +15,17 @@ import (
 // hook (typically from ensemble.NewClientRuntime, which clones the
 // client-side networks).
 type Pool struct {
-	addr      string
-	configure func(*Client) error
+	addr string
 
-	mu      sync.Mutex
-	dialed  int
-	size    int
-	closed  bool
-	idle    chan *Client
-	freed   chan struct{} // one token per discarded connection: wakes a waiter to redial
-	closing chan struct{} // closed by Close to wake goroutines waiting in get
+	mu        sync.Mutex
+	configure func(*Client) error
+	cfgEpoch  uint64 // bumped by Reconfigure; stale clients are discarded on release
+	dialed    int
+	size      int
+	closed    bool
+	idle      chan *Client
+	freed     chan struct{} // one token per discarded connection: wakes a waiter to redial
+	closing   chan struct{} // closed by Close to wake goroutines waiting in get
 }
 
 // NewPool creates a pool of up to size connections to addr. Connections are
@@ -64,10 +65,15 @@ func (p *Pool) get(ctx context.Context) (*Client, error) {
 		}
 		if p.dialed < p.size {
 			p.dialed++
+			// Capture the configuration under the lock: Reconfigure may swap
+			// it while we dial, and a client wired under the old hook must be
+			// tagged with the old epoch so put discards it.
+			configure, epoch := p.configure, p.cfgEpoch
 			p.mu.Unlock()
 			c, err := DialContext(ctx, p.addr)
 			if err == nil {
-				err = p.configure(c)
+				c.cfgEpoch = epoch
+				err = configure(c)
 				if err != nil {
 					c.Close()
 				}
@@ -107,13 +113,14 @@ func (p *Pool) release() {
 	}
 }
 
-// put releases a client back to the pool; broken connections are discarded
-// (freeing dial capacity and waking a waiter) so the next get dials a
-// replacement. The idle channel's capacity equals the pool size, so the
-// send under the lock never blocks.
+// put releases a client back to the pool; broken connections and clients
+// wired under a superseded configuration are discarded (freeing dial
+// capacity and waking a waiter) so the next get dials a replacement. The
+// idle channel's capacity equals the pool size, so the send under the lock
+// never blocks.
 func (p *Pool) put(c *Client) {
 	p.mu.Lock()
-	if c.broken || p.closed {
+	if c.broken || p.closed || c.cfgEpoch != p.cfgEpoch {
 		p.mu.Unlock()
 		c.Close()
 		p.release()
@@ -121,6 +128,42 @@ func (p *Pool) put(c *Client) {
 	}
 	p.idle <- c
 	p.mu.Unlock()
+}
+
+// Reconfigure swaps the hook that wires fresh clients and retires every
+// existing connection: idle ones are closed immediately, in-use ones are
+// discarded as they are released. Callers never observe an interruption —
+// subsequent gets dial and wire replacements under the new hook. This is
+// the client-side half of a hot swap: after the registry publishes a
+// rotated pipeline, Reconfigure points the pool at the new client runtime
+// (head, noise, selector, tail) while requests keep flowing.
+func (p *Pool) Reconfigure(configure func(*Client) error) {
+	if configure == nil {
+		return
+	}
+	p.mu.Lock()
+	p.configure = configure
+	p.cfgEpoch++
+	var stale []*Client
+	for {
+		select {
+		case c := <-p.idle:
+			stale = append(stale, c)
+			p.dialed--
+		default:
+			p.mu.Unlock()
+			for _, c := range stale {
+				c.Close()
+				// Wake one waiter per freed slot so callers queued at
+				// capacity redial under the new configuration.
+				select {
+				case p.freed <- struct{}{}:
+				default:
+				}
+			}
+			return
+		}
+	}
 }
 
 // Infer runs one single-input round trip on a pooled connection. Benign

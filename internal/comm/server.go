@@ -7,6 +7,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ensembler/internal/nn"
@@ -21,6 +22,28 @@ const DefaultMaxBatch = 64
 // in-flight responses to flush before force-closing connections.
 const DefaultDrainTimeout = 5 * time.Second
 
+// ServedModel is one immutable published version of a model, as the server
+// sees it. Seq must change whenever the underlying weights or identity
+// change (a publish, rotation, or reload): it is the workers' replica cache
+// key, so a stale Seq means a worker keeps serving old weights. NewReplica
+// must be safe to call concurrently and return bodies no other goroutine
+// touches.
+type ServedModel interface {
+	Name() string
+	Version() int
+	Seq() uint64
+	NewReplica() []*nn.Network
+}
+
+// ModelProvider resolves the (model, version) pair a request carries to a
+// live model. model "" asks for the provider's default and version 0 for the
+// current version — the fallback that keeps header-less (pre-registry)
+// clients working. Resolve sits on the hot path: it runs once per request
+// and must not block on locks held across slow work.
+type ModelProvider interface {
+	Resolve(model string, version int) (ServedModel, error)
+}
+
 // ServerOption configures a Server at construction time.
 type ServerOption func(*serverOptions)
 
@@ -31,10 +54,12 @@ type serverOptions struct {
 	replicate func() []*nn.Network
 }
 
-// WithWorkers bounds the compute worker pool. Values above 1 only take
-// effect together with WithReplicas: without independent body replicas the
-// layer caches make concurrent passes over one body unsafe, so the pool is
-// clamped to a single worker.
+// WithWorkers bounds the compute worker pool. For a single-model server
+// (NewServer) values above 1 only take effect together with WithReplicas:
+// without independent body replicas the layer caches make concurrent passes
+// over one body unsafe, so the pool is clamped to a single worker. A
+// provider-backed server (NewModelServer) replicates through the provider
+// and takes the value as given.
 func WithWorkers(n int) ServerOption {
 	return func(o *serverOptions) {
 		if n > 0 {
@@ -64,24 +89,32 @@ func WithDrainTimeout(d time.Duration) ServerOption {
 }
 
 // WithReplicas supplies a factory producing an independent replica of the N
-// hosted bodies (identical weights, private forward caches). Each worker
-// beyond the first owns one replica set, which is what lets requests from
-// different connections run truly in parallel.
+// hosted bodies (identical weights, private forward caches) for a
+// single-model server. Each worker beyond the first owns one replica set,
+// which is what lets requests from different connections run truly in
+// parallel. Ignored by NewModelServer, whose provider replicates per model.
 func WithReplicas(f func() []*nn.Network) ServerOption {
 	return func(o *serverOptions) { o.replicate = f }
 }
 
 // Server hosts ensemble bodies for remote clients behind a bounded worker
-// pool. Construct with NewServer, then call Serve; Serve may be called at
-// most once per Server.
+// pool, resolving every request through a ModelProvider. Construct with
+// NewServer (fixed bodies) or NewModelServer (registry-backed, hot-swap
+// capable), then call Serve; Serve may be called at most once per Server.
 type Server struct {
-	bodies []*nn.Network
-	opts   serverOptions
+	provider ModelProvider
+	opts     serverOptions
 
 	jobs chan *job
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
+
+	// syncMu guards syncReplicas, the replica cache of the synchronous
+	// process entry point (tests and embedding callers); pool workers each
+	// own a private cache instead.
+	syncMu       sync.Mutex
+	syncReplicas *replicaCache
 }
 
 // job is one decoded request awaiting a pool worker; reply receives exactly
@@ -91,9 +124,47 @@ type job struct {
 	reply chan *Response
 }
 
-// NewServer creates a server over the given bodies. Without options it
-// behaves like a single-worker pool: one request computes at a time, with
-// the per-body passes still fanned out across goroutines.
+// staticModel adapts a fixed body slice to the ModelProvider contract: one
+// unnamed model, version 0, epoch never changing. The first replica claim
+// hands out the primary bodies (matching the pre-provider behavior where
+// worker zero served the bodies the server was constructed with); later
+// claims go through the replicate factory.
+type staticModel struct {
+	bodies    []*nn.Network
+	replicate func() []*nn.Network
+	claimed   atomic.Bool
+}
+
+func (m *staticModel) Resolve(model string, version int) (ServedModel, error) {
+	if model != "" {
+		return nil, fmt.Errorf("comm: unknown model %q (this server hosts a single unnamed model)", model)
+	}
+	if version != 0 {
+		return nil, fmt.Errorf("comm: version pinning (v%d requested) requires a registry-backed server", version)
+	}
+	return m, nil
+}
+
+func (m *staticModel) Name() string { return "" }
+func (m *staticModel) Version() int { return 0 }
+func (m *staticModel) Seq() uint64  { return 0 }
+
+func (m *staticModel) NewReplica() []*nn.Network {
+	if m.replicate == nil || m.claimed.CompareAndSwap(false, true) {
+		// Single-worker servers (replicate == nil clamps the pool to one
+		// worker) and the first claimer share the primary bodies.
+		return m.bodies
+	}
+	bodies := m.replicate()
+	if len(bodies) != len(m.bodies) {
+		panic(fmt.Sprintf("comm: replica factory returned %d bodies, want %d", len(bodies), len(m.bodies)))
+	}
+	return bodies
+}
+
+// NewServer creates a single-model server over the given bodies. Without
+// options it behaves like a single-worker pool: one request computes at a
+// time, with the per-body passes still fanned out across goroutines.
 func NewServer(bodies []*nn.Network, opts ...ServerOption) *Server {
 	if len(bodies) == 0 {
 		panic("comm: server needs at least one body")
@@ -105,7 +176,34 @@ func NewServer(bodies []*nn.Network, opts ...ServerOption) *Server {
 	if o.replicate == nil {
 		o.workers = 1
 	}
-	return &Server{bodies: bodies, opts: o, jobs: make(chan *job), conns: map[net.Conn]struct{}{}}
+	return newServer(&staticModel{bodies: bodies, replicate: o.replicate}, o)
+}
+
+// NewModelServer creates a server that resolves every request's
+// (model, version) header through the provider — typically a
+// registry.Registry. Publishing a new version or rotating a selector in the
+// provider swaps what subsequent requests compute against with zero
+// downtime: in-flight requests finish on the epoch they resolved, and each
+// worker re-clones its replicas the first time it sees a new epoch.
+func NewModelServer(p ModelProvider, opts ...ServerOption) *Server {
+	if p == nil {
+		panic("comm: server needs a model provider")
+	}
+	o := serverOptions{workers: runtime.GOMAXPROCS(0), maxBatch: DefaultMaxBatch, drain: DefaultDrainTimeout}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return newServer(p, o)
+}
+
+func newServer(p ModelProvider, o serverOptions) *Server {
+	return &Server{
+		provider:     p,
+		opts:         o,
+		jobs:         make(chan *job),
+		conns:        map[net.Conn]struct{}{},
+		syncReplicas: newReplicaCache(),
+	}
 }
 
 // Workers reports the effective size of the compute pool.
@@ -121,17 +219,10 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	stop := make(chan struct{})
 	var workers sync.WaitGroup
 	for i := 0; i < s.opts.workers; i++ {
-		bodies := s.bodies
-		if i > 0 {
-			bodies = s.opts.replicate()
-			if len(bodies) != len(s.bodies) {
-				panic(fmt.Sprintf("comm: replica factory returned %d bodies, want %d", len(bodies), len(s.bodies)))
-			}
-		}
 		workers.Add(1)
 		go func() {
 			defer workers.Done()
-			s.worker(bodies, stop)
+			s.worker(stop)
 		}()
 	}
 
@@ -269,23 +360,117 @@ func (s *Server) handle(conn net.Conn) {
 	writer.Wait()
 }
 
-// worker serves pool jobs with its private replica of the bodies.
-func (s *Server) worker(bodies []*nn.Network, stop <-chan struct{}) {
+// maxWorkerReplicas bounds one worker's replica cache. Each live epoch a
+// worker serves costs one entry, so the bound is hit only when many models
+// (or pinned versions) rotate through a single worker; eviction then retires
+// the least-recently-used replica and the next request for it re-clones.
+const maxWorkerReplicas = 16
+
+// workerReplica is one worker's private replica of one model epoch.
+type workerReplica struct {
+	seq      uint64
+	bodies   []*nn.Network
+	lastUsed uint64 // worker-local request counter for LRU eviction
+}
+
+// replicaCache is one worker's private replicas, keyed by epoch (name, seq)
+// so mixed pinned-version and current-version traffic on one model each
+// keep their own replica instead of thrashing a shared slot with full
+// re-clones per request.
+type replicaCache struct {
+	entries map[string]*workerReplica
+	tick    uint64
+}
+
+func newReplicaCache() *replicaCache {
+	return &replicaCache{entries: map[string]*workerReplica{}}
+}
+
+// replicaFor returns the cached replica for the epoch, cloning (and evicting
+// the least recently used entry past the cap) on first sight.
+func (rc *replicaCache) replicaFor(m ServedModel) (*workerReplica, error) {
+	rc.tick++
+	key := fmt.Sprintf("%s@%d", m.Name(), m.Seq())
+	if wr := rc.entries[key]; wr != nil {
+		wr.lastUsed = rc.tick
+		return wr, nil
+	}
+	bodies, err := cloneReplica(m)
+	if err != nil {
+		return nil, err
+	}
+	wr := &workerReplica{seq: m.Seq(), bodies: bodies, lastUsed: rc.tick}
+	rc.entries[key] = wr
+	for len(rc.entries) > maxWorkerReplicas {
+		lruKey, lru := "", uint64(0)
+		for k, e := range rc.entries {
+			if k != key && (lruKey == "" || e.lastUsed < lru) {
+				lruKey, lru = k, e.lastUsed
+			}
+		}
+		delete(rc.entries, lruKey)
+	}
+	return wr, nil
+}
+
+// worker serves pool jobs. Each worker owns a private replica cache keyed by
+// model epoch: resolving a request whose epoch is not yet cached (a publish,
+// rotation, or reload happened) lazily re-clones the bodies. The swap
+// therefore costs each worker one clone per epoch change, spread across the
+// pool as requests arrive — never a lock shared between workers.
+func (s *Server) worker(stop <-chan struct{}) {
+	replicas := newReplicaCache()
 	for {
 		select {
 		case j := <-s.jobs:
-			j.reply <- s.processWith(j.req, bodies)
+			j.reply <- s.serve(j.req, replicas)
 		case <-stop:
 			return
 		}
 	}
 }
 
-// process runs a request over the server's primary bodies — the synchronous
-// entry point used by tests and by callers that manage their own
-// concurrency.
+// serve resolves one request against the provider and runs it over the
+// caller's replica cache.
+func (s *Server) serve(req *Request, replicas *replicaCache) *Response {
+	m, err := s.provider.Resolve(req.Model, req.Version)
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	wr, err := replicas.replicaFor(m)
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	resp := s.processWith(req, wr.bodies)
+	resp.Model, resp.Version = m.Name(), m.Version()
+	return resp
+}
+
+// cloneReplica builds a worker's private replica, converting a panicking
+// factory (the historical contract of WithReplicas) into an error response
+// so a bad publish degrades to failed requests instead of a dead server.
+func cloneReplica(m ServedModel) (bodies []*nn.Network, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			bodies, err = nil, fmt.Errorf("comm: building model replica: %v", r)
+		}
+	}()
+	bodies = m.NewReplica()
+	if len(bodies) == 0 {
+		return nil, fmt.Errorf("comm: model %q v%d has no bodies", m.Name(), m.Version())
+	}
+	return bodies, nil
+}
+
+// process runs a request synchronously outside the worker pool — the entry
+// point used by tests and by callers that manage their own concurrency. It
+// keeps its own replica cache (shared by all process callers, guarded by a
+// mutex), so it must not be mixed with concurrent Serve traffic on a
+// single-model server without replicas.
 func (s *Server) process(req *Request) *Response {
-	return s.processWith(req, s.bodies)
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	return s.serve(req, s.syncReplicas)
 }
 
 // processWith validates a request and runs it over one replica set. The

@@ -1,0 +1,337 @@
+package comm_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ensembler/internal/comm"
+	"ensembler/internal/commtest"
+	"ensembler/internal/ensemble"
+	"ensembler/internal/nn"
+	"ensembler/internal/registry"
+	"ensembler/internal/tensor"
+)
+
+// bodyReference computes what a commtest-wired client must receive from a
+// server hosting the pipeline's bodies: identity features in, concat-all
+// selection and the deterministic tail over every body's output.
+func bodyReference(e *ensemble.Ensembler, x *tensor.Tensor) *tensor.Tensor {
+	bodies := e.Bodies()
+	feats := make([]*tensor.Tensor, len(bodies))
+	for i, b := range bodies {
+		feats[i] = b.Forward(x, false)
+	}
+	return commtest.Tail(tiny, len(bodies)).Forward(nn.ConcatFeatures(feats), false)
+}
+
+// TestHotSwapUnderConcurrentLoad is the acceptance scenario of the registry
+// subsystem: a running server under load from 8 concurrent clients takes a
+// Publish of a brand-new model version and then a RotateSelector, with zero
+// failed requests. Every response must bit-match the reference of the
+// version the server says it served, and every client must eventually
+// observe the final epoch — the swap is total as well as lossless.
+func TestHotSwapUnderConcurrentLoad(t *testing.T) {
+	const (
+		nBodies = 3
+		clients = 8
+	)
+	e1 := commtest.Pipeline(tiny, nBodies, 2, 101)
+	e2 := commtest.Pipeline(tiny, nBodies, 2, 202)
+	x := commtest.Input(tiny, 103, 2)
+
+	// Version 3 is a selector rotation of version 2: same bodies by design,
+	// so its wire-visible reference equals version 2's. Computed before any
+	// load starts so the primaries' forward caches are never shared.
+	refs := map[int]*tensor.Tensor{
+		1: bodyReference(e1, x),
+		2: bodyReference(e2, x),
+	}
+	refs[3] = refs[2]
+
+	reg := registry.New(nil)
+	if _, err := reg.Publish("m", e1); err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	srv := comm.NewModelServer(reg, comm.WithWorkers(4))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, ln) }()
+
+	var (
+		failed   atomic.Int64 // must stay zero: the hot-swap guarantee
+		requests atomic.Int64
+		wg       sync.WaitGroup
+	)
+	stop := make(chan struct{})
+	errs := make(chan error, clients)
+	sawFinal := make([]atomic.Bool, clients)
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			client, err := comm.Dial(ln.Addr().String())
+			if err != nil {
+				errs <- err
+				failed.Add(1)
+				return
+			}
+			defer client.Close()
+			commtest.Wire(client, tiny, nBodies)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got, _, err := client.Infer(context.Background(), x)
+				if err != nil {
+					failed.Add(1)
+					errs <- fmt.Errorf("client %d: %w", id, err)
+					return
+				}
+				requests.Add(1)
+				model, version := client.Served()
+				want := refs[version]
+				if model != "m" || want == nil {
+					failed.Add(1)
+					errs <- fmt.Errorf("client %d: served unexpected %s v%d", id, model, version)
+					return
+				}
+				if !got.AllClose(want, 1e-12) {
+					failed.Add(1)
+					errs <- fmt.Errorf("client %d: result diverges from v%d reference", id, version)
+					return
+				}
+				if version == 3 {
+					sawFinal[id].Store(true)
+				}
+			}
+		}(id)
+	}
+
+	// Let traffic flow on v1, hot-publish v2, keep the load up, then rotate
+	// the selector (v3). Neither swap may fail a single request.
+	time.Sleep(50 * time.Millisecond)
+	if _, err := reg.Publish("m", e2); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if _, err := reg.RotateSelector("m", ensemble.RotateOptions{Seed: 104}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run until every client has served at least one request on the final
+	// epoch — proof the swap reached the whole worker pool.
+	deadline := time.After(10 * time.Second)
+	for {
+		all := true
+		for i := range sawFinal {
+			if !sawFinal[i].Load() {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		select {
+		case <-deadline:
+			close(stop)
+			wg.Wait()
+			t.Fatal("not every client observed the final epoch within 10s")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := failed.Load(); n != 0 {
+		t.Errorf("hot swap dropped %d requests, want 0", n)
+	}
+	if requests.Load() == 0 {
+		t.Error("no requests served")
+	}
+
+	cancel()
+	if err := <-served; err != nil {
+		t.Errorf("serve: %v", err)
+	}
+}
+
+// TestVersionPinning checks that a client asking for a superseded version
+// keeps getting it after a publish moves current — multi-version routing on
+// one socket.
+func TestVersionPinning(t *testing.T) {
+	const nBodies = 3
+	e1 := commtest.Pipeline(tiny, nBodies, 2, 111)
+	e2 := commtest.Pipeline(tiny, nBodies, 2, 222)
+	x := commtest.Input(tiny, 113, 1)
+	ref1, ref2 := bodyReference(e1, x), bodyReference(e2, x)
+
+	reg := registry.New(nil)
+	if _, err := reg.Publish("m", e1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Publish("m", e2); err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	srv := comm.NewModelServer(reg)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, ln) }()
+
+	client := dialWired(t, ln.Addr().String(), nBodies)
+
+	// Header-less: current version.
+	got, _, err := client.Infer(ctx, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.AllClose(ref2, 1e-12) {
+		t.Error("default routing did not serve the current version")
+	}
+	if _, v := client.Served(); v != 2 {
+		t.Errorf("served version = %d, want 2", v)
+	}
+
+	// Pinned: the superseded version, on the same connection.
+	client.Model, client.Version = "m", 1
+	got, _, err = client.Infer(ctx, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.AllClose(ref1, 1e-12) {
+		t.Error("pinned routing did not serve version 1")
+	}
+	if _, v := client.Served(); v != 1 {
+		t.Errorf("served version = %d, want 1", v)
+	}
+
+	// Unknown model and unknown version are benign protocol errors: the
+	// connection survives.
+	client.Model, client.Version = "ghost", 0
+	if _, _, err := client.Infer(ctx, x); err == nil {
+		t.Error("unknown model must be rejected")
+	}
+	client.Model, client.Version = "m", 42
+	if _, _, err := client.Infer(ctx, x); err == nil {
+		t.Error("unknown version must be rejected")
+	}
+	client.Model, client.Version = "", 0
+	if _, _, err := client.Infer(ctx, x); err != nil {
+		t.Errorf("connection must survive routing rejections: %v", err)
+	}
+
+	cancel()
+	<-served
+}
+
+// TestPoolReconfigureMidTraffic drives the client-side half of a hot swap: a
+// pool under concurrent load is re-pointed at a new wiring, no request
+// fails, and traffic converges to the new configuration.
+func TestPoolReconfigureMidTraffic(t *testing.T) {
+	const nBodies = 3
+	addr, _ := startConcurrentServer(t, context.Background(), nBodies, 2)
+
+	x := commtest.Input(tiny, 121, 1)
+	want1 := commtest.Reference(tiny, nBodies, x)
+	// The rewired pool doubles the selected features; the tail is linear, so
+	// the expected logits double too.
+	want2 := want1.Scale(2)
+
+	pool, err := comm.NewPool(addr, 4, func(c *comm.Client) error {
+		commtest.Wire(c, tiny, nBodies)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	var (
+		wg      sync.WaitGroup
+		stop    = make(chan struct{})
+		failed  atomic.Int64
+		swapped atomic.Int64
+	)
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got, _, err := pool.Infer(context.Background(), x)
+				if err != nil {
+					failed.Add(1)
+					errs <- fmt.Errorf("goroutine %d: %w", i, err)
+					return
+				}
+				switch {
+				case got.AllClose(want1, 1e-12):
+				case got.AllClose(want2, 1e-12):
+					swapped.Add(1)
+				default:
+					failed.Add(1)
+					errs <- fmt.Errorf("goroutine %d: result matches neither wiring", i)
+					return
+				}
+			}
+		}(i)
+	}
+
+	time.Sleep(30 * time.Millisecond)
+	pool.Reconfigure(func(c *comm.Client) error {
+		commtest.Wire(c, tiny, nBodies)
+		inner := c.Select
+		c.Select = func(features []*tensor.Tensor) *tensor.Tensor {
+			return inner(features).Scale(2)
+		}
+		return nil
+	})
+
+	deadline := time.After(10 * time.Second)
+	for swapped.Load() < 8 {
+		select {
+		case <-deadline:
+			close(stop)
+			wg.Wait()
+			t.Fatalf("pool served only %d new-wiring results within 10s", swapped.Load())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := failed.Load(); n != 0 {
+		t.Errorf("reconfigure dropped %d requests, want 0", n)
+	}
+}

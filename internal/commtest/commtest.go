@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"ensembler/internal/comm"
+	"ensembler/internal/ensemble"
 	"ensembler/internal/nn"
 	"ensembler/internal/rng"
 	"ensembler/internal/split"
@@ -33,6 +34,17 @@ func Bodies(arch split.Arch, n int) []*nn.Network {
 		out[i] = arch.NewBody(fmt.Sprintf("b%d", i), rng.New(int64(i+1)))
 	}
 	return out
+}
+
+// Pipeline deterministically builds an untrained but fully wired Ensembler
+// over arch — members, secret selector, final head/noise/tail. Registry and
+// hot-swap harnesses publish these: an untrained pipeline costs exactly as
+// much to serve, clone, and persist as a trained one, and different seeds
+// give bit-distinguishable model versions.
+func Pipeline(arch split.Arch, n, p int, seed int64) *ensemble.Ensembler {
+	return ensemble.New(ensemble.Config{
+		Arch: arch, N: n, P: p, Sigma: 0.05, Lambda: 0.5, Seed: seed, Stage1Noise: true,
+	})
 }
 
 // Tail deterministically builds the concat-all linear tail matching n

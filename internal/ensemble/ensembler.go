@@ -65,43 +65,28 @@ type Ensembler struct {
 	Tail     *nn.Network       // final client tail Mc,t (input P·FeatureDim)
 }
 
-// Train runs the full three-stage pipeline of Fig. 2 on the private training
-// set. log (optional) receives progress lines.
-func Train(cfg Config, train *data.Dataset, log io.Writer) *Ensembler {
+// New builds the untrained skeleton of a pipeline: N freshly initialized
+// members, a secretly drawn selector, and the final head/noise/tail. Train
+// runs the three training stages over exactly this skeleton; Load overwrites
+// its parameters with saved ones; tests and serving benches use it directly
+// when trained weights are irrelevant (an untrained network costs exactly as
+// much to run as a trained one).
+func New(cfg Config) *Ensembler {
 	if cfg.N <= 0 || cfg.P <= 0 || cfg.P > cfg.N {
 		panic(fmt.Sprintf("ensemble: invalid N=%d P=%d", cfg.N, cfg.P))
 	}
 	root := rng.New(cfg.Seed)
 	e := &Ensembler{Cfg: cfg}
-
-	// Stage 1 (Eq. 2): train N independent networks, each with its own fixed
-	// Gaussian noise after the head so the resulting heads are mutually
-	// quasi-orthogonal.
 	for i := 0; i < cfg.N; i++ {
 		r := root.Split()
 		sigma := cfg.Sigma
 		if !cfg.Stage1Noise {
 			sigma = 0
 		}
-		m := split.NewModel(fmt.Sprintf("member%d", i), cfg.Arch, sigma, nn.NoiseFixed, cfg.Dropout, r)
-		opts := cfg.Stage1
-		opts.Seed = cfg.Seed*1000 + int64(i)
-		loss := split.Train(m, train, opts)
-		if log != nil {
-			fmt.Fprintf(log, "stage1: member %d/%d trained, final loss %.4f\n", i+1, cfg.N, loss)
-		}
-		e.Members = append(e.Members, m)
+		e.Members = append(e.Members,
+			split.NewModel(fmt.Sprintf("member%d", i), cfg.Arch, sigma, nn.NoiseFixed, cfg.Dropout, r))
 	}
-
-	// Stage 2: the client secretly selects P of the N networks.
 	e.Selector = NewSelector(cfg.N, cfg.P, root.Split())
-	if log != nil {
-		fmt.Fprintf(log, "stage2: secret selection drawn (P=%d of N=%d)\n", cfg.P, cfg.N)
-	}
-
-	// Stage 3 (Eq. 3): freeze the selected bodies; retrain a fresh head and
-	// tail with a new fixed noise, regularizing the head's output to be
-	// quasi-orthogonal to every stage-1 head's.
 	r3 := root.Split()
 	e.Head = cfg.Arch.NewHead("final.head", r3)
 	c, h, w := cfg.Arch.HeadOutShape()
@@ -109,6 +94,35 @@ func Train(cfg Config, train *data.Dataset, log io.Writer) *Ensembler {
 		e.Noise = nn.NewAdditiveNoise("final.noise", nn.NoiseFixed, c, h, w, cfg.Sigma, r3.Split())
 	}
 	e.Tail = cfg.Arch.NewTail("final.tail", cfg.P, cfg.Dropout, r3)
+	return e
+}
+
+// Train runs the full three-stage pipeline of Fig. 2 on the private training
+// set. log (optional) receives progress lines.
+func Train(cfg Config, train *data.Dataset, log io.Writer) *Ensembler {
+	e := New(cfg)
+
+	// Stage 1 (Eq. 2): train N independent networks, each with its own fixed
+	// Gaussian noise after the head so the resulting heads are mutually
+	// quasi-orthogonal.
+	for i, m := range e.Members {
+		opts := cfg.Stage1
+		opts.Seed = cfg.Seed*1000 + int64(i)
+		loss := split.Train(m, train, opts)
+		if log != nil {
+			fmt.Fprintf(log, "stage1: member %d/%d trained, final loss %.4f\n", i+1, cfg.N, loss)
+		}
+	}
+
+	// Stage 2: the client secretly selects P of the N networks (New already
+	// drew the subset; it becomes meaningful here, after the members exist).
+	if log != nil {
+		fmt.Fprintf(log, "stage2: secret selection drawn (P=%d of N=%d)\n", cfg.P, cfg.N)
+	}
+
+	// Stage 3 (Eq. 3): freeze the selected bodies; retrain the fresh head and
+	// tail with the new fixed noise, regularizing the head's output to be
+	// quasi-orthogonal to every stage-1 head's.
 	e.trainStage3(train, log)
 	return e
 }

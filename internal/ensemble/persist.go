@@ -1,6 +1,8 @@
 package ensemble
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -8,11 +10,27 @@ import (
 
 	"ensembler/internal/nn"
 	"ensembler/internal/rng"
-	"ensembler/internal/split"
 	"ensembler/internal/tensor"
 )
 
-// savedState is the on-disk form of a trained Ensembler: the configuration
+// FormatVersion identifies the on-disk encoding of a saved pipeline. Version
+// 1 was the bare gob of savedState; version 2 wraps it in an envelope
+// carrying the format number and a content checksum, so a reader can tell
+// "newer/older format" apart from "corrupted file" and registry manifests
+// can record what they point at.
+const FormatVersion = 2
+
+// savedFile is the outermost on-disk structure: the format version, the
+// SHA-256 of Payload, and the gob-encoded savedState itself. Decoding
+// verifies the checksum before touching the payload, so truncation or bit
+// rot surfaces as a descriptive error instead of a garbled network.
+type savedFile struct {
+	Format   int
+	Checksum [sha256.Size]byte
+	Payload  []byte
+}
+
+// savedState is the inner form of a trained Ensembler: the configuration
 // (enough to rebuild identically shaped networks), the secret selection, all
 // parameter tensors keyed by network role, and the fixed noise tensors.
 type savedState struct {
@@ -28,11 +46,11 @@ type savedState struct {
 
 // saveNet serializes one network into the state map.
 func (st *savedState) saveNet(key string, n *nn.Network) error {
-	var buf byteBuffer
+	var buf bytes.Buffer
 	if err := n.Save(&buf); err != nil {
 		return fmt.Errorf("ensemble: saving %s: %w", key, err)
 	}
-	st.Nets[key] = buf.b
+	st.Nets[key] = buf.Bytes()
 	return nil
 }
 
@@ -42,32 +60,10 @@ func (st *savedState) loadNet(key string, n *nn.Network) error {
 	if !ok {
 		return fmt.Errorf("ensemble: saved state missing network %q", key)
 	}
-	return n.Load(&byteReader{b: b})
+	return n.Load(bytes.NewReader(b))
 }
 
-// byteBuffer / byteReader avoid importing bytes for two trivial uses.
-type byteBuffer struct{ b []byte }
-
-func (w *byteBuffer) Write(p []byte) (int, error) {
-	w.b = append(w.b, p...)
-	return len(p), nil
-}
-
-type byteReader struct {
-	b []byte
-	i int
-}
-
-func (r *byteReader) Read(p []byte) (int, error) {
-	if r.i >= len(r.b) {
-		return 0, io.EOF
-	}
-	n := copy(p, r.b[r.i:])
-	r.i += n
-	return n, nil
-}
-
-// Save writes the full trained pipeline to w.
+// Save writes the full trained pipeline to w in the current FormatVersion.
 func (e *Ensembler) Save(w io.Writer) error {
 	st := savedState{
 		Cfg:       e.Cfg,
@@ -98,27 +94,43 @@ func (e *Ensembler) Save(w io.Writer) error {
 	if e.Noise != nil {
 		st.Noises["final.noise"] = e.Noise.Noise.Value
 	}
-	return gob.NewEncoder(w).Encode(&st)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&st); err != nil {
+		return fmt.Errorf("ensemble: encoding saved state: %w", err)
+	}
+	env := savedFile{
+		Format:   FormatVersion,
+		Checksum: sha256.Sum256(payload.Bytes()),
+		Payload:  payload.Bytes(),
+	}
+	return gob.NewEncoder(w).Encode(&env)
 }
 
-// Load reconstructs a trained pipeline from r. The stored Config rebuilds
-// the network skeletons; saved parameters then overwrite the fresh
-// initialization. The training-time RNG stream is irrelevant here because
-// every tensor is restored explicitly.
+// Load reconstructs a trained pipeline from r, verifying the envelope's
+// format version and content checksum before decoding the payload. The
+// stored Config rebuilds the network skeletons (via New); saved parameters
+// then overwrite the fresh initialization. The training-time RNG stream is
+// irrelevant here because every tensor is restored explicitly.
 func Load(r io.Reader) (*Ensembler, error) {
-	var st savedState
-	if err := gob.NewDecoder(r).Decode(&st); err != nil {
-		return nil, fmt.Errorf("ensemble: decoding saved state: %w", err)
+	var env savedFile
+	if err := gob.NewDecoder(r).Decode(&env); err != nil {
+		// A pre-envelope (format 1) file is a bare savedState gob: none of
+		// its fields match the envelope, which gob reports as a type
+		// mismatch. Name the likely cause instead of implying corruption.
+		return nil, fmt.Errorf("ensemble: decoding saved state (corrupted, or a pre-format-%d file from an older build — retrain or republish it): %w", FormatVersion, err)
 	}
-	cfg := st.Cfg
-	e := &Ensembler{Cfg: cfg}
-	seedR := rng.New(cfg.Seed)
-	for i := 0; i < cfg.N; i++ {
-		sigma := cfg.Sigma
-		if !cfg.Stage1Noise {
-			sigma = 0
-		}
-		m := split.NewModel(fmt.Sprintf("member%d", i), cfg.Arch, sigma, nn.NoiseFixed, cfg.Dropout, seedR.Split())
+	if env.Format != FormatVersion {
+		return nil, fmt.Errorf("ensemble: saved pipeline has format version %d, this build reads %d", env.Format, FormatVersion)
+	}
+	if sum := sha256.Sum256(env.Payload); sum != env.Checksum {
+		return nil, fmt.Errorf("ensemble: saved pipeline fails its checksum (truncated or corrupted file)")
+	}
+	var st savedState
+	if err := gob.NewDecoder(bytes.NewReader(env.Payload)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("ensemble: decoding saved state payload: %w", err)
+	}
+	e := New(st.Cfg)
+	for i, m := range e.Members {
 		if err := st.loadNet(fmt.Sprintf("member%d.head", i), m.Head); err != nil {
 			return nil, err
 		}
@@ -135,12 +147,8 @@ func Load(r io.Reader) (*Ensembler, error) {
 			}
 			copy(m.Noise.Noise.Value.Data, saved.Data)
 		}
-		e.Members = append(e.Members, m)
 	}
-	e.Selector = FixedSelector(cfg.N, st.Selection)
-	r3 := rng.New(1)
-	e.Head = cfg.Arch.NewHead("final.head", r3)
-	e.Tail = cfg.Arch.NewTail("final.tail", cfg.P, cfg.Dropout, r3)
+	e.Selector = FixedSelector(st.Cfg.N, st.Selection)
 	if err := st.loadNet("final.head", e.Head); err != nil {
 		return nil, err
 	}
@@ -148,9 +156,14 @@ func Load(r io.Reader) (*Ensembler, error) {
 		return nil, err
 	}
 	if saved, ok := st.Noises["final.noise"]; ok {
-		c, h, w := cfg.Arch.HeadOutShape()
-		e.Noise = nn.NewAdditiveNoise("final.noise", nn.NoiseFixed, c, h, w, cfg.Sigma, rng.New(2))
+		if e.Noise == nil {
+			c, h, w := st.Cfg.Arch.HeadOutShape()
+			// Initialization is immediately overwritten by the saved tensor.
+			e.Noise = nn.NewAdditiveNoise("final.noise", nn.NoiseFixed, c, h, w, st.Cfg.Sigma, rng.New(0))
+		}
 		copy(e.Noise.Noise.Value.Data, saved.Data)
+	} else {
+		e.Noise = nil
 	}
 	return e, nil
 }

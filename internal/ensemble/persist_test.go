@@ -2,6 +2,8 @@ package ensemble
 
 import (
 	"bytes"
+	"encoding/gob"
+	"strings"
 	"testing"
 )
 
@@ -46,5 +48,88 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 func TestLoadRejectsTruncated(t *testing.T) {
 	if _, err := Load(bytes.NewReader([]byte("garbage"))); err == nil {
 		t.Error("expected decode error")
+	}
+}
+
+func TestUntrainedSaveLoadRoundTrip(t *testing.T) {
+	// New + Save + Load must reproduce the skeleton bit-for-bit — the cheap
+	// path the registry harnesses rely on.
+	e := untrainedPipeline(81)
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomImages(e.Cfg, 82, 2)
+	if !loaded.Predict(x).AllClose(e.Predict(x), 1e-12) {
+		t.Error("loaded untrained pipeline predicts differently")
+	}
+}
+
+// reencode decodes a saved envelope, lets mutate rewrite it, and re-encodes.
+func reencode(t *testing.T, e *Ensembler, mutate func(*savedFile)) *bytes.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var env savedFile
+	if err := gob.NewDecoder(&buf).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&env)
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(&env); err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(out.Bytes())
+}
+
+func TestLoadRejectsEnvelopeLessFormat1File(t *testing.T) {
+	// A pre-envelope (format 1) file is a bare gob of savedState. None of
+	// its fields match the savedFile envelope, which gob reports as a type
+	// mismatch — the reader must surface the older-format possibility, not
+	// imply corruption or fail deep inside network reconstruction.
+	e := untrainedPipeline(85)
+	st := savedState{
+		Cfg:       e.Cfg,
+		Selection: e.Selector.Indices,
+		Nets:      map[string][]byte{},
+	}
+	var legacy bytes.Buffer
+	if err := gob.NewEncoder(&legacy).Encode(&st); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(&legacy)
+	if err == nil || !strings.Contains(err.Error(), "older build") {
+		t.Errorf("want an older-format hint for a format-1 file, got %v", err)
+	}
+}
+
+func TestLoadRejectsWrongFormatVersion(t *testing.T) {
+	e := untrainedPipeline(83)
+	r := reencode(t, e, func(env *savedFile) { env.Format = FormatVersion + 1 })
+	_, err := Load(r)
+	if err == nil || !strings.Contains(err.Error(), "format version") {
+		t.Errorf("want format-version mismatch error, got %v", err)
+	}
+}
+
+func TestLoadRejectsCorruptedPayload(t *testing.T) {
+	e := untrainedPipeline(84)
+	r := reencode(t, e, func(env *savedFile) { env.Payload[len(env.Payload)/2] ^= 0xff })
+	_, err := Load(r)
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("want checksum error, got %v", err)
+	}
+	// Truncation of the payload is also a checksum failure, not a garbled
+	// network.
+	r = reencode(t, e, func(env *savedFile) { env.Payload = env.Payload[:len(env.Payload)-7] })
+	_, err = Load(r)
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("want checksum error for truncated payload, got %v", err)
 	}
 }

@@ -1,0 +1,149 @@
+package ensemble
+
+import (
+	"testing"
+
+	"ensembler/internal/rng"
+	"ensembler/internal/split"
+	"ensembler/internal/tensor"
+)
+
+// randomImages builds a deterministic input batch matching the config's
+// image shape.
+func randomImages(cfg Config, seed int64, n int) *tensor.Tensor {
+	x := tensor.New(n, cfg.Arch.InC, cfg.Arch.H, cfg.Arch.W)
+	rng.New(seed).FillNormal(x.Data, 0, 1)
+	return x
+}
+
+// untrainedPipeline builds a skeleton pipeline cheaply — rotation mechanics
+// don't need trained weights.
+func untrainedPipeline(seed int64) *Ensembler {
+	cfg := tinyConfig(seed)
+	cfg.N, cfg.P = 4, 2
+	return New(cfg)
+}
+
+func TestCloneIsDeepAndEquivalent(t *testing.T) {
+	e := untrainedPipeline(71)
+	c, err := e.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomImages(e.Cfg, 72, 3)
+	if !c.Predict(x).AllClose(e.Predict(x), 1e-12) {
+		t.Fatal("clone predicts differently")
+	}
+	// Mutating the clone must not touch the original.
+	c.Head.Params()[0].Value.Data[0] += 1
+	c.Selector.Indices[0] = (c.Selector.Indices[0] + 1) % c.Cfg.N
+	if e.Head.Params()[0].Value.Data[0] == c.Head.Params()[0].Value.Data[0] {
+		t.Error("clone shares head parameters with the original")
+	}
+	if e.Selector.Indices[0] == c.Selector.Indices[0] {
+		t.Error("clone shares selector state with the original")
+	}
+}
+
+func TestRotateRedrawsSelectorKeepsBodies(t *testing.T) {
+	e := untrainedPipeline(73)
+	before := append([]int(nil), e.Selector.Indices...)
+
+	rot, err := e.Rotate(RotateOptions{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sameIndices(rot.Selector.Indices, before) {
+		t.Error("rotation kept the same secret subset")
+	}
+	if !sameIndices(e.Selector.Indices, before) {
+		t.Error("rotation mutated the original's selector")
+	}
+	// The server bodies must be bit-identical: rotation is invisible on the
+	// wire by design.
+	for i := range e.Members {
+		a, b := e.Members[i].Body.Params(), rot.Members[i].Body.Params()
+		for j := range a {
+			for k := range a[j].Value.Data {
+				if a[j].Value.Data[k] != b[j].Value.Data[k] {
+					t.Fatalf("rotation changed body %d weights", i)
+				}
+			}
+		}
+	}
+	// Without tuning, the stage-3 head is also untouched.
+	if rot.Head.Params()[0].Value.Data[0] != e.Head.Params()[0].Value.Data[0] {
+		t.Error("untuned rotation changed the head")
+	}
+}
+
+func TestRotateSameSeedStillMoves(t *testing.T) {
+	// Even a seed whose first draw reproduces the current subset must end on
+	// a different one (redraw-until-moved), for every seed we try.
+	e := untrainedPipeline(74)
+	for seed := int64(0); seed < 20; seed++ {
+		rot, err := e.Rotate(RotateOptions{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sameIndices(rot.Selector.Indices, e.Selector.Indices) {
+			t.Fatalf("seed %d: rotation landed on the same subset", seed)
+		}
+	}
+}
+
+func TestRotateSingleSubsetIsIdentity(t *testing.T) {
+	cfg := tinyConfig(75)
+	cfg.N, cfg.P = 2, 2 // only one possible subset
+	e := New(cfg)
+	rot, err := e.Rotate(RotateOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIndices(rot.Selector.Indices, e.Selector.Indices) {
+		t.Error("P=N rotation invented a different subset")
+	}
+}
+
+func TestRotateWithTuneAdaptsHeadTail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training smoke test")
+	}
+	train := tinyData(76)
+	cfg := tinyConfig(77)
+	e := Train(cfg, train, nil)
+
+	rot, err := e.Rotate(RotateOptions{
+		Seed: 5,
+		Tune: train,
+		TuneOpts: split.TrainOptions{
+			Epochs: 1, BatchSize: 16, LR: 0.02,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	a, b := e.Tail.Params(), rot.Tail.Params()
+	for i := range a {
+		for k := range a[i].Value.Data {
+			if a[i].Value.Data[k] != b[i].Value.Data[k] {
+				moved = true
+			}
+		}
+	}
+	if !moved {
+		t.Error("tuned rotation left the tail untouched")
+	}
+	// Bodies still frozen through the tune.
+	for i := range e.Members {
+		ap, bp := e.Members[i].Body.Params(), rot.Members[i].Body.Params()
+		for j := range ap {
+			for k := range ap[j].Value.Data {
+				if ap[j].Value.Data[k] != bp[j].Value.Data[k] {
+					t.Fatalf("tuned rotation changed body %d", i)
+				}
+			}
+		}
+	}
+}

@@ -38,10 +38,9 @@ func (e ServingEstimate) String() string {
 		e.Name, e.RequestSeconds, e.ThroughputRPS, e.ThroughputIPS, 100*e.Utilization)
 }
 
-// EstimateServing evaluates the closed-system model: throughput is bounded
-// both by the clients' request-issue rate (Clients / round-trip) and by the
-// server pool's service rate (Workers / server-time-per-request).
-func EstimateServing(sc ServingScenario) ServingEstimate {
+// servingTimes evaluates the base scenario at the serving operating point,
+// returning the unloaded round-trip time and the per-request server time.
+func servingTimes(sc *ServingScenario) (request, service float64) {
 	base := sc.Base
 	if sc.Batch <= 0 {
 		sc.Batch = 1
@@ -54,21 +53,83 @@ func EstimateServing(sc ServingScenario) ServingEstimate {
 	}
 	base.Batch = sc.Batch
 	b := Run(base)
-	request := b.Total()
-	service := b.Server
+	return b.Total(), b.Server
+}
+
+// EstimateServing evaluates the closed-system model: throughput is bounded
+// both by the clients' request-issue rate (Clients / round-trip) and by the
+// server pool's service rate (Workers / server-time-per-request).
+func EstimateServing(sc ServingScenario) ServingEstimate {
+	return EstimateServingRotated(sc, Rotation{})
+}
+
+// Rotation models the hot-swap cadence of the registry subsystem: every
+// PeriodSeconds a new epoch is published (a selector rotation or a model
+// publish), and each serving worker lazily rebuilds its private body
+// replicas once per epoch, costing CloneSeconds of that worker's capacity.
+type Rotation struct {
+	// PeriodSeconds is the time between epoch swaps; <= 0 means never.
+	PeriodSeconds float64
+	// CloneSeconds is the time one worker spends re-cloning its N-body
+	// replica set when it first sees a new epoch.
+	CloneSeconds float64
+}
+
+// OverheadFraction returns the fraction of each worker's capacity spent
+// re-cloning: CloneSeconds out of every PeriodSeconds, clamped to [0,1].
+// The cost is per worker but does not grow with the pool — every worker
+// pays one clone per epoch, concurrently, as requests arrive.
+func (r Rotation) OverheadFraction() float64 {
+	if r.PeriodSeconds <= 0 || r.CloneSeconds <= 0 {
+		return 0
+	}
+	f := r.CloneSeconds / r.PeriodSeconds
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// EstimateServingRotated evaluates the closed-system model under a rotation
+// cadence: the server pool's effective capacity shrinks by the overhead
+// fraction while the unloaded round-trip time is unchanged (a request never
+// waits on a clone already paid for by its worker). A zero Rotation is
+// exactly EstimateServing. This is the analytic counterpart of
+// BenchmarkHotSwap: rotation bounds what a curious server accumulates
+// against one selector, and this term prices that privacy.
+func EstimateServingRotated(sc ServingScenario, rot Rotation) ServingEstimate {
+	request, service := servingTimes(&sc)
+	capacity := float64(sc.Workers) * (1 - rot.OverheadFraction())
 	clientBound := float64(sc.Clients) / request
-	serverBound := float64(sc.Workers) / service
+	serverBound := capacity / service // +Inf when service is 0: never binding
 	x := clientBound
 	if serverBound < x {
 		x = serverBound
 	}
+	name := fmt.Sprintf("c=%d w=%d b=%d", sc.Clients, sc.Workers, sc.Batch)
+	if rot.OverheadFraction() > 0 {
+		name += fmt.Sprintf(" rot=%.0fs", rot.PeriodSeconds)
+	}
 	return ServingEstimate{
-		Name:           fmt.Sprintf("c=%d w=%d b=%d", sc.Clients, sc.Workers, sc.Batch),
+		Name:           name,
 		RequestSeconds: request,
 		ThroughputRPS:  x,
 		ThroughputIPS:  x * float64(sc.Batch),
 		Utilization:    x * service / float64(sc.Workers),
 	}
+}
+
+// RotationSweep evaluates a serving scenario across rotation periods — the
+// planning question the registry's -rotate-every flag asks: how often can
+// the selector rotate before the hot-swap overhead bites into throughput?
+func RotationSweep(base Scenario, workers, clients, batch int, cloneSeconds float64, periods []float64) []ServingEstimate {
+	out := make([]ServingEstimate, len(periods))
+	for i, p := range periods {
+		out[i] = EstimateServingRotated(
+			ServingScenario{Base: base, Workers: workers, Clients: clients, Batch: batch},
+			Rotation{PeriodSeconds: p, CloneSeconds: cloneSeconds})
+	}
+	return out
 }
 
 // ConcurrencySweep evaluates the scenario across client counts — the model

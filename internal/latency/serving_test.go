@@ -67,3 +67,59 @@ func TestEstimateServingDefaults(t *testing.T) {
 		t.Errorf("defaulted estimate degenerate: %+v", est)
 	}
 }
+
+func TestRotationOverheadFraction(t *testing.T) {
+	cases := []struct {
+		rot  Rotation
+		want float64
+	}{
+		{Rotation{}, 0},                  // no rotation
+		{Rotation{PeriodSeconds: 60}, 0}, // free clones
+		{Rotation{PeriodSeconds: 60, CloneSeconds: 0.6}, 0.01},
+		{Rotation{PeriodSeconds: 1, CloneSeconds: 5}, 1}, // clamp: rotating faster than cloning
+		{Rotation{PeriodSeconds: -1, CloneSeconds: 5}, 0},
+	}
+	for _, c := range cases {
+		if got := c.rot.OverheadFraction(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("OverheadFraction(%+v) = %v, want %v", c.rot, got, c.want)
+		}
+	}
+}
+
+func TestRotationCostsOnlySaturatedThroughput(t *testing.T) {
+	sc := ServingScenario{Base: servingBase(), Workers: 4, Clients: 64, Batch: 1}
+	plain := EstimateServing(sc)
+	rotated := EstimateServingRotated(sc, Rotation{PeriodSeconds: 10, CloneSeconds: 1})
+	// At saturation, a 10% capacity tax shows up as exactly 10% throughput.
+	want := plain.ThroughputRPS * 0.9
+	if math.Abs(rotated.ThroughputRPS-want)/want > 1e-9 {
+		t.Errorf("rotated throughput %.4f, want %.4f", rotated.ThroughputRPS, want)
+	}
+	if rotated.RequestSeconds != plain.RequestSeconds {
+		t.Error("rotation must not change the unloaded round-trip time")
+	}
+
+	// An unsaturated pool hides the rotation cost entirely: the client bound
+	// is still the binding constraint.
+	light := ServingScenario{Base: servingBase(), Workers: 4, Clients: 1, Batch: 1}
+	if a, b := EstimateServing(light), EstimateServingRotated(light, Rotation{PeriodSeconds: 10, CloneSeconds: 1}); a.ThroughputRPS != b.ThroughputRPS {
+		t.Errorf("unsaturated throughput moved under rotation: %v vs %v", a.ThroughputRPS, b.ThroughputRPS)
+	}
+}
+
+func TestRotationSweepMonotonic(t *testing.T) {
+	// Longer periods amortize the clone better: throughput must be
+	// non-decreasing in the rotation period, and approach the un-rotated
+	// estimate as the period grows.
+	sweep := RotationSweep(servingBase(), 4, 64, 1, 0.5, []float64{1, 5, 30, 300, 3600})
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].ThroughputRPS < sweep[i-1].ThroughputRPS-1e-12 {
+			t.Errorf("throughput decreased with a longer period: %v to %v", sweep[i-1], sweep[i])
+		}
+	}
+	plain := EstimateServing(ServingScenario{Base: servingBase(), Workers: 4, Clients: 64, Batch: 1})
+	last := sweep[len(sweep)-1]
+	if (plain.ThroughputRPS-last.ThroughputRPS)/plain.ThroughputRPS > 0.001 {
+		t.Errorf("hourly rotation should cost <0.1%%: %v vs %v", last.ThroughputRPS, plain.ThroughputRPS)
+	}
+}

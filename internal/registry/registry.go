@@ -1,0 +1,347 @@
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ensembler/internal/comm"
+	"ensembler/internal/ensemble"
+	"ensembler/internal/nn"
+)
+
+// Epoch is one immutable published version of a model held live in memory.
+// Immutability is the whole concurrency story: nothing ever mutates an
+// epoch's pipeline after Publish, so any number of serving workers may clone
+// replicas from it while a new epoch is being prepared, and in-flight
+// requests simply finish on whichever epoch they resolved.
+type Epoch struct {
+	name     string
+	version  int
+	seq      uint64
+	pipeline *ensemble.Ensembler
+}
+
+// Name returns the model name this epoch belongs to.
+func (ep *Epoch) Name() string { return ep.name }
+
+// Version returns the store-assigned (or in-memory sequential) version.
+func (ep *Epoch) Version() int { return ep.version }
+
+// Seq returns a registry-unique epoch number. Serving workers use it as
+// their replica cache key: a changed Seq (publish, rotation, or reload)
+// tells the worker its body replicas are stale and must be re-cloned.
+func (ep *Epoch) Seq() uint64 { return ep.seq }
+
+// Pipeline returns the published pipeline. Treat it as read-only.
+func (ep *Epoch) Pipeline() *ensemble.Ensembler { return ep.pipeline }
+
+// NewReplica builds an independent replica of the epoch's server bodies
+// (identical weights, private forward caches) for one serving worker. Safe
+// to call from any number of goroutines: the source is immutable and the
+// clone is freshly allocated.
+func (ep *Epoch) NewReplica() []*nn.Network { return ep.pipeline.CloneBodies() }
+
+// maxRetainedEpochs bounds how many epochs of one model stay in memory.
+// Under a rotation cadence (-rotate-every) versions accumulate indefinitely;
+// without a bound a long-lived server would hold every superseded pipeline
+// forever and eventually OOM. Evicted versions remain resolvable for pinned
+// clients through the store (lazily re-loaded); on a storeless registry they
+// become unknown-version errors, which is the honest answer.
+const maxRetainedEpochs = 8
+
+// modelState is the live state of one model name: the current epoch behind
+// an atomic pointer (the serving hot path reads only this) and the retained
+// map of published versions for pinned resolution.
+type modelState struct {
+	current atomic.Pointer[Epoch]
+	mu      sync.Mutex
+	epochs  map[int]*Epoch
+}
+
+// retain inserts an epoch and evicts the oldest retained versions (never the
+// current one) beyond maxRetainedEpochs. Caller holds ms.mu.
+func (ms *modelState) retain(ep *Epoch) {
+	ms.epochs[ep.version] = ep
+	for len(ms.epochs) > maxRetainedEpochs {
+		cur := ms.current.Load()
+		oldest := -1
+		for v := range ms.epochs {
+			if cur != nil && v == cur.version {
+				continue
+			}
+			if oldest < 0 || v < oldest {
+				oldest = v
+			}
+		}
+		if oldest < 0 {
+			return
+		}
+		delete(ms.epochs, oldest)
+	}
+}
+
+// Registry is the in-memory view the serving stack reads through. It
+// implements comm.ModelProvider: the server resolves (model, version) per
+// request, with "" meaning the default model and version 0 meaning current.
+// Publish and RotateSelector swap the current epoch with a single atomic
+// pointer store — no lock is ever taken on the request path for the current
+// version.
+type Registry struct {
+	store *Store // optional write-through persistence; may be nil
+
+	seq     atomic.Uint64
+	mu      sync.Mutex // serializes publishes and default changes
+	models  sync.Map   // model name → *modelState
+	defName atomic.Pointer[string]
+}
+
+// Compile-time check: the serving stack reads through a Registry.
+var _ comm.ModelProvider = (*Registry)(nil)
+
+// New creates a registry. A non-nil store makes every Publish (and
+// RotateSelector) write through to disk; a nil store keeps everything
+// in-memory, which tests and single-file deployments use.
+func New(store *Store) *Registry {
+	return &Registry{store: store}
+}
+
+// OpenDir opens the store at dir, loads the latest version of every model it
+// holds into a fresh registry, and returns both. The first model (sorted by
+// name) becomes the default unless SetDefault changes it.
+func OpenDir(dir string) (*Registry, error) {
+	store, err := Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	r := New(store)
+	if _, err := r.LoadStore(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// state returns (creating if needed) the live state for one model name.
+func (r *Registry) state(name string) *modelState {
+	if ms, ok := r.models.Load(name); ok {
+		return ms.(*modelState)
+	}
+	ms, _ := r.models.LoadOrStore(name, &modelState{epochs: map[int]*Epoch{}})
+	return ms.(*modelState)
+}
+
+// install registers a pipeline as the given version and makes it current if
+// it is newer than what is live. It does not touch the store.
+func (r *Registry) install(name string, version int, e *ensemble.Ensembler) *Epoch {
+	ep := &Epoch{name: name, version: version, seq: r.seq.Add(1), pipeline: e}
+	ms := r.state(name)
+	ms.mu.Lock()
+	if cur := ms.current.Load(); cur == nil || cur.version <= version {
+		ms.current.Store(ep)
+	}
+	ms.retain(ep)
+	ms.mu.Unlock()
+	r.defName.CompareAndSwap(nil, &name)
+	return ep
+}
+
+// Publish makes the pipeline the next version of the named model: persisted
+// to the store (when one is attached), installed in memory, and swapped in
+// as the current epoch. Serving continues across the swap — workers finish
+// in-flight requests on the old epoch and lazily re-clone replicas on their
+// next request against this model.
+func (r *Registry) Publish(name string, e *ensemble.Ensembler) (*Epoch, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.publishLocked(name, e)
+}
+
+// publishLocked is Publish with r.mu already held.
+func (r *Registry) publishLocked(name string, e *ensemble.Ensembler) (*Epoch, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	var version int
+	if r.store != nil {
+		v, err := r.store.Publish(name, e)
+		if err != nil {
+			return nil, err
+		}
+		version = v
+	} else {
+		ms := r.state(name)
+		ms.mu.Lock()
+		if cur := ms.current.Load(); cur != nil {
+			version = cur.version
+		}
+		ms.mu.Unlock()
+		version++
+	}
+	return r.install(name, version, e), nil
+}
+
+// RotateSelector re-draws the secret P-of-N subset of the named model (""
+// for the default) on a copy of its current pipeline and publishes the
+// result as a new version — the switching-ensembles defense cadence. The
+// server bodies are unchanged, so the swap is invisible on the wire; only
+// the client-side secret (and, with opts.Tune, the stage-3 head/noise/tail)
+// moves.
+// Rotation runs outside the publish lock (a fine-tune can take seconds), so
+// a Publish or LoadStore may land mid-rotation; publishing the rotation of a
+// stale pipeline would silently revert the newer model. RotateSelector
+// therefore re-checks the current epoch under the lock before publishing and
+// starts over on the fresh pipeline when it moved.
+func (r *Registry) RotateSelector(name string, opts ensemble.RotateOptions) (*Epoch, error) {
+	const maxAttempts = 3
+	for attempt := 0; ; attempt++ {
+		cur, err := r.Epoch(name, 0)
+		if err != nil {
+			return nil, err
+		}
+		rotated, err := cur.pipeline.Rotate(opts)
+		if err != nil {
+			return nil, fmt.Errorf("registry: rotating %q: %w", cur.name, err)
+		}
+		r.mu.Lock()
+		if latest := r.state(cur.name).current.Load(); latest != nil && latest.seq != cur.seq {
+			r.mu.Unlock()
+			if attempt+1 >= maxAttempts {
+				return nil, fmt.Errorf("registry: rotating %q: current version kept moving (%d publishes raced the rotation)", cur.name, maxAttempts)
+			}
+			continue // a publish landed mid-rotation; rotate the newer pipeline
+		}
+		ep, err := r.publishLocked(cur.name, rotated)
+		r.mu.Unlock()
+		return ep, err
+	}
+}
+
+// Epoch resolves a model name and version to a live epoch. name "" means the
+// default model; version 0 means the current epoch. A pinned version is
+// served from memory when retained, else lazily loaded (and verified) from
+// the store.
+func (r *Registry) Epoch(name string, version int) (*Epoch, error) {
+	if name == "" {
+		def := r.defName.Load()
+		if def == nil {
+			return nil, fmt.Errorf("registry: no models published")
+		}
+		name = *def
+	}
+	ms, ok := r.models.Load(name)
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown model %q", name)
+	}
+	state := ms.(*modelState)
+	if version == 0 {
+		cur := state.current.Load()
+		if cur == nil {
+			return nil, fmt.Errorf("registry: model %q has no current version", name)
+		}
+		return cur, nil
+	}
+	if version < 0 {
+		return nil, fmt.Errorf("registry: model %q: invalid version %d", name, version)
+	}
+	state.mu.Lock()
+	ep := state.epochs[version]
+	state.mu.Unlock()
+	if ep != nil {
+		return ep, nil
+	}
+	if r.store == nil {
+		return nil, fmt.Errorf("registry: model %q has no version %d", name, version)
+	}
+	e, v, err := r.store.Load(name, version)
+	if err != nil {
+		return nil, err
+	}
+	ep = &Epoch{name: name, version: v, seq: r.seq.Add(1), pipeline: e}
+	state.mu.Lock()
+	if cached := state.epochs[v]; cached != nil {
+		ep = cached // another resolver won the race; keep one epoch per version
+	} else {
+		state.retain(ep)
+	}
+	state.mu.Unlock()
+	return ep, nil
+}
+
+// Resolve implements comm.ModelProvider over Epoch.
+func (r *Registry) Resolve(model string, version int) (comm.ServedModel, error) {
+	ep, err := r.Epoch(model, version)
+	if err != nil {
+		return nil, err
+	}
+	return ep, nil
+}
+
+// Current returns the live epoch of the named model ("" for default).
+func (r *Registry) Current(name string) (*Epoch, error) { return r.Epoch(name, 0) }
+
+// Store returns the attached write-through store (nil for an in-memory-only
+// registry) — callers use it for maintenance such as pruning old versions.
+func (r *Registry) Store() *Store { return r.store }
+
+// Models lists the model names live in this registry, sorted.
+func (r *Registry) Models() []string {
+	var out []string
+	r.models.Range(func(k, _ any) bool {
+		out = append(out, k.(string))
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// SetDefault names the model that resolves for requests carrying no model
+// header (pre-registry clients and clients that don't care).
+func (r *Registry) SetDefault(name string) error {
+	if _, ok := r.models.Load(name); !ok {
+		return fmt.Errorf("registry: cannot default to unknown model %q", name)
+	}
+	r.defName.Store(&name)
+	return nil
+}
+
+// Default returns the default model name ("" when nothing is published).
+func (r *Registry) Default() string {
+	if def := r.defName.Load(); def != nil {
+		return *def
+	}
+	return ""
+}
+
+// LoadStore loads the latest version of every model in the attached store
+// into memory, skipping models whose live version is already current or
+// newer. It returns how many models were installed or updated — the SIGHUP
+// reload path: publish out-of-process, signal the server, zero downtime.
+func (r *Registry) LoadStore() (int, error) {
+	if r.store == nil {
+		return 0, fmt.Errorf("registry: no store attached")
+	}
+	names, err := r.store.Models()
+	if err != nil {
+		return 0, err
+	}
+	updated := 0
+	for _, name := range names {
+		latest, err := r.store.Latest(name)
+		if err != nil {
+			return updated, err
+		}
+		if cur, err := r.Current(name); err == nil && cur.version >= latest {
+			continue
+		}
+		e, v, err := r.store.Load(name, latest)
+		if err != nil {
+			return updated, err
+		}
+		r.mu.Lock()
+		r.install(name, v, e)
+		r.mu.Unlock()
+		updated++
+	}
+	return updated, nil
+}

@@ -1,0 +1,338 @@
+package registry_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ensembler/internal/commtest"
+	"ensembler/internal/ensemble"
+	"ensembler/internal/registry"
+)
+
+func TestRegistryPublishAndResolve(t *testing.T) {
+	r := registry.New(nil)
+	e := pipeline(10)
+	ep, err := r.Publish("cifar", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Version() != 1 || ep.Name() != "cifar" {
+		t.Fatalf("first publish → %s v%d", ep.Name(), ep.Version())
+	}
+
+	// The first published model becomes the default; "" and version 0
+	// resolve to it — the pre-registry fallback.
+	got, err := r.Epoch("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ep {
+		t.Error("default resolution did not return the published epoch")
+	}
+	if m, err := r.Resolve("", 0); err != nil || m.Seq() != ep.Seq() {
+		t.Errorf("ModelProvider resolution mismatch: %v", err)
+	}
+
+	if _, err := r.Epoch("nope", 0); err == nil || !strings.Contains(err.Error(), "unknown model") {
+		t.Errorf("unknown model: %v", err)
+	}
+	if _, err := r.Epoch("cifar", 9); err == nil {
+		t.Error("unknown version must fail on a storeless registry")
+	}
+}
+
+func TestRegistryHotPublishSwapsCurrent(t *testing.T) {
+	r := registry.New(nil)
+	ep1, err := r.Publish("m", pipeline(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep2, err := r.Publish("m", pipeline(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep2.Version() != 2 {
+		t.Fatalf("second publish version %d", ep2.Version())
+	}
+	if ep1.Seq() == ep2.Seq() {
+		t.Error("epochs must have distinct sequence numbers")
+	}
+	cur, err := r.Current("m")
+	if err != nil || cur != ep2 {
+		t.Error("current must be the newest publish")
+	}
+	// The old epoch stays resolvable for pinned clients.
+	old, err := r.Epoch("m", 1)
+	if err != nil || old != ep1 {
+		t.Error("pinned resolution of the superseded version failed")
+	}
+	// Both stay independently servable.
+	x := images(13, 2)
+	if old.Pipeline().Predict(x).AllClose(cur.Pipeline().Predict(x), 1e-12) {
+		t.Error("distinct seeds should give distinguishable versions")
+	}
+}
+
+func TestRegistryRotateSelector(t *testing.T) {
+	r := registry.New(nil)
+	ep1, err := r.Publish("m", pipeline(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]int(nil), ep1.Pipeline().Selector.Indices...)
+
+	ep2, err := r.RotateSelector("", ensemble.RotateOptions{Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep2.Version() != 2 {
+		t.Fatalf("rotation published version %d, want 2", ep2.Version())
+	}
+	same := len(before) == len(ep2.Pipeline().Selector.Indices)
+	if same {
+		for i := range before {
+			if before[i] != ep2.Pipeline().Selector.Indices[i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("rotation kept the secret subset")
+	}
+	// Rotation is invisible on the wire: same bodies, so a header-less
+	// client's features produce bit-identical server outputs across epochs.
+	x := images(16, 2)
+	f := ep1.Pipeline().ClientFeatures(x)
+	a := ep1.Pipeline().ServerCompute(f)
+	b := ep2.Pipeline().ServerCompute(f)
+	for i := range a {
+		if !a[i].AllClose(b[i], 1e-12) {
+			t.Fatalf("body %d output changed across rotation", i)
+		}
+	}
+}
+
+func TestRegistrySetDefaultRoutesHeaderless(t *testing.T) {
+	r := registry.New(nil)
+	if _, err := r.Publish("a", pipeline(17)); err != nil {
+		t.Fatal(err)
+	}
+	epB, err := r.Publish("b", pipeline(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Default() != "a" {
+		t.Fatalf("default = %q, want first-published", r.Default())
+	}
+	if err := r.SetDefault("b"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Epoch("", 0)
+	if err != nil || got != epB {
+		t.Error("header-less resolution must follow the new default")
+	}
+	if err := r.SetDefault("nope"); err == nil {
+		t.Error("defaulting to an unknown model must fail")
+	}
+	if models := r.Models(); len(models) != 2 || models[0] != "a" || models[1] != "b" {
+		t.Errorf("models = %v", models)
+	}
+}
+
+func TestRegistryWriteThroughAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	store, err := registry.Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := registry.New(store)
+	if _, err := r.Publish("m", pipeline(19)); err != nil {
+		t.Fatal(err)
+	}
+	ep2, err := r.RotateSelector("m", ensemble.RotateOptions{Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process opens the same directory and resumes at the rotated
+	// version, same secret subset.
+	r2, err := registry.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := r2.Current("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Version() != 2 {
+		t.Fatalf("reopened current version %d, want 2", cur.Version())
+	}
+	a, b := ep2.Pipeline().Selector.Indices, cur.Pipeline().Selector.Indices
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("rotated selection not persisted")
+		}
+	}
+	// Version pinning works across the restart by lazily loading from disk.
+	old, err := r2.Epoch("m", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Version() != 1 {
+		t.Errorf("pinned version = %d", old.Version())
+	}
+}
+
+func TestRegistryLoadStorePicksUpOutOfProcessPublish(t *testing.T) {
+	dir := t.TempDir()
+	store, err := registry.Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := registry.New(store)
+	if _, err := r.Publish("m", pipeline(21)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Another process publishes v2 directly to disk.
+	store2, err := registry.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store2.Publish("m", pipeline(22)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The serving registry reloads (the SIGHUP path) and swaps to v2.
+	updated, err := r.LoadStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updated != 1 {
+		t.Errorf("LoadStore updated %d models, want 1", updated)
+	}
+	cur, err := r.Current("m")
+	if err != nil || cur.Version() != 2 {
+		t.Errorf("current after reload = v%d, want v2", cur.Version())
+	}
+	// Reloading again is a no-op.
+	if updated, _ := r.LoadStore(); updated != 0 {
+		t.Errorf("idempotent reload updated %d models", updated)
+	}
+}
+
+func TestRotateSelectorRefusesToRevertRacingPublish(t *testing.T) {
+	// A publish that lands while a rotation is in flight must not be
+	// overwritten by the rotation of the stale pipeline. The rotation retries
+	// on the fresh current instead.
+	r := registry.New(nil)
+	if _, err := r.Publish("m", pipeline(90)); err != nil {
+		t.Fatal(err)
+	}
+	fresh := pipeline(91)
+	x := commtest.Input(tiny, 92, 1)
+	wantBody := fresh.Bodies()[0].Forward(x, false)
+
+	// Simulate the race deterministically: Rotate reads current v1, then v2
+	// lands before it publishes. The retry path rotates v2's pipeline, so the
+	// final current must carry v2's bodies, not v1's.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(10 * time.Millisecond)
+		if _, err := r.Publish("m", fresh); err != nil {
+			t.Error(err)
+		}
+	}()
+	// Tune=nil rotation is fast; loop a few to overlap with the publish.
+	for i := 0; i < 20; i++ {
+		if _, err := r.RotateSelector("m", ensemble.RotateOptions{Seed: int64(93 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	cur, err := r.Current("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cur.Pipeline().Bodies()[0].Forward(x, false)
+	if !got.AllClose(wantBody, 1e-12) {
+		t.Error("rotation reverted the current pipeline to pre-publish bodies")
+	}
+}
+
+func TestRegistryBoundsRetainedEpochs(t *testing.T) {
+	// A rotation cadence publishes forever; memory must not grow with it.
+	// Superseded epochs beyond the retention bound are evicted — resolvable
+	// again through a store, gone for good without one.
+	dir := t.TempDir()
+	store, err := registry.Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := registry.New(store)
+	if _, err := r.Publish("m", pipeline(30)); err != nil {
+		t.Fatal(err)
+	}
+	const publishes = 12
+	for i := 0; i < publishes; i++ {
+		if _, err := r.RotateSelector("m", ensemble.RotateOptions{Seed: int64(31 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur, err := r.Current("m")
+	if err != nil || cur.Version() != publishes+1 {
+		t.Fatalf("current = v%d, %v", cur.Version(), err)
+	}
+	// v1 was evicted from memory but lazily reloads from the store.
+	old, err := r.Epoch("m", 1)
+	if err != nil {
+		t.Fatalf("evicted version must reload from the store: %v", err)
+	}
+	if old.Version() != 1 {
+		t.Errorf("reloaded version = %d", old.Version())
+	}
+
+	// Storeless: the same churn makes old versions genuinely unknown.
+	r2 := registry.New(nil)
+	if _, err := r2.Publish("m", pipeline(50)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < publishes; i++ {
+		if _, err := r2.RotateSelector("m", ensemble.RotateOptions{Seed: int64(51 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r2.Epoch("m", 1); err == nil {
+		t.Error("storeless registry must not retain unboundedly many epochs")
+	}
+	if cur, err := r2.Current("m"); err != nil || cur.Version() != publishes+1 {
+		t.Errorf("current survived eviction wrong: v%d, %v", cur.Version(), err)
+	}
+}
+
+func TestEpochReplicasAreIndependent(t *testing.T) {
+	r := registry.New(nil)
+	ep, err := r.Publish("m", pipeline(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := ep.NewReplica(), ep.NewReplica()
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("replica sizes %d, %d", len(a), len(b))
+	}
+	x := commtest.Input(tiny, 24, 2) // body-shaped features, not images
+	// Same weights...
+	for i := range a {
+		if !a[i].Forward(x, false).AllClose(b[i].Forward(x, false), 1e-12) {
+			t.Fatalf("replica body %d diverges", i)
+		}
+	}
+	// ...but distinct objects (private forward caches).
+	for i := range a {
+		if a[i] == b[i] {
+			t.Fatalf("replica body %d shared between calls", i)
+		}
+	}
+}

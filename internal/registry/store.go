@@ -1,0 +1,368 @@
+// Package registry is the layer between training and serving: a versioned
+// on-disk model store plus an in-memory registry the serving stack reads
+// through. Training publishes a pipeline under a model name; the store
+// assigns it the next version, writes it atomically (temp dir + rename), and
+// records a manifest with the persistence format version and a content
+// checksum. The Registry holds the published epochs in memory behind atomic
+// pointers so a comm server can resolve (model, version) per request and a
+// Publish or RotateSelector swaps the live epoch between requests with zero
+// downtime — in-flight requests finish on the old epoch, and each serving
+// worker lazily re-clones its body replicas when it first sees the new one.
+package registry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ensembler/internal/ensemble"
+)
+
+// ManifestFormat identifies the manifest.json schema.
+const ManifestFormat = 1
+
+const (
+	modelFile    = "model.gob"
+	manifestFile = "manifest.json"
+)
+
+// Manifest describes one published model version: enough to verify the
+// artifact (format + checksum + size) and to route without loading it (N, P).
+type Manifest struct {
+	Format         int    `json:"format"`          // manifest schema version
+	Model          string `json:"model"`           // model name
+	Version        int    `json:"version"`         // store-assigned version
+	SHA256         string `json:"sha256"`          // hex checksum of model.gob
+	SizeBytes      int64  `json:"size_bytes"`      // size of model.gob
+	PipelineFormat int    `json:"pipeline_format"` // ensemble.FormatVersion written
+	N              int    `json:"n"`               // ensemble size
+	P              int    `json:"p"`               // secret subset size
+	CreatedUnix    int64  `json:"created_unix"`    // publish time
+}
+
+// Store is a versioned on-disk model store with the layout
+//
+//	<dir>/<model-name>/v0001/{model.gob, manifest.json}
+//
+// Publishes are atomic: the version directory appears via rename only after
+// its contents are fully written, so a concurrent reader never observes a
+// half-written version. One Store serializes its own publishes; concurrent
+// publishers from separate processes are out of scope.
+type Store struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// Open opens an existing store rooted at dir and verifies every version it
+// finds: manifest readable and well-formed, model file present, size and
+// checksum matching. A corrupted or truncated artifact fails Open with an
+// error naming the model, version, and defect.
+func Open(dir string) (*Store, error) {
+	info, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("registry: opening store %s: %w", dir, err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("registry: store path %s is not a directory", dir)
+	}
+	s := &Store{dir: dir}
+	models, err := s.Models()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range models {
+		versions, err := s.Versions(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range versions {
+			if _, err := s.verify(name, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// Create makes the store directory (if needed) and opens it.
+func Create(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("registry: creating store %s: %w", dir, err)
+	}
+	return Open(dir)
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// validName rejects model names that could escape the store layout or
+// collide with its internal entries.
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("registry: empty model name")
+	}
+	if strings.HasPrefix(name, ".") {
+		return fmt.Errorf("registry: model name %q must not start with a dot", name)
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("registry: model name %q contains %q (want letters, digits, '-', '_', '.')", name, r)
+		}
+	}
+	return nil
+}
+
+// versionDir formats a version directory name; parseVersion inverts it.
+func versionDir(v int) string { return fmt.Sprintf("v%04d", v) }
+
+// parseVersion accepts only a 'v' followed entirely by digits — a stray
+// sibling like "v0002-backup" must be ignored, not half-parsed as version 2
+// and then fail verification.
+func parseVersion(entry string) (int, bool) {
+	if !strings.HasPrefix(entry, "v") || len(entry) == 1 {
+		return 0, false
+	}
+	v, err := strconv.Atoi(entry[1:])
+	if err != nil || v <= 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// Models lists the model names present on disk, sorted.
+func (s *Store) Models() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("registry: listing store %s: %w", s.dir, err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() && !strings.HasPrefix(e.Name(), ".") {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Versions lists the published versions of one model, ascending.
+func (s *Store) Versions(name string) ([]int, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(filepath.Join(s.dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("registry: listing model %q: %w", name, err)
+	}
+	var out []int
+	for _, e := range entries {
+		if v, ok := parseVersion(e.Name()); ok && e.IsDir() {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Latest returns the highest published version of a model.
+func (s *Store) Latest(name string) (int, error) {
+	versions, err := s.Versions(name)
+	if err != nil {
+		return 0, err
+	}
+	if len(versions) == 0 {
+		return 0, fmt.Errorf("registry: model %q has no published versions", name)
+	}
+	return versions[len(versions)-1], nil
+}
+
+// Publish writes the pipeline as the next version of the named model and
+// returns that version. The artifact is written to a temp directory and
+// renamed into place, so readers only ever see complete versions; on any
+// failure the temp directory is removed and the store is unchanged.
+func (s *Store) Publish(name string, e *ensemble.Ensembler) (int, error) {
+	if err := validName(name); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	modelDir := filepath.Join(s.dir, name)
+	if err := os.MkdirAll(modelDir, 0o755); err != nil {
+		return 0, fmt.Errorf("registry: publishing %q: %w", name, err)
+	}
+	version := 1
+	if versions, err := s.Versions(name); err == nil && len(versions) > 0 {
+		version = versions[len(versions)-1] + 1
+	}
+
+	tmp, err := os.MkdirTemp(modelDir, ".publish-*")
+	if err != nil {
+		return 0, fmt.Errorf("registry: publishing %q: %w", name, err)
+	}
+	defer os.RemoveAll(tmp) // no-op after a successful rename
+
+	sum, size, err := writeModel(filepath.Join(tmp, modelFile), e)
+	if err != nil {
+		return 0, fmt.Errorf("registry: publishing %q v%d: %w", name, version, err)
+	}
+	man := Manifest{
+		Format:         ManifestFormat,
+		Model:          name,
+		Version:        version,
+		SHA256:         sum,
+		SizeBytes:      size,
+		PipelineFormat: ensemble.FormatVersion,
+		N:              e.Cfg.N,
+		P:              e.Cfg.P,
+		CreatedUnix:    time.Now().Unix(),
+	}
+	if err := writeManifest(filepath.Join(tmp, manifestFile), man); err != nil {
+		return 0, fmt.Errorf("registry: publishing %q v%d: %w", name, version, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(modelDir, versionDir(version))); err != nil {
+		return 0, fmt.Errorf("registry: publishing %q v%d: %w", name, version, err)
+	}
+	return version, nil
+}
+
+// writeModel saves the pipeline to path, hashing the bytes as they are
+// written, and returns the hex checksum and size.
+func writeModel(path string, e *ensemble.Ensembler) (string, int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return "", 0, err
+	}
+	defer f.Close()
+	h := sha256.New()
+	n := &countingWriter{}
+	if err := e.Save(io.MultiWriter(f, h, n)); err != nil {
+		return "", 0, err
+	}
+	if err := f.Close(); err != nil {
+		return "", 0, err
+	}
+	return hex.EncodeToString(h.Sum(nil)), n.n, nil
+}
+
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+func writeManifest(path string, man Manifest) error {
+	b, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Manifest reads and validates one version's manifest (without hashing the
+// model file; use verify or Load for that).
+func (s *Store) Manifest(name string, version int) (*Manifest, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(s.dir, name, versionDir(version), manifestFile)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("registry: model %q v%d: reading manifest: %w", name, version, err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(b, &man); err != nil {
+		return nil, fmt.Errorf("registry: model %q v%d: malformed manifest: %w", name, version, err)
+	}
+	if man.Format != ManifestFormat {
+		return nil, fmt.Errorf("registry: model %q v%d: manifest format %d, this build reads %d", name, version, man.Format, ManifestFormat)
+	}
+	if man.Model != name || man.Version != version {
+		return nil, fmt.Errorf("registry: model %q v%d: manifest claims to be %q v%d", name, version, man.Model, man.Version)
+	}
+	return &man, nil
+}
+
+// verify checks one version end to end: manifest well-formed, model file
+// present, and size and checksum matching the manifest.
+func (s *Store) verify(name string, version int) (*Manifest, error) {
+	man, err := s.Manifest(name, version)
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(s.dir, name, versionDir(version), modelFile)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("registry: model %q v%d: missing model file: %w", name, version, err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	size, err := io.Copy(h, f)
+	if err != nil {
+		return nil, fmt.Errorf("registry: model %q v%d: reading model file: %w", name, version, err)
+	}
+	if size != man.SizeBytes {
+		return nil, fmt.Errorf("registry: model %q v%d: model file is %d bytes, manifest says %d (truncated?)", name, version, size, man.SizeBytes)
+	}
+	if sum := hex.EncodeToString(h.Sum(nil)); sum != man.SHA256 {
+		return nil, fmt.Errorf("registry: model %q v%d: model file checksum %s does not match manifest %s (corrupted)", name, version, sum, man.SHA256)
+	}
+	return man, nil
+}
+
+// Prune deletes the oldest published versions of a model beyond the newest
+// keep, returning how many were removed. The disk-side counterpart of the
+// registry's in-memory retention bound: a rotation cadence publishes a full
+// pipeline copy per tick, and without pruning the store (and every
+// checksum-verifying Open) grows linearly forever.
+func (s *Store) Prune(name string, keep int) (int, error) {
+	if keep < 1 {
+		keep = 1 // never delete the latest version
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	versions, err := s.Versions(name)
+	if err != nil {
+		return 0, err
+	}
+	pruned := 0
+	for _, v := range versions[:max(0, len(versions)-keep)] {
+		if err := os.RemoveAll(filepath.Join(s.dir, name, versionDir(v))); err != nil {
+			return pruned, fmt.Errorf("registry: pruning %q v%d: %w", name, v, err)
+		}
+		pruned++
+	}
+	return pruned, nil
+}
+
+// Load verifies and loads one version of a model; version <= 0 means latest.
+func (s *Store) Load(name string, version int) (*ensemble.Ensembler, int, error) {
+	if version <= 0 {
+		latest, err := s.Latest(name)
+		if err != nil {
+			return nil, 0, err
+		}
+		version = latest
+	}
+	if _, err := s.verify(name, version); err != nil {
+		return nil, 0, err
+	}
+	e, err := ensemble.LoadFile(filepath.Join(s.dir, name, versionDir(version), modelFile))
+	if err != nil {
+		return nil, 0, fmt.Errorf("registry: model %q v%d: %w", name, version, err)
+	}
+	return e, version, nil
+}
