@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ensembler/internal/attack"
@@ -18,13 +19,29 @@ import (
 )
 
 func main() {
-	modelPath := flag.String("model", "ensembler.gob", "trained pipeline from ensembler-train")
-	kindName := flag.String("kind", "cifar10", "workload the pipeline was trained on")
-	auxN := flag.Int("aux", 224, "attacker auxiliary samples")
-	evalN := flag.Int("eval", 48, "victim images to reconstruct")
-	shadowEpochs := flag.Int("shadow-epochs", 25, "shadow training epochs")
-	seed := flag.Int64("seed", 7, "attack seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "ensembler-attack: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command: parse, load the victim
+// pipeline, mount the attacks, returning errors instead of exiting.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ensembler-attack", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	modelPath := fs.String("model", "ensembler.gob", "trained pipeline from ensembler-train")
+	kindName := fs.String("kind", "cifar10", "workload the pipeline was trained on")
+	auxN := fs.Int("aux", 224, "attacker auxiliary samples")
+	evalN := fs.Int("eval", 48, "victim images to reconstruct")
+	shadowEpochs := fs.Int("shadow-epochs", 25, "shadow training epochs")
+	seed := fs.Int64("seed", 7, "attack seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
 
 	var kind data.Kind
 	switch *kindName {
@@ -35,14 +52,12 @@ func main() {
 	case "celeba":
 		kind = data.CelebALike
 	default:
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *kindName)
-		os.Exit(2)
+		return fmt.Errorf("unknown workload %q", *kindName)
 	}
 
 	e, err := ensemble.LoadFile(*modelPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "loading model: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("loading model: %w", err)
 	}
 	// The attacker's data is in-distribution but disjoint from training: a
 	// different generator stream.
@@ -52,15 +67,16 @@ func main() {
 		Arch: e.Cfg.Arch, ShadowEpochs: *shadowEpochs, DecoderEpochs: 8,
 		BatchSize: 32, ShadowLR: 0.01, Seed: *seed, StructuredShadow: true,
 	}
-	fmt.Printf("attacking %s (N=%d bodies)...\n", *modelPath, e.Cfg.N)
+	fmt.Fprintf(stdout, "attacking %s (N=%d bodies)...\n", *modelPath, e.Cfg.N)
 	singles := attack.SingleBodyAttacks(cfg, e.Bodies(), e, sp.Aux, sp.Test, *evalN)
 	for _, o := range singles {
-		fmt.Printf("  %s\n", o)
+		fmt.Fprintf(stdout, "  %s\n", o)
 	}
-	fmt.Printf("strongest single-body (by SSIM): %s\n", attack.BestBy(singles, "ssim"))
-	fmt.Printf("strongest single-body (by PSNR): %s\n", attack.BestBy(singles, "psnr"))
-	fmt.Printf("adaptive (all %d bodies + learned gates): %s\n",
+	fmt.Fprintf(stdout, "strongest single-body (by SSIM): %s\n", attack.BestBy(singles, "ssim"))
+	fmt.Fprintf(stdout, "strongest single-body (by PSNR): %s\n", attack.BestBy(singles, "psnr"))
+	fmt.Fprintf(stdout, "adaptive (all %d bodies + learned gates): %s\n",
 		e.Cfg.N, attack.AdaptiveAttack(cfg, e.Bodies(), e, sp.Aux, sp.Test, *evalN))
-	fmt.Printf("brute-force subset space: %.0f candidates (O(2^N), §III-D)\n",
+	fmt.Fprintf(stdout, "brute-force subset space: %.0f candidates (O(2^N), §III-D)\n",
 		ensemble.SubsetCount(e.Cfg.N))
+	return nil
 }

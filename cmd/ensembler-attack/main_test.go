@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ensembler/internal/data"
+	"ensembler/internal/ensemble"
+	"ensembler/internal/split"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-kind", "mnist", "-model", "x.gob"}, "unknown workload"},
+		{[]string{"stray"}, "unexpected arguments"},
+		{[]string{"-no-such-flag"}, "flag provided but not defined"},
+	}
+	for _, c := range cases {
+		err := run(c.args, io.Discard, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("run(%v) = %v, want %q", c.args, err, c.want)
+		}
+	}
+}
+
+func TestRunMissingModel(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "nope.gob")
+	err := run([]string{"-model", missing}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "loading model") {
+		t.Errorf("missing model: %v", err)
+	}
+}
+
+func TestRunAttacksSavedPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("attack smoke test")
+	}
+	// An untrained pipeline costs exactly as much to attack as a trained
+	// one; the smoke test only needs the command to run end to end.
+	e := ensemble.New(ensemble.Config{
+		Arch: split.DefaultArch(data.CIFAR10Like), N: 2, P: 1, Sigma: 0.05, Seed: 9, Stage1Noise: true,
+	})
+	path := filepath.Join(t.TempDir(), "m.gob")
+	if err := e.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-model", path, "-aux", "16", "-eval", "4", "-shadow-epochs", "1"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"attacking", "strongest single-body", "adaptive", "brute-force subset space: 3 candidates"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"runtime"
@@ -30,22 +31,38 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1, 2, 3, or all")
-	scaleName := flag.String("scale", "small", "experiment scale: small or paper")
-	seed := flag.Int64("seed", 42, "experiment seed")
-	n := flag.Int("n", 10, "ensemble size for the latency model and serving bench")
-	claims := flag.Bool("claims", false, "also print the paper's §IV headline claims")
-	verbose := flag.Bool("v", false, "log training progress")
-	serving := flag.Bool("serving", false, "measure concurrent serving throughput over loopback instead of regenerating tables")
-	clients := flag.Int("clients", 8, "concurrent client connections for -serving")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "server worker replicas for -serving")
-	reqBatch := flag.Int("req-batch", 1, "images per request for -serving")
-	duration := flag.Duration("duration", 2*time.Second, "measurement window per -serving regime")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "ensembler-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command: parse, regenerate the requested
+// tables (or measure serving throughput), returning errors instead of
+// exiting.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ensembler-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	table := fs.String("table", "all", "which table to regenerate: 1, 2, 3, or all")
+	scaleName := fs.String("scale", "small", "experiment scale: small or paper")
+	seed := fs.Int64("seed", 42, "experiment seed")
+	n := fs.Int("n", 10, "ensemble size for the latency model and serving bench")
+	claims := fs.Bool("claims", false, "also print the paper's §IV headline claims")
+	verbose := fs.Bool("v", false, "log training progress")
+	serving := fs.Bool("serving", false, "measure concurrent serving throughput over loopback instead of regenerating tables")
+	clients := fs.Int("clients", 8, "concurrent client connections for -serving")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "server worker replicas for -serving")
+	reqBatch := fs.Int("req-batch", 1, "images per request for -serving")
+	duration := fs.Duration("duration", 2*time.Second, "measurement window per -serving regime")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
 
 	if *serving {
-		runServingBench(*n, *clients, *workers, *reqBatch, *duration)
-		return
+		return runServingBench(stdout, stderr, *n, *clients, *workers, *reqBatch, *duration)
 	}
 
 	var sc experiments.Scale
@@ -55,44 +72,43 @@ func main() {
 	case "paper":
 		sc = experiments.Paper()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q (want small or paper)\n", *scaleName)
-		os.Exit(2)
+		return fmt.Errorf("unknown scale %q (want small or paper)", *scaleName)
 	}
-	var log *os.File
+	var log io.Writer
 	if *verbose {
-		log = os.Stderr
+		log = stderr
 	}
 
 	runI := *table == "1" || *table == "all"
 	runII := *table == "2" || *table == "all" || *claims
 	runIII := *table == "3" || *table == "all"
 	if !runI && !runII && !runIII {
-		fmt.Fprintf(os.Stderr, "unknown table %q (want 1, 2, 3, or all)\n", *table)
-		os.Exit(2)
+		return fmt.Errorf("unknown table %q (want 1, 2, 3, or all)", *table)
 	}
 
 	if runI {
 		for _, blk := range experiments.TableI(sc, *seed, log) {
-			experiments.RenderRows(os.Stdout,
+			experiments.RenderRows(stdout,
 				fmt.Sprintf("\nTable I — %s (N=%d, P=%d)", blk.Kind, sc.N, blk.P), blk.Rows)
 		}
 	}
 	if runII {
 		rows := experiments.TableII(sc, *seed+1, log)
-		experiments.RenderRows(os.Stdout, "\nTable II — defense mechanisms, cifar10-like", rows)
+		experiments.RenderRows(stdout, "\nTable II — defense mechanisms, cifar10-like", rows)
 		if *claims {
 			rep := experiments.ComputeClaims(rows, sc.N)
-			fmt.Printf("\n§IV claims (paper → measured):\n")
-			fmt.Printf("  SSIM decrease vs Single:  43.5%% → %.1f%%\n", rep.SSIMDropVsSingle)
-			fmt.Printf("  PSNR decrease vs Single:  40.5%% → %.1f%%\n", rep.PSNRDropVsSingle)
-			fmt.Printf("  latency overhead:          4.8%% → %.1f%%\n", rep.LatencyOverhead)
+			fmt.Fprintf(stdout, "\n§IV claims (paper → measured):\n")
+			fmt.Fprintf(stdout, "  SSIM decrease vs Single:  43.5%% → %.1f%%\n", rep.SSIMDropVsSingle)
+			fmt.Fprintf(stdout, "  PSNR decrease vs Single:  40.5%% → %.1f%%\n", rep.PSNRDropVsSingle)
+			fmt.Fprintf(stdout, "  latency overhead:          4.8%% → %.1f%%\n", rep.LatencyOverhead)
 		}
 	}
 	if runIII {
-		fmt.Println()
-		experiments.RenderTableIII(os.Stdout, experiments.TableIII(*n))
-		fmt.Printf("Ensembler overhead vs Standard CI: %.1f%% (paper: 4.8%%)\n", latency.OverheadPercent(*n))
+		fmt.Fprintln(stdout)
+		experiments.RenderTableIII(stdout, experiments.TableIII(*n))
+		fmt.Fprintf(stdout, "Ensembler overhead vs Standard CI: %.1f%% (paper: 4.8%%)\n", latency.OverheadPercent(*n))
 	}
+	return nil
 }
 
 // benchArch is the serving-bench operating point: the default CIFAR-10-like
@@ -104,11 +120,10 @@ func benchArch() split.Arch { return split.DefaultArch(data.CIFAR10Like) }
 // runServingBench measures sustained request throughput over loopback TCP
 // for a single connection and for the requested concurrency, then prints
 // the analytic model's prediction for the same regimes.
-func runServingBench(n, clients, workers, reqBatch int, window time.Duration) {
+func runServingBench(stdout, stderr io.Writer, n, clients, workers, reqBatch int, window time.Duration) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "listen: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("listen: %w", err)
 	}
 	defer ln.Close()
 	srv := comm.NewServer(commtest.Bodies(benchArch(), n),
@@ -120,31 +135,32 @@ func runServingBench(n, clients, workers, reqBatch int, window time.Duration) {
 	served := make(chan error, 1)
 	go func() { served <- srv.Serve(ctx, ln) }()
 
-	fmt.Printf("serving bench: N=%d bodies, %d workers, %d images/request, %v per regime, GOMAXPROCS=%d\n",
+	fmt.Fprintf(stdout, "serving bench: N=%d bodies, %d workers, %d images/request, %v per regime, GOMAXPROCS=%d\n",
 		n, srv.Workers(), reqBatch, window, runtime.GOMAXPROCS(0))
 
-	single := measureThroughput(ln.Addr().String(), n, 1, reqBatch, window)
-	many := measureThroughput(ln.Addr().String(), n, clients, reqBatch, window)
-	fmt.Printf("  1 connection:   %7.2f req/s  (%.2f img/s)\n", single, single*float64(reqBatch))
-	fmt.Printf("  %d connections: %7.2f req/s  (%.2f img/s)\n", clients, many, many*float64(reqBatch))
+	single := measureThroughput(stderr, ln.Addr().String(), n, 1, reqBatch, window)
+	many := measureThroughput(stderr, ln.Addr().String(), n, clients, reqBatch, window)
+	fmt.Fprintf(stdout, "  1 connection:   %7.2f req/s  (%.2f img/s)\n", single, single*float64(reqBatch))
+	fmt.Fprintf(stdout, "  %d connections: %7.2f req/s  (%.2f img/s)\n", clients, many, many*float64(reqBatch))
 	if single > 0 {
-		fmt.Printf("  speedup: %.2f×\n", many/single)
+		fmt.Fprintf(stdout, "  speedup: %.2f×\n", many/single)
 	}
 
-	fmt.Printf("\nanalytic model (calibrated to the paper's Table III devices, not this host):\n")
+	fmt.Fprintf(stdout, "\nanalytic model (calibrated to the paper's Table III devices, not this host):\n")
 	for _, est := range latency.ConcurrencySweep(latency.Ensembler(n), workers, reqBatch, []int{1, 2, 4, clients}) {
-		fmt.Printf("  %s\n", est)
+		fmt.Fprintf(stdout, "  %s\n", est)
 	}
-	fmt.Printf("  predicted speedup at %d clients: %.2f×\n",
+	fmt.Fprintf(stdout, "  predicted speedup at %d clients: %.2f×\n",
 		clients, latency.ConcurrencySpeedup(latency.Ensembler(n), workers, reqBatch, clients))
 
 	cancel()
 	<-served
+	return nil
 }
 
 // measureThroughput counts completed requests across `conns` connections
 // hammering the server for the window.
-func measureThroughput(addr string, nBodies, conns, reqBatch int, window time.Duration) float64 {
+func measureThroughput(stderr io.Writer, addr string, nBodies, conns, reqBatch int, window time.Duration) float64 {
 	var completed atomic.Int64
 	deadline := time.Now().Add(window)
 	var wg sync.WaitGroup
@@ -154,7 +170,7 @@ func measureThroughput(addr string, nBodies, conns, reqBatch int, window time.Du
 			defer wg.Done()
 			client, err := comm.Dial(addr)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "dial: %v\n", err)
+				fmt.Fprintf(stderr, "dial: %v\n", err)
 				return
 			}
 			defer client.Close()
@@ -163,7 +179,7 @@ func measureThroughput(addr string, nBodies, conns, reqBatch int, window time.Du
 			ctx := context.Background()
 			for time.Now().Before(deadline) {
 				if _, _, err := client.Infer(ctx, x); err != nil {
-					fmt.Fprintf(os.Stderr, "infer: %v\n", err)
+					fmt.Fprintf(stderr, "infer: %v\n", err)
 					return
 				}
 				completed.Add(1)

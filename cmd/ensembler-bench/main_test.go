@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-scale", "huge"}, "unknown scale"},
+		{[]string{"-table", "9"}, "unknown table"},
+		{[]string{"stray"}, "unexpected arguments"},
+		{[]string{"-no-such-flag"}, "flag provided but not defined"},
+	}
+	for _, c := range cases {
+		err := run(c.args, io.Discard, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("run(%v) = %v, want %q", c.args, err, c.want)
+		}
+	}
+}
+
+func TestRunTableIII(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table", "3", "-n", "10"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Standard CI", "Ensembler", "STAMP", "overhead vs Standard CI"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("Table III output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunServingBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving bench smoke test")
+	}
+	var out bytes.Buffer
+	err := run([]string{"-serving", "-n", "2", "-clients", "2", "-workers", "2", "-duration", "150ms"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"serving bench", "1 connection", "analytic model"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("serving bench output missing %q:\n%s", want, out.String())
+		}
+	}
+}

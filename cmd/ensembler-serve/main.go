@@ -1,8 +1,8 @@
 // Command ensembler-serve hosts the server bodies of trained pipelines over
 // TCP — the cloud half of the collaborative-inference deployment. The secret
 // selector and the client tail stay with whoever holds the model artifacts;
-// the server only ever sees intermediate features and returns all N feature
-// vectors.
+// the server only ever sees intermediate features and returns the feature
+// vectors of every body it hosts.
 //
 // Models come from either a single file (-model, the legacy path) or a
 // versioned registry directory (-model-dir) written by ensembler-train or
@@ -14,93 +14,246 @@
 // on a cadence (the switching-ensembles defense; the served bodies are
 // unchanged, so rotation is invisible on the wire).
 //
+// -shard k/K turns the process into one member of a sharded fleet: it hosts
+// only shard k's contiguous body subset of the ensemble (shard.Plan over
+// the model's N), serving the identical wire protocol with fewer feature
+// vectors per response. K such processes behind a shard.Client scatter-
+// gather runtime replace one monolithic server; a compromised shard host
+// then observes only its own bodies' traffic. Selector rotation is a
+// client-side affair in a fleet, so -rotate-every is rejected with -shard.
+//
 // Requests from concurrent connections are served by a bounded worker pool;
 // each worker owns private replicas of the bodies it has served, lazily
-// re-cloned when a swap publishes a new epoch, and within one request the N
-// body passes run in parallel. SIGINT/SIGTERM triggers a graceful shutdown:
-// in-flight requests finish, their responses flush, and Serve returns.
+// re-cloned when a swap publishes a new epoch, and within one request the
+// hosted body passes run in parallel. SIGINT/SIGTERM triggers a graceful
+// shutdown: in-flight requests finish, their responses flush, and Serve
+// returns.
 //
 //	ensembler-serve -model ensembler.gob -addr :7946 -workers 4 -max-batch 64
 //	ensembler-serve -model-dir models/ -model-name cifar -rotate-every 10m
+//	ensembler-serve -model-dir models/ -shard 2/3 -addr :7948
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
 	"runtime"
+	"sync"
 	"syscall"
 	"time"
 
 	"ensembler/internal/comm"
 	"ensembler/internal/ensemble"
 	"ensembler/internal/registry"
+	"ensembler/internal/shard"
 )
 
 func main() {
-	modelPath := flag.String("model", "", "trained pipeline file from ensembler-train (single-model mode)")
-	modelDir := flag.String("model-dir", "", "versioned model registry directory (multi-model, hot-swappable)")
-	modelName := flag.String("model-name", "", "default model name (registry mode; defaults to the first model found)")
-	addr := flag.String("addr", "127.0.0.1:7946", "listen address (use :0 to pick a free port)")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "compute worker pool size (each worker holds body replicas)")
-	maxBatch := flag.Int("max-batch", comm.DefaultMaxBatch, "max inputs per batched request")
-	rotateEvery := flag.Duration("rotate-every", 0, "selector rotation cadence (registry mode; 0 disables)")
-	rotateSeed := flag.Int64("rotate-seed", 1, "seed stream for selector rotations")
-	keepVersions := flag.Int("keep-versions", 64, "on-disk versions kept per model when rotating (0 keeps everything)")
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "ensembler-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command: it parses args, opens the model
+// source, serves until ctx is cancelled (the signal path in main), and
+// returns errors instead of exiting.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ensembler-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	modelPath := fs.String("model", "", "trained pipeline file from ensembler-train (single-model mode)")
+	modelDir := fs.String("model-dir", "", "versioned model registry directory (multi-model, hot-swappable)")
+	modelName := fs.String("model-name", "", "default model name (registry mode; defaults to the first model found)")
+	addr := fs.String("addr", "127.0.0.1:7946", "listen address (use :0 to pick a free port)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "compute worker pool size (each worker holds body replicas)")
+	maxBatch := fs.Int("max-batch", comm.DefaultMaxBatch, "max inputs per batched request")
+	rotateEvery := fs.Duration("rotate-every", 0, "selector rotation cadence (registry mode; 0 disables)")
+	rotateSeed := fs.Int64("rotate-seed", 1, "seed stream for selector rotations")
+	keepVersions := fs.Int("keep-versions", 64, "on-disk versions kept per model when rotating (0 keeps everything)")
+	shardSpec := fs.String("shard", "", `host shard k of a K-shard fleet ("k/K"): only that shard's body subset`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
 	if *maxBatch <= 0 {
 		*maxBatch = comm.DefaultMaxBatch // mirror the server's clamping in the banner
+	}
+	if *shardSpec != "" && *rotateEvery > 0 {
+		return fmt.Errorf("-rotate-every and -shard are mutually exclusive: in a fleet the selector is rotated client-side (publish the rotated pipeline and SIGHUP the shards)")
 	}
 
 	reg, err := openRegistry(*modelPath, *modelDir, *modelName)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ensembler-serve: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	defaultModel := reg.Default()
 	cur, err := reg.Current(defaultModel)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ensembler-serve: %v\n", err)
-		os.Exit(1)
+		return err
+	}
+
+	provider := comm.ModelProvider(reg)
+	shardBanner := ""
+	// checkShardLayout (set in shard mode) re-validates the fleet layout
+	// against a given version of the default model; the SIGHUP reload path
+	// runs it before swapping anything in, so a model republished for a
+	// different fleet never gets served as the wrong subset.
+	var checkShardLayout func(version int) error
+	if *shardSpec != "" {
+		k, total, err := shard.ParseSpec(*shardSpec)
+		if err != nil {
+			return err
+		}
+		n := cur.Pipeline().Cfg.N
+		plan, err := shard.Plan(n, total)
+		if err != nil {
+			return fmt.Errorf("planning -shard %s over the %d bodies of %s: %w", *shardSpec, n, defaultModel, err)
+		}
+		r := plan[k-1]
+		// A publisher that committed to a shard layout (-shards at train
+		// time) recorded it in the manifest; a disagreeing fleet member
+		// must fail loudly, not serve the wrong subset. The check also
+		// guards N drift: even at the same K, a different N moves this
+		// shard's planned range away from the one being served.
+		checkShardLayout = func(version int) error {
+			store := reg.Store()
+			if store == nil {
+				return nil
+			}
+			man, err := store.Manifest(defaultModel, version)
+			if err != nil {
+				return fmt.Errorf("verifying shard layout of %s v%d: %w", defaultModel, version, err)
+			}
+			if man.Shards > 0 {
+				if man.Shards != total {
+					return fmt.Errorf("model %s v%d was published for a %d-shard fleet; -shard %s disagrees",
+						defaultModel, version, man.Shards, *shardSpec)
+				}
+				// The manifest's recorded ranges are the authoritative
+				// commitment — not a fresh shard.Plan, whose algorithm
+				// could change between the publishing and serving builds.
+				rec := man.ShardRanges[k-1]
+				if (shard.Range{Lo: rec.Lo, Hi: rec.Hi}) != r {
+					return fmt.Errorf("model %s v%d records shard %d/%d as bodies %d..%d; this process serves %s — restart the fleet",
+						defaultModel, version, k, total, rec.Lo, rec.Hi-1, r)
+				}
+				return nil
+			}
+			// No recorded commitment: derive the layout and guard N drift —
+			// at the same K, a different N moves this shard's range.
+			newPlan, err := shard.Plan(man.N, total)
+			if err != nil {
+				return fmt.Errorf("model %s v%d has %d bodies, unshardable as -shard %s: %w",
+					defaultModel, version, man.N, *shardSpec, err)
+			}
+			if newPlan[k-1] != r {
+				return fmt.Errorf("model %s v%d (N=%d) plans shard %d/%d as bodies %s; this process serves %s — restart the fleet",
+					defaultModel, version, man.N, k, total, newPlan[k-1], r)
+			}
+			return nil
+		}
+		if err := checkShardLayout(cur.Version()); err != nil {
+			return err
+		}
+		provider, err = comm.NewSubsetProvider(reg, r.Lo, r.Hi)
+		if err != nil {
+			return err
+		}
+		shardBanner = fmt.Sprintf("shard %d/%d hosting bodies %s of %d — ", k, total, r, n)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ensembler-serve: listening on %s: %v\n", *addr, err)
-		os.Exit(1)
+		return fmt.Errorf("listening on %s: %w", *addr, err)
 	}
-	srv := comm.NewModelServer(reg,
+	defer ln.Close()
+	srv := comm.NewModelServer(provider,
 		comm.WithWorkers(*workers),
 		comm.WithMaxBatch(*maxBatch),
 	)
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	// The bound address line comes first and stands alone so scripts (and
 	// tests using -addr :0) can scrape the actual port.
-	fmt.Printf("listening on %s\n", ln.Addr())
-	fmt.Printf("serving %s v%d (%d bodies) as default — %d models total, %d workers, max batch %d; selector stays client-side\n",
-		defaultModel, cur.Version(), cur.Pipeline().Cfg.N, len(reg.Models()), srv.Workers(), *maxBatch)
+	fmt.Fprintf(stdout, "listening on %s\n", ln.Addr())
+	fmt.Fprintf(stdout, "%sserving %s v%d (%d bodies) as default — %d models total, %d workers, max batch %d; selector stays client-side\n",
+		shardBanner, defaultModel, cur.Version(), cur.Pipeline().Cfg.N, len(reg.Models()), srv.Workers(), *maxBatch)
+
+	// A shard that ends up serving a layout-divergent model must stop
+	// serving — wrong-subset responses are shape-identical to right ones,
+	// so fail-stop is the only loud failure available once a bad version
+	// is live. serveCtx cancellation drains in-flight requests first.
+	serveCtx, stopServe := context.WithCancel(ctx)
+	defer stopServe()
+	var fatalMu sync.Mutex
+	var fatalErr error
+	failServe := func(err error) {
+		fatalMu.Lock()
+		if fatalErr == nil {
+			fatalErr = err
+			stopServe()
+		}
+		fatalMu.Unlock()
+	}
 
 	// SIGHUP: re-scan the registry directory and hot-swap anything newer.
+	// Stop unregisters delivery before close, so the drained channel ends
+	// the goroutine — run() must not leak one handler per invocation.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
-	defer signal.Stop(hup)
+	defer func() {
+		signal.Stop(hup)
+		close(hup)
+	}()
 	go func() {
 		for range hup {
 			if *modelDir == "" {
-				fmt.Println("reload: ignored (no -model-dir)")
+				fmt.Fprintln(stdout, "reload: ignored (no -model-dir)")
 				continue
+			}
+			// A shard refuses to swap in a model whose recorded fleet
+			// layout disagrees with what this process serves: the check
+			// runs against the store's latest version before LoadStore
+			// installs anything.
+			if checkShardLayout != nil {
+				latest, err := reg.Store().Latest(defaultModel)
+				if err != nil {
+					fmt.Fprintf(stderr, "reload: %v\n", err)
+					continue
+				}
+				if err := checkShardLayout(latest); err != nil {
+					fmt.Fprintf(stderr, "reload: refused: %v\n", err)
+					continue
+				}
 			}
 			updated, err := reg.LoadStore()
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "reload: %v\n", err)
+				fmt.Fprintf(stderr, "reload: %v\n", err)
 				continue
 			}
-			fmt.Printf("reload: %d model(s) swapped in\n", updated)
+			// Close the check-then-act window: a publish can land between
+			// the pre-check above and LoadStore's own Latest read. If the
+			// version now live disagrees with this shard's layout, stop
+			// serving rather than serve the wrong body subset.
+			if checkShardLayout != nil {
+				cur, err := reg.Current(defaultModel)
+				if err == nil {
+					err = checkShardLayout(cur.Version())
+				}
+				if err != nil {
+					failServe(fmt.Errorf("shard layout diverged after reload: %w", err))
+					continue
+				}
+			}
+			fmt.Fprintf(stdout, "reload: %d model(s) swapped in\n", updated)
 		}
 	}()
 
@@ -122,19 +275,19 @@ func main() {
 					start := time.Now()
 					ep, err := reg.RotateSelector(defaultModel, ensemble.RotateOptions{Seed: seed})
 					if err != nil {
-						fmt.Fprintf(os.Stderr, "rotate: %v\n", err)
+						fmt.Fprintf(stderr, "rotate: %v\n", err)
 						continue
 					}
-					fmt.Printf("rotate: %s now v%d (selection re-drawn in %v; bodies unchanged)\n",
+					fmt.Fprintf(stdout, "rotate: %s now v%d (selection re-drawn in %v; bodies unchanged)\n",
 						ep.Name(), ep.Version(), time.Since(start).Round(time.Millisecond))
 					// A rotation cadence writes a full pipeline per tick:
 					// prune the store so disk (and the checksum-verifying
 					// Open on restart) stays bounded.
 					if store := reg.Store(); store != nil && *keepVersions > 0 {
 						if pruned, err := store.Prune(ep.Name(), *keepVersions); err != nil {
-							fmt.Fprintf(os.Stderr, "prune: %v\n", err)
+							fmt.Fprintf(stderr, "prune: %v\n", err)
 						} else if pruned > 0 {
-							fmt.Printf("prune: removed %d old version(s) of %s\n", pruned, ep.Name())
+							fmt.Fprintf(stdout, "prune: removed %d old version(s) of %s\n", pruned, ep.Name())
 						}
 					}
 				}
@@ -142,11 +295,17 @@ func main() {
 		}()
 	}
 
-	if err := srv.Serve(ctx, ln); err != nil {
-		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
-		os.Exit(1)
+	if err := srv.Serve(serveCtx, ln); err != nil {
+		return fmt.Errorf("serve: %w", err)
 	}
-	fmt.Println("shutdown complete")
+	fatalMu.Lock()
+	err = fatalErr
+	fatalMu.Unlock()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "shutdown complete")
+	return nil
 }
 
 // openRegistry builds the registry the server reads through, from either a

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ensembler/internal/comm"
+	"ensembler/internal/commtest"
+	"ensembler/internal/registry"
+	"ensembler/internal/rng"
+	"ensembler/internal/shard"
+	"ensembler/internal/tensor"
+)
+
+// runAsync starts run in a goroutine with a pipe-backed stdout and returns
+// a line scanner plus the error channel.
+func runAsync(ctx context.Context, t *testing.T, args []string) (*bufio.Scanner, <-chan error) {
+	t.Helper()
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		err := run(ctx, args, pw, io.Discard)
+		pw.Close()
+		done <- err
+	}()
+	t.Cleanup(func() { pr.Close() })
+	return bufio.NewScanner(pr), done
+}
+
+// scrapeAddr reads stdout lines until the bound-address banner appears.
+func scrapeAddr(t *testing.T, sc *bufio.Scanner, done <-chan error) string {
+	t.Helper()
+	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), "listening on "); ok {
+			return addr
+		}
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("server exited before announcing its address: %v", err)
+	case <-time.After(time.Second):
+		t.Fatal("no address banner")
+	}
+	return ""
+}
+
+// publishTiny publishes an untrained tiny pipeline into a fresh registry
+// directory and returns the directory (the store half of the train→publish→
+// serve→infer round trip; cmd/ensembler-train's tests cover real training
+// into the same layout).
+func publishTiny(t *testing.T, shards int) (dir string, reg *registry.Registry) {
+	t.Helper()
+	dir = filepath.Join(t.TempDir(), "models")
+	store, err := registry.Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := commtest.Pipeline(commtest.TinyArch(), 4, 2, 77)
+	if shards > 0 {
+		_, err = store.PublishSharded("tiny", e, shards)
+	} else {
+		_, err = store.Publish("tiny", e)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg = registry.New(nil)
+	if _, err := reg.Publish("tiny", e); err != nil {
+		t.Fatal(err)
+	}
+	return dir, reg
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-model", "a.gob", "-model-dir", "d"}, "mutually exclusive"},
+		{[]string{"-shard", "1/2", "-rotate-every", "1m", "-model-dir", "d"}, "mutually exclusive"},
+		{[]string{"stray"}, "unexpected arguments"},
+		{[]string{"-no-such-flag"}, "flag provided but not defined"},
+	}
+	for _, c := range cases {
+		err := run(ctx, c.args, io.Discard, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("run(%v) = %v, want %q", c.args, err, c.want)
+		}
+	}
+}
+
+func TestRunMissingArtifacts(t *testing.T) {
+	ctx := context.Background()
+	missingFile := filepath.Join(t.TempDir(), "nope.gob")
+	if err := run(ctx, []string{"-model", missingFile}, io.Discard, io.Discard); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("missing model file: %v", err)
+	}
+	missingDir := filepath.Join(t.TempDir(), "nope")
+	if err := run(ctx, []string{"-model-dir", missingDir}, io.Discard, io.Discard); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("missing model dir: %v", err)
+	}
+}
+
+func TestRunBadShardSpecs(t *testing.T) {
+	ctx := context.Background()
+	dir, _ := publishTiny(t, 0)
+	for _, spec := range []string{"0/2", "3/2", "junk", "1/9"} {
+		err := run(ctx, []string{"-model-dir", dir, "-shard", spec, "-addr", "127.0.0.1:0"}, io.Discard, io.Discard)
+		if err == nil {
+			t.Errorf("-shard %s must be rejected for a 4-body model", spec)
+		}
+	}
+	// A manifest that committed to a 2-shard fleet rejects a 4-shard member.
+	dir2, _ := publishTiny(t, 2)
+	err := run(ctx, []string{"-model-dir", dir2, "-shard", "1/4", "-addr", "127.0.0.1:0"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "2-shard") {
+		t.Errorf("shard-count mismatch with the manifest: %v", err)
+	}
+}
+
+func TestServeInferRoundTrip(t *testing.T) {
+	dir, reg := publishTiny(t, 0)
+	e, err := reg.Current("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeline := e.Pipeline()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sc, done := runAsync(ctx, t, []string{"-model-dir", dir, "-addr", "127.0.0.1:0", "-workers", "2"})
+	addr := scrapeAddr(t, sc, done)
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	client, err := comm.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	rt := pipeline.NewClientRuntime()
+	client.ComputeFeatures = rt.Features
+	client.Select = rt.Select
+	client.Tail = rt.Tail
+
+	arch := commtest.TinyArch()
+	x := tensor.New(2, arch.InC, arch.H, arch.W)
+	rng.New(5).FillNormal(x.Data, 0, 1)
+	// The served pipeline was published from the same artifact bytes the
+	// local copy holds, so remote logits must match local bit-for-bit.
+	want := pipeline.Predict(x)
+	logits, _, err := client.Infer(ctx, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !logits.AllClose(want, 1e-9) {
+		t.Error("served inference does not match the published pipeline")
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Errorf("graceful shutdown: %v", err)
+	}
+}
+
+func TestServeShardHostsSubset(t *testing.T) {
+	dir, _ := publishTiny(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sc, done := runAsync(ctx, t, []string{"-model-dir", dir, "-addr", "127.0.0.1:0", "-shard", "2/2"})
+	addr := scrapeAddr(t, sc, done)
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	client, err := comm.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	plan, err := shard.Plan(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, _, err := client.Exchange(ctx, commtest.Input(commtest.TinyArch(), 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Features) != plan[1].Len() {
+		t.Errorf("shard 2/2 returned %d feature vectors, hosts %d bodies", len(ex.Features), plan[1].Len())
+	}
+	if ex.Model != "tiny" || ex.Version != 1 {
+		t.Errorf("shard response reports epoch %s v%d, want tiny v1", ex.Model, ex.Version)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Errorf("graceful shutdown: %v", err)
+	}
+}
+
+func TestRunRejectsCorruptModelFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.gob")
+	if err := os.WriteFile(path, []byte("not a pipeline"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(context.Background(), []string{"-model", path}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "loading model") {
+		t.Errorf("corrupt model file: %v", err)
+	}
+}

@@ -10,6 +10,13 @@
 // requests, and the pool re-wires to the rotated client runtime without a
 // restart.
 //
+// The final act shards the same ensemble across a K=3 fleet: each shard
+// process hosts a disjoint body subset behind the unchanged wire protocol,
+// the scatter-gather client reassembles body order and selects locally, and
+// one shard is killed mid-traffic — with zero failed requests, because the
+// secret selection never touches the dead shard's bodies and no server can
+// know that.
+//
 //	go run ./examples/remote_inference
 package main
 
@@ -27,6 +34,7 @@ import (
 	"ensembler/internal/ensemble"
 	"ensembler/internal/nn"
 	"ensembler/internal/registry"
+	"ensembler/internal/shard"
 	"ensembler/internal/split"
 	"ensembler/internal/tensor"
 )
@@ -234,6 +242,140 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("graceful shutdown complete")
-	fmt.Printf("neither the old %v nor the new %v secret selection ever appeared on the wire.\n",
+
+	// --- Sharded fleet ---
+	//
+	// The same ensemble, horizontally scaled: K=3 independent server
+	// processes each host a disjoint subset of the N bodies, and the
+	// scatter-gather client fans each request's features out to all of
+	// them, reassembles body order, and applies the secret selector
+	// locally. A compromised shard host now holds only its own bodies —
+	// and because the selection is secret, losing a shard that hosts no
+	// selected body costs nothing: we kill one mid-traffic and finish with
+	// zero failed requests.
+	const shards = 3
+	fmt.Printf("\nsharded fleet: %d shards over N=%d bodies\n", shards, cfg.N)
+	plan, err := shard.Plan(cfg.N, shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleetCtx, fleetCancel := context.WithCancel(context.Background())
+	defer fleetCancel()
+	addrs := make([]string, shards)
+	cancels := make([]context.CancelFunc, shards)
+	serves := make([]chan error, shards)
+	for k, r := range plan {
+		provider, err := comm.NewSubsetProvider(reg, r.Lo, r.Hi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sln.Close()
+		sctx, scancel := context.WithCancel(fleetCtx)
+		cancels[k] = scancel
+		serves[k] = make(chan error, 1)
+		ssrv := comm.NewModelServer(provider, comm.WithWorkers(2))
+		go func(k int, sln net.Listener) { serves[k] <- ssrv.Serve(sctx, sln) }(k, sln)
+		addrs[k] = sln.Addr().String()
+		fmt.Printf("  shard %d/%d at %s hosting bodies %s\n", k+1, shards, addrs[k], r)
+	}
+
+	fleet, err := shard.NewClient(shard.Config{
+		Addrs:      addrs,
+		Ranges:     plan,
+		N:          cfg.N,
+		NewRuntime: shard.PipelineRuntime(rotated),
+		PoolSize:   4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fleet.Close()
+
+	fleetLogits, ft, err := fleet.Infer(context.Background(), x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fleetLogits.AllClose(rotated.Predict(x), 1e-9) {
+		fmt.Printf("scatter-gather inference matches local pipeline exactly ✓ (slowest shard %.1fms, %.1f KiB up across %d shards)\n",
+			ft.RoundTrip.Seconds()*1e3, float64(ft.BytesUp)/1024, shards)
+	}
+
+	// Kill a shard hosting no selected body while traffic flows. The
+	// client knows its secret selection; the servers never do — so the
+	// demo can pick the victim shard, but no observer of the fleet can.
+	victim := -1
+	for k, r := range plan {
+		hostsSelected := false
+		for _, i := range rotated.Selector.Indices {
+			if r.Contains(i) {
+				hostsSelected = true
+				break
+			}
+		}
+		if !hostsSelected {
+			victim = k
+			break
+		}
+	}
+	fmt.Printf("killing shard %d/%d mid-traffic (selection %v never touches its bodies %s)\n",
+		victim+1, shards, rotated.Selector.Indices, plan[victim])
+
+	var fleetErrs atomic.Int64
+	var fleetReqs atomic.Int64
+	stopFleetLoad := make(chan struct{})
+	var fleetLoad sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		fleetLoad.Add(1)
+		go func() {
+			defer fleetLoad.Done()
+			for {
+				select {
+				case <-stopFleetLoad:
+					return
+				default:
+				}
+				if _, _, err := fleet.Infer(context.Background(), x); err != nil {
+					fleetErrs.Add(1)
+					log.Printf("fleet request: %v", err)
+				}
+				fleetReqs.Add(1)
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	cancels[victim]() // the shard process dies; in-flight requests drain
+	time.Sleep(150 * time.Millisecond)
+	close(stopFleetLoad)
+	fleetLoad.Wait()
+	<-serves[victim]
+
+	fmt.Printf("served %d requests across the kill; failed requests: %d\n", fleetReqs.Load(), fleetErrs.Load())
+	for _, h := range fleet.Health() {
+		status := "up"
+		if h.Down {
+			status = "down"
+		}
+		fmt.Printf("  shard %s (bodies %s): %s — %d requests, %d failures\n",
+			h.Addr, h.Bodies, status, h.Requests, h.Failures)
+	}
+	degraded, _, err := fleet.Infer(context.Background(), x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if degraded.AllClose(rotated.Predict(x), 1e-9) {
+		fmt.Println("degraded fleet still matches local inference exactly ✓")
+	}
+
+	fleetCancel()
+	for k := range serves {
+		if k != victim {
+			<-serves[k]
+		}
+	}
+	fmt.Printf("neither the old %v nor the new %v secret selection ever appeared on the wire — on any shard.\n",
 		e.Selector.Indices, rotated.Selector.Indices)
 }

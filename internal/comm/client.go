@@ -195,6 +195,43 @@ func (c *Client) finish(features []*tensor.Tensor) (logits *tensor.Tensor, err e
 	return c.Tail.Forward(c.Select(features), false), nil
 }
 
+// Exchanged is one raw feature round trip's result: the per-body feature
+// list plus which model epoch actually served it. The epoch matters to
+// sharded callers: a scatter-gather across K servers must reject a gather
+// whose shards answered from different versions (a fleet mid-reload), or
+// it would silently mix body weights from two pipelines into one result.
+type Exchanged struct {
+	Features []*tensor.Tensor
+	Model    string
+	Version  int
+}
+
+// Exchange performs the raw feature round trip beneath Infer: it transmits
+// already-computed features and returns the per-body feature list the server
+// answered with, structurally validated but unselected. This is the
+// primitive a sharded deployment builds on — the scatter-gather client
+// computes the head output once, Exchanges it with every shard, and applies
+// the secret selector over the reassembled body order itself, so no single
+// connection ever carries enough context to see the selection.
+func (c *Client) Exchange(ctx context.Context, features *tensor.Tensor) (*Exchanged, Timing, error) {
+	var t Timing
+	upBefore, downBefore := c.conn.up, c.conn.down
+	netStart := time.Now()
+	resp, err := c.roundTrip(ctx, &Request{Model: c.Model, Version: c.Version, Features: features})
+	t.RoundTrip = time.Since(netStart)
+	if err != nil {
+		return nil, t, err
+	}
+	for i, f := range resp.Features {
+		if err := validateTensor(f); err != nil {
+			return nil, t, fmt.Errorf("comm: server response tensor %d: %w", i, err)
+		}
+	}
+	t.BytesUp = c.conn.up - upBefore
+	t.BytesDown = c.conn.down - downBefore
+	return &Exchanged{Features: resp.Features, Model: resp.Model, Version: resp.Version}, t, nil
+}
+
 // InferBatch runs the collaborative pipeline for B image batches in a single
 // round trip and returns one logits tensor per input. The server stacks the
 // transmitted features, runs each body once over the stack, and splits the

@@ -192,6 +192,19 @@ func (p *Pool) InferBatch(ctx context.Context, xs []*tensor.Tensor) ([]*tensor.T
 	return logits, t, err
 }
 
+// Exchange runs one raw feature round trip on a pooled connection (see
+// Client.Exchange), with the same benign-vs-transport release policy as
+// Infer.
+func (p *Pool) Exchange(ctx context.Context, features *tensor.Tensor) (*Exchanged, Timing, error) {
+	c, err := p.get(ctx)
+	if err != nil {
+		return nil, Timing{}, err
+	}
+	ex, t, err := c.Exchange(ctx, features)
+	p.put(c)
+	return ex, t, err
+}
+
 // Close tears down every idle connection and marks the pool closed; in-use
 // connections are closed as they are released.
 func (p *Pool) Close() error {

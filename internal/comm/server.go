@@ -145,9 +145,10 @@ func (m *staticModel) Resolve(model string, version int) (ServedModel, error) {
 	return m, nil
 }
 
-func (m *staticModel) Name() string { return "" }
-func (m *staticModel) Version() int { return 0 }
-func (m *staticModel) Seq() uint64  { return 0 }
+func (m *staticModel) Name() string   { return "" }
+func (m *staticModel) Version() int   { return 0 }
+func (m *staticModel) Seq() uint64    { return 0 }
+func (m *staticModel) NumBodies() int { return len(m.bodies) }
 
 func (m *staticModel) NewReplica() []*nn.Network {
 	if m.replicate == nil || m.claimed.CompareAndSwap(false, true) {

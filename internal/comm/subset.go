@@ -1,0 +1,87 @@
+package comm
+
+import (
+	"fmt"
+
+	"ensembler/internal/nn"
+)
+
+// This file is the server half of sharded serving: a provider wrapper that
+// restricts every resolved model to a contiguous body subset [lo, hi). A
+// shard server is an ordinary comm.Server constructed over a subset
+// provider — the wire protocol is unchanged, the response simply carries
+// hi−lo feature tensors instead of N. The client-side scatter-gather
+// runtime (package shard) reassembles the full body order across shards and
+// applies the secret selector locally, so a compromised shard host observes
+// only its own bodies' traffic and, as ever, no selection indices.
+
+// RangeReplicator is an optional ServedModel refinement: models that can
+// clone just a body subrange directly (registry epochs do, via
+// ensemble.CloneBodyRange) avoid cloning all N bodies only to discard most
+// of them. Models without it are sliced after a full replica build.
+type RangeReplicator interface {
+	NewReplicaRange(lo, hi int) []*nn.Network
+}
+
+// BodyCounter is an optional ServedModel refinement reporting how many
+// bodies the model has, letting a subset provider reject an out-of-range
+// restriction at resolve time (a shard launched with the wrong -shard k/K
+// against a smaller model) instead of serving garbage.
+type BodyCounter interface {
+	NumBodies() int
+}
+
+// subsetProvider restricts every model resolved through the inner provider
+// to the body range [lo, hi).
+type subsetProvider struct {
+	inner  ModelProvider
+	lo, hi int
+}
+
+// NewSubsetProvider wraps a provider so every resolved model serves only
+// bodies [lo, hi) of the underlying ensemble — the restriction behind
+// ensembler-serve's -shard k/K flag. The subset keeps the underlying
+// model's name, version, and epoch sequence, so hot swaps and rotations
+// propagate to shard servers exactly as they do to a monolith.
+func NewSubsetProvider(p ModelProvider, lo, hi int) (ModelProvider, error) {
+	if p == nil {
+		return nil, fmt.Errorf("comm: subset provider needs an inner provider")
+	}
+	if lo < 0 || hi <= lo {
+		return nil, fmt.Errorf("comm: invalid body subset [%d,%d)", lo, hi)
+	}
+	return &subsetProvider{inner: p, lo: lo, hi: hi}, nil
+}
+
+func (sp *subsetProvider) Resolve(model string, version int) (ServedModel, error) {
+	m, err := sp.inner.Resolve(model, version)
+	if err != nil {
+		return nil, err
+	}
+	if bc, ok := m.(BodyCounter); ok && sp.hi > bc.NumBodies() {
+		return nil, fmt.Errorf("comm: model %q v%d has %d bodies, shard wants [%d,%d) — was the fleet planned for a different N?",
+			m.Name(), m.Version(), bc.NumBodies(), sp.lo, sp.hi)
+	}
+	return &subsetModel{ServedModel: m, lo: sp.lo, hi: sp.hi}, nil
+}
+
+// subsetModel narrows one resolved model to the shard's body range. Name,
+// Version, and Seq pass through unchanged: a shard server's replica cache
+// keys on the same epoch identity as a monolith's, so a registry publish
+// invalidates shard replicas on exactly the same trigger.
+type subsetModel struct {
+	ServedModel
+	lo, hi int
+}
+
+func (m *subsetModel) NewReplica() []*nn.Network {
+	if rr, ok := m.ServedModel.(RangeReplicator); ok {
+		return rr.NewReplicaRange(m.lo, m.hi)
+	}
+	full := m.ServedModel.NewReplica()
+	if m.hi > len(full) {
+		panic(fmt.Sprintf("comm: model %q v%d replica has %d bodies, shard wants [%d,%d)",
+			m.Name(), m.Version(), len(full), m.lo, m.hi))
+	}
+	return full[m.lo:m.hi]
+}

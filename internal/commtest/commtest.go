@@ -9,12 +9,17 @@
 package commtest
 
 import (
+	"context"
 	"fmt"
+	"net"
+	"testing"
 
 	"ensembler/internal/comm"
 	"ensembler/internal/ensemble"
 	"ensembler/internal/nn"
+	"ensembler/internal/registry"
 	"ensembler/internal/rng"
+	"ensembler/internal/shard"
 	"ensembler/internal/split"
 	"ensembler/internal/tensor"
 )
@@ -80,4 +85,100 @@ func Reference(arch split.Arch, n int, x *tensor.Tensor) *tensor.Tensor {
 		feats[i] = b.Forward(x, false)
 	}
 	return Tail(arch, n).Forward(nn.ConcatFeatures(feats), false)
+}
+
+// Fleet is a running sharded deployment for tests: K shard servers over one
+// registry-published pipeline, each hosting a disjoint body subset.
+type Fleet struct {
+	Pipeline *ensemble.Ensembler
+	Registry *registry.Registry
+	Addrs    []string
+	Ranges   []shard.Range
+
+	cancels []context.CancelFunc
+	serves  []chan error
+	lns     []net.Listener
+}
+
+// StartShards launches a K-shard fleet over a deterministic untrained
+// pipeline (see Pipeline) published to a fresh in-memory registry, and
+// registers full teardown with t.Cleanup. Every shard listens on a
+// kernel-assigned loopback port whose listener is handed directly to
+// Serve — ports are never closed and re-bound, which is what keeps these
+// tests from flaking under -race in CI (the probe-then-rebind pattern
+// races other test processes for the port).
+func StartShards(t testing.TB, k, n, p int, seed int64) *Fleet {
+	t.Helper()
+	e := Pipeline(TinyArch(), n, p, seed)
+	reg := registry.New(nil)
+	if _, err := reg.Publish("fleet", e); err != nil {
+		t.Fatalf("publishing fleet pipeline: %v", err)
+	}
+	f, err := StartShardServers(reg, e, k)
+	if err != nil {
+		t.Fatalf("starting shard fleet: %v", err)
+	}
+	t.Cleanup(func() {
+		for i := range f.cancels {
+			if err := f.StopShard(i); err != nil {
+				t.Errorf("shard %d serve: %v", i, err)
+			}
+		}
+	})
+	return f
+}
+
+// StartShardServers starts one comm.Server per shard of the plan, each over
+// a subset provider on the registry, each on its own :0 listener. The
+// caller owns teardown via StopShard; StartShards wraps this with t.Cleanup
+// for tests.
+func StartShardServers(reg *registry.Registry, e *ensemble.Ensembler, k int) (*Fleet, error) {
+	ranges, err := shard.Plan(e.Cfg.N, k)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{Pipeline: e, Registry: reg, Ranges: ranges}
+	for _, r := range ranges {
+		provider, err := comm.NewSubsetProvider(reg, r.Lo, r.Hi)
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		srv := comm.NewModelServer(provider, comm.WithWorkers(2))
+		ctx, cancel := context.WithCancel(context.Background())
+		served := make(chan error, 1)
+		go func() { served <- srv.Serve(ctx, ln) }()
+		f.Addrs = append(f.Addrs, ln.Addr().String())
+		f.cancels = append(f.cancels, cancel)
+		f.serves = append(f.serves, served)
+		f.lns = append(f.lns, ln)
+	}
+	return f, nil
+}
+
+// StopShard gracefully stops shard i (idempotent) and returns its Serve
+// error — how a test kills one shard mid-traffic.
+func (f *Fleet) StopShard(i int) error {
+	if f.cancels[i] == nil {
+		return nil
+	}
+	f.cancels[i]()
+	f.cancels[i] = nil
+	err := <-f.serves[i]
+	f.lns[i].Close()
+	return err
+}
+
+// ClientConfig returns a shard.Client configuration pointing at the fleet,
+// wired through the published pipeline's client runtime.
+func (f *Fleet) ClientConfig() shard.Config {
+	return shard.Config{
+		Addrs:      append([]string(nil), f.Addrs...),
+		Ranges:     append([]shard.Range(nil), f.Ranges...),
+		N:          f.Pipeline.Cfg.N,
+		NewRuntime: shard.PipelineRuntime(f.Pipeline),
+	}
 }

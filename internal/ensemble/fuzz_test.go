@@ -1,0 +1,86 @@
+package ensemble
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"testing"
+
+	"ensembler/internal/split"
+)
+
+// fuzzConfig is the smallest pipeline the envelope can carry — seed corpus
+// generation must be cheap because every fuzz iteration budget spent here
+// is not spent mutating.
+func fuzzConfig() Config {
+	return Config{
+		Arch: split.Arch{InC: 1, H: 2, W: 2, HeadC: 1, BlockWidths: []int{1}, Classes: 2},
+		N:    2, P: 1, Sigma: 0.05, Seed: 1,
+		Stage1Noise: true,
+	}
+}
+
+// forgeEnvelope wraps arbitrary payload bytes in a checksum-valid format
+// envelope, so fuzzing starts past the checksum wall and reaches the
+// savedState decode and validation paths.
+func forgeEnvelope(t testing.TB, payload []byte) []byte {
+	t.Helper()
+	env := savedFile{Format: FormatVersion, Checksum: sha256.Sum256(payload), Payload: payload}
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(&env); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func gobBytes(t testing.TB, v any) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// FuzzEnsemblerLoad holds Load to its decode-boundary contract: corrupt,
+// truncated, or forged pipeline files must come back as errors — never a
+// panic, and never a half-restored pipeline reported as success.
+func FuzzEnsemblerLoad(f *testing.F) {
+	var valid bytes.Buffer
+	if err := New(fuzzConfig()).Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2]) // truncation
+	flipped := append([]byte(nil), valid.Bytes()...)
+	flipped[len(flipped)/3] ^= 0xff // bit rot (fails the checksum)
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream"))
+	// Checksum-valid envelopes over hostile payloads: garbage, an invalid
+	// config, a selection outside [0,N), and a nil noise tensor.
+	f.Add(forgeEnvelope(f, []byte("garbage payload")))
+	f.Add(forgeEnvelope(f, gobBytes(f, &savedState{Cfg: Config{N: -1, P: 1}})))
+	badSel := savedState{Cfg: fuzzConfig(), Selection: []int{7}}
+	f.Add(forgeEnvelope(f, gobBytes(f, &badSel)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := Load(bytes.NewReader(data))
+		if err != nil {
+			if e != nil {
+				t.Fatal("Load returned both a pipeline and an error")
+			}
+			return
+		}
+		// A successful load must be internally consistent enough to serve.
+		if e == nil {
+			t.Fatal("Load returned neither pipeline nor error")
+		}
+		if e.Cfg.N <= 0 || len(e.Members) != e.Cfg.N {
+			t.Fatalf("loaded pipeline has %d members for N=%d", len(e.Members), e.Cfg.N)
+		}
+		if e.Selector == nil || len(e.Selector.Indices) != e.Cfg.P {
+			t.Fatalf("loaded pipeline has malformed selector %+v", e.Selector)
+		}
+	})
+}

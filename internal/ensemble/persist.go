@@ -106,12 +106,57 @@ func (e *Ensembler) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(&env)
 }
 
+// validateSavedState rejects saved states whose configuration or selection
+// could not have been produced by Save: the payload is untrusted input (a
+// corrupted file, or one forged to pass the checksum), and every field below
+// is fed to constructors that panic on nonsense rather than returning errors.
+func validateSavedState(st *savedState) error {
+	cfg := st.Cfg
+	if cfg.N <= 0 || cfg.P <= 0 || cfg.P > cfg.N {
+		return fmt.Errorf("ensemble: saved state has invalid ensemble shape N=%d P=%d", cfg.N, cfg.P)
+	}
+	a := cfg.Arch
+	if a.InC <= 0 || a.H <= 0 || a.W <= 0 || a.HeadC <= 0 || a.Classes <= 0 || len(a.BlockWidths) == 0 {
+		return fmt.Errorf("ensemble: saved state has invalid architecture %+v", a)
+	}
+	for _, w := range a.BlockWidths {
+		if w <= 0 {
+			return fmt.Errorf("ensemble: saved state has invalid block widths %v", a.BlockWidths)
+		}
+	}
+	if cfg.Sigma < 0 || cfg.Dropout < 0 || cfg.Dropout >= 1 {
+		return fmt.Errorf("ensemble: saved state has invalid sigma=%v dropout=%v", cfg.Sigma, cfg.Dropout)
+	}
+	if len(st.Selection) != cfg.P {
+		return fmt.Errorf("ensemble: saved state selects %d bodies, config says P=%d", len(st.Selection), cfg.P)
+	}
+	seen := map[int]bool{}
+	for _, i := range st.Selection {
+		if i < 0 || i >= cfg.N || seen[i] {
+			return fmt.Errorf("ensemble: saved state has invalid selection %v for N=%d", st.Selection, cfg.N)
+		}
+		seen[i] = true
+	}
+	return nil
+}
+
 // Load reconstructs a trained pipeline from r, verifying the envelope's
 // format version and content checksum before decoding the payload. The
 // stored Config rebuilds the network skeletons (via New); saved parameters
 // then overwrite the fresh initialization. The training-time RNG stream is
 // irrelevant here because every tensor is restored explicitly.
-func Load(r io.Reader) (*Ensembler, error) {
+//
+// Load never panics on malformed input: the payload is validated before any
+// constructor sees it, and a residual panic in the network substrate (a
+// tensor whose recorded shape disagrees with its data in a way the layer
+// code trips over) is converted to an error. A model file is a trust
+// boundary — registry stores and operators hand them around.
+func Load(r io.Reader) (e *Ensembler, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			e, err = nil, fmt.Errorf("ensemble: rejecting malformed saved state: %v", rec)
+		}
+	}()
 	var env savedFile
 	if err := gob.NewDecoder(r).Decode(&env); err != nil {
 		// A pre-envelope (format 1) file is a bare savedState gob: none of
@@ -129,7 +174,10 @@ func Load(r io.Reader) (*Ensembler, error) {
 	if err := gob.NewDecoder(bytes.NewReader(env.Payload)).Decode(&st); err != nil {
 		return nil, fmt.Errorf("ensemble: decoding saved state payload: %w", err)
 	}
-	e := New(st.Cfg)
+	if err := validateSavedState(&st); err != nil {
+		return nil, err
+	}
+	e = New(st.Cfg)
 	for i, m := range e.Members {
 		if err := st.loadNet(fmt.Sprintf("member%d.head", i), m.Head); err != nil {
 			return nil, err
@@ -145,7 +193,9 @@ func Load(r io.Reader) (*Ensembler, error) {
 			if !ok {
 				return nil, fmt.Errorf("ensemble: saved state missing member %d noise", i)
 			}
-			copy(m.Noise.Noise.Value.Data, saved.Data)
+			if err := restoreNoise(m.Noise.Noise.Value.Data, saved, fmt.Sprintf("member %d", i)); err != nil {
+				return nil, err
+			}
 		}
 	}
 	e.Selector = FixedSelector(st.Cfg.N, st.Selection)
@@ -161,11 +211,24 @@ func Load(r io.Reader) (*Ensembler, error) {
 			// Initialization is immediately overwritten by the saved tensor.
 			e.Noise = nn.NewAdditiveNoise("final.noise", nn.NoiseFixed, c, h, w, st.Cfg.Sigma, rng.New(0))
 		}
-		copy(e.Noise.Noise.Value.Data, saved.Data)
+		if err := restoreNoise(e.Noise.Noise.Value.Data, saved, "final"); err != nil {
+			return nil, err
+		}
 	} else {
 		e.Noise = nil
 	}
 	return e, nil
+}
+
+// restoreNoise copies a saved fixed-noise tensor over a freshly built one,
+// rejecting nil or wrongly sized tensors — a bare copy would silently
+// truncate a corrupted tensor into a half-restored noise pattern.
+func restoreNoise(dst []float64, saved *tensor.Tensor, role string) error {
+	if saved == nil || len(saved.Data) != len(dst) {
+		return fmt.Errorf("ensemble: saved state has malformed %s noise tensor", role)
+	}
+	copy(dst, saved.Data)
+	return nil
 }
 
 // SaveFile writes the pipeline to path.

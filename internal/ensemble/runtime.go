@@ -20,14 +20,25 @@ import (
 // with private forward caches. Each call returns an independent set, so a
 // serving worker pool calls it once per worker.
 func (e *Ensembler) CloneBodies() []*nn.Network {
-	out := make([]*nn.Network, len(e.Members))
+	return e.CloneBodyRange(0, len(e.Members))
+}
+
+// CloneBodyRange clones only the bodies in [lo, hi) — what a shard server
+// hosting a disjoint subset of the ensemble replicates per worker. Cloning
+// exactly the hosted subset is what keeps a K-shard deployment's total
+// replica memory equal to one monolithic server's, instead of K times it.
+func (e *Ensembler) CloneBodyRange(lo, hi int) []*nn.Network {
+	if lo < 0 || hi > len(e.Members) || lo >= hi {
+		panic(fmt.Sprintf("ensemble: body range [%d,%d) out of bounds for N=%d", lo, hi, len(e.Members)))
+	}
+	out := make([]*nn.Network, hi-lo)
 	r := rng.New(0) // initialization is immediately overwritten
-	for i, m := range e.Members {
+	for i := lo; i < hi; i++ {
 		clone := e.Cfg.Arch.NewBody(fmt.Sprintf("replica%d.body", i), r)
-		if err := clone.CopyStateFrom(m.Body); err != nil {
+		if err := clone.CopyStateFrom(e.Members[i].Body); err != nil {
 			panic(fmt.Sprintf("ensemble: cloning body %d: %v", i, err))
 		}
-		out[i] = clone
+		out[i-lo] = clone
 	}
 	return out
 }

@@ -57,7 +57,11 @@ func (n *Network) Save(w io.Writer) error {
 }
 
 // Load restores parameters and running statistics previously written by Save
-// into an identically structured network.
+// into an identically structured network. The bytes are a decode boundary:
+// gob happily materializes nil tensor pointers and shape/data disagreements
+// a forged or corrupted file carries, so every restored tensor is checked
+// before any copy — a bare copy would silently truncate into half-restored
+// weights.
 func (n *Network) Load(r io.Reader) error {
 	var st netState
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
@@ -68,18 +72,23 @@ func (n *Network) Load(r io.Reader) error {
 		if !ok {
 			return fmt.Errorf("nn: saved state missing parameter %q", p.Name)
 		}
-		if !v.SameShape(p.Value) {
-			return fmt.Errorf("nn: parameter %q shape %v vs saved %v", p.Name, p.Value.Shape, v.Shape)
+		if v == nil || !v.SameShape(p.Value) || len(v.Data) != len(p.Value.Data) {
+			return fmt.Errorf("nn: parameter %q does not match saved tensor", p.Name)
 		}
 		copy(p.Value.Data, v.Data)
 	}
 	bns := collectBatchNorms(n.Layers)
-	if len(bns) != len(st.RunMean) {
-		return fmt.Errorf("nn: %d batch norms vs %d saved running stats", len(bns), len(st.RunMean))
+	if len(bns) != len(st.RunMean) || len(bns) != len(st.RunVar) {
+		return fmt.Errorf("nn: %d batch norms vs %d/%d saved running stats", len(bns), len(st.RunMean), len(st.RunVar))
 	}
 	for i, bn := range bns {
-		copy(bn.RunMean.Data, st.RunMean[i].Data)
-		copy(bn.RunVar.Data, st.RunVar[i].Data)
+		mean, vr := st.RunMean[i], st.RunVar[i]
+		if mean == nil || vr == nil ||
+			len(mean.Data) != len(bn.RunMean.Data) || len(vr.Data) != len(bn.RunVar.Data) {
+			return fmt.Errorf("nn: batch norm %d running stats do not match saved tensors", i)
+		}
+		copy(bn.RunMean.Data, mean.Data)
+		copy(bn.RunVar.Data, vr.Data)
 	}
 	return nil
 }

@@ -1,0 +1,57 @@
+package registry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzManifestRead holds parseManifest to its decode-boundary contract:
+// manifests are operator-editable JSON, and whatever is in the file, the
+// parser must return a validated manifest or an error — never panic, and
+// never accept a manifest whose fields later code cannot rely on.
+func FuzzManifestRead(f *testing.F) {
+	marshal := func(m Manifest) []byte {
+		b, err := json.Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	valid := Manifest{
+		Format: ManifestFormat, Model: "m", Version: 1,
+		SHA256:    strings.Repeat("ab", 32),
+		SizeBytes: 128, PipelineFormat: 2, N: 4, P: 2,
+	}
+	f.Add(marshal(valid))
+	sharded := valid
+	sharded.Shards = 3
+	sharded.ShardRanges = []ShardRange{{0, 2}, {2, 3}, {3, 4}}
+	f.Add(marshal(sharded))
+	f.Add([]byte("{}"))
+	f.Add([]byte("not json at all"))
+	f.Add([]byte(`{"format":1,"model":"m","version":1,"sha256":"xyz","n":-2,"p":0}`))
+	f.Add([]byte(`{"format":1,"model":"../../etc","version":1}`))
+	badShards := sharded
+	badShards.ShardRanges = []ShardRange{{0, 4}, {1, 2}, {3, 4}}
+	f.Add(marshal(badShards))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		man, err := parseManifest(data, "m", 1)
+		if err != nil {
+			if man != nil {
+				t.Fatal("parseManifest returned both a manifest and an error")
+			}
+			return
+		}
+		if man.Model != "m" || man.Version != 1 {
+			t.Fatalf("accepted manifest for wrong identity: %+v", man)
+		}
+		if man.N <= 0 || man.P <= 0 || man.P > man.N {
+			t.Fatalf("accepted invalid ensemble shape: %+v", man)
+		}
+		if man.Shards > 0 && len(man.ShardRanges) != man.Shards {
+			t.Fatalf("accepted inconsistent shard plan: %+v", man)
+		}
+	})
+}

@@ -43,6 +43,16 @@ func (ep *Epoch) Pipeline() *ensemble.Ensembler { return ep.pipeline }
 // clone is freshly allocated.
 func (ep *Epoch) NewReplica() []*nn.Network { return ep.pipeline.CloneBodies() }
 
+// NewReplicaRange builds a replica of only the bodies in [lo, hi) — the
+// comm.RangeReplicator refinement a shard server's subset provider uses so
+// each shard clones exactly the bodies it hosts.
+func (ep *Epoch) NewReplicaRange(lo, hi int) []*nn.Network { return ep.pipeline.CloneBodyRange(lo, hi) }
+
+// NumBodies reports the ensemble size N of the published pipeline — the
+// comm.BodyCounter refinement that lets a subset provider reject a shard
+// range planned for a different N.
+func (ep *Epoch) NumBodies() int { return ep.pipeline.Cfg.N }
+
 // maxRetainedEpochs bounds how many epochs of one model stay in memory.
 // Under a rotation cadence (-rotate-every) versions accumulate indefinitely;
 // without a bound a long-lived server would hold every superseded pipeline

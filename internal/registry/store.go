@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"ensembler/internal/ensemble"
+	"ensembler/internal/shard"
 )
 
 // ManifestFormat identifies the manifest.json schema.
@@ -34,6 +35,14 @@ const (
 	modelFile    = "model.gob"
 	manifestFile = "manifest.json"
 )
+
+// ShardRange is one shard's body assignment as recorded in a manifest —
+// the on-disk mirror of shard.Plan's layout, kept as its own type so the
+// manifest schema owns its JSON form.
+type ShardRange struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
 
 // Manifest describes one published model version: enough to verify the
 // artifact (format + checksum + size) and to route without loading it (N, P).
@@ -47,6 +56,15 @@ type Manifest struct {
 	N              int    `json:"n"`               // ensemble size
 	P              int    `json:"p"`               // secret subset size
 	CreatedUnix    int64  `json:"created_unix"`    // publish time
+
+	// Shards and ShardRanges record the fleet layout the version was
+	// published for (ensembler-train -shards): K shard servers and each
+	// one's body range. Zero/absent means the publisher made no sharding
+	// commitment; ensembler-serve -shard validates its k/K against these
+	// when present, so a fleet member launched with a stale plan fails
+	// loudly instead of serving the wrong body subset.
+	Shards      int          `json:"shards,omitempty"`
+	ShardRanges []ShardRange `json:"shard_ranges,omitempty"`
 }
 
 // Store is a versioned on-disk model store with the layout
@@ -193,8 +211,29 @@ func (s *Store) Latest(name string) (int, error) {
 // renamed into place, so readers only ever see complete versions; on any
 // failure the temp directory is removed and the store is unchanged.
 func (s *Store) Publish(name string, e *ensemble.Ensembler) (int, error) {
+	return s.publish(name, e, 0)
+}
+
+// PublishSharded is Publish with a sharding commitment: the manifest
+// records the K-shard layout (shard.Plan over the pipeline's N) so every
+// fleet member can validate its -shard k/K against what training intended.
+func (s *Store) PublishSharded(name string, e *ensemble.Ensembler, shards int) (int, error) {
+	return s.publish(name, e, shards)
+}
+
+func (s *Store) publish(name string, e *ensemble.Ensembler, shards int) (int, error) {
 	if err := validName(name); err != nil {
 		return 0, err
+	}
+	var shardRanges []ShardRange
+	if shards > 0 {
+		plan, err := shard.Plan(e.Cfg.N, shards)
+		if err != nil {
+			return 0, fmt.Errorf("registry: publishing %q: %w", name, err)
+		}
+		for _, r := range plan {
+			shardRanges = append(shardRanges, ShardRange{Lo: r.Lo, Hi: r.Hi})
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -228,6 +267,8 @@ func (s *Store) Publish(name string, e *ensemble.Ensembler) (int, error) {
 		N:              e.Cfg.N,
 		P:              e.Cfg.P,
 		CreatedUnix:    time.Now().Unix(),
+		Shards:         shards,
+		ShardRanges:    shardRanges,
 	}
 	if err := writeManifest(filepath.Join(tmp, manifestFile), man); err != nil {
 		return 0, fmt.Errorf("registry: publishing %q v%d: %w", name, version, err)
@@ -283,15 +324,67 @@ func (s *Store) Manifest(name string, version int) (*Manifest, error) {
 	if err != nil {
 		return nil, fmt.Errorf("registry: model %q v%d: reading manifest: %w", name, version, err)
 	}
+	man, err := parseManifest(b, name, version)
+	if err != nil {
+		return nil, fmt.Errorf("registry: model %q v%d: %w", name, version, err)
+	}
+	return man, nil
+}
+
+// parseManifest decodes and validates manifest bytes against the model name
+// and version the caller expects from the store layout. It is the whole
+// decode boundary for manifests — a file anyone can edit on disk — so every
+// field that later code relies on is checked here, and malformed input is
+// always an error, never a panic (FuzzManifestRead holds it to that).
+func parseManifest(b []byte, name string, version int) (*Manifest, error) {
 	var man Manifest
 	if err := json.Unmarshal(b, &man); err != nil {
-		return nil, fmt.Errorf("registry: model %q v%d: malformed manifest: %w", name, version, err)
+		return nil, fmt.Errorf("malformed manifest: %w", err)
 	}
 	if man.Format != ManifestFormat {
-		return nil, fmt.Errorf("registry: model %q v%d: manifest format %d, this build reads %d", name, version, man.Format, ManifestFormat)
+		return nil, fmt.Errorf("manifest format %d, this build reads %d", man.Format, ManifestFormat)
 	}
 	if man.Model != name || man.Version != version {
-		return nil, fmt.Errorf("registry: model %q v%d: manifest claims to be %q v%d", name, version, man.Model, man.Version)
+		return nil, fmt.Errorf("manifest claims to be %q v%d", man.Model, man.Version)
+	}
+	if err := validName(man.Model); err != nil {
+		return nil, err
+	}
+	if man.Version <= 0 {
+		return nil, fmt.Errorf("manifest has non-positive version %d", man.Version)
+	}
+	if len(man.SHA256) != hex.EncodedLen(sha256.Size) {
+		return nil, fmt.Errorf("manifest checksum %q is not a sha256 hex digest", man.SHA256)
+	}
+	if _, err := hex.DecodeString(man.SHA256); err != nil {
+		return nil, fmt.Errorf("manifest checksum %q is not a sha256 hex digest", man.SHA256)
+	}
+	if man.SizeBytes < 0 {
+		return nil, fmt.Errorf("manifest has negative artifact size %d", man.SizeBytes)
+	}
+	if man.N <= 0 || man.P <= 0 || man.P > man.N {
+		return nil, fmt.Errorf("manifest has invalid ensemble shape N=%d P=%d", man.N, man.P)
+	}
+	if man.Shards < 0 || man.Shards > man.N {
+		return nil, fmt.Errorf("manifest has invalid shard count %d for N=%d", man.Shards, man.N)
+	}
+	if man.Shards == 0 && len(man.ShardRanges) != 0 {
+		return nil, fmt.Errorf("manifest has %d shard ranges but no shard count", len(man.ShardRanges))
+	}
+	if man.Shards > 0 {
+		if len(man.ShardRanges) != man.Shards {
+			return nil, fmt.Errorf("manifest records %d shard ranges for %d shards", len(man.ShardRanges), man.Shards)
+		}
+		lo := 0
+		for i, r := range man.ShardRanges {
+			if r.Lo != lo || r.Hi <= r.Lo {
+				return nil, fmt.Errorf("manifest shard range %d (%+v) does not tile [0,%d)", i, r, man.N)
+			}
+			lo = r.Hi
+		}
+		if lo != man.N {
+			return nil, fmt.Errorf("manifest shard ranges cover %d bodies, N=%d", lo, man.N)
+		}
 	}
 	return &man, nil
 }

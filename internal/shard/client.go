@@ -1,0 +1,514 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"ensembler/internal/comm"
+	"ensembler/internal/ensemble"
+	"ensembler/internal/nn"
+	"ensembler/internal/tensor"
+)
+
+// Runtime is the client-side half of the pipeline as the scatter-gather
+// client uses it: head+noise feature computation, the secret selection over
+// the reassembled N-body feature order, and the tail. The networks behind
+// these hooks cache forward state, so one Runtime serves one request at a
+// time; the Client keeps a free list and builds more through its factory as
+// concurrency demands.
+type Runtime struct {
+	// Features computes the transmitted representation for an image batch.
+	Features func(x *tensor.Tensor) *tensor.Tensor
+	// Select applies the secret selector to the N reassembled feature
+	// matrices. Entries for bodies hosted by failed-but-unselected shards
+	// are nil; Select must only touch the selected indices (the ensemble
+	// selector does by construction).
+	Select func(features []*tensor.Tensor) *tensor.Tensor
+	// Tail maps the selected features to logits.
+	Tail *nn.Network
+	// Selected lists the body indices Select actually reads — the knowledge
+	// that makes shard loss survivable: a request fails only when a shard
+	// hosting one of these is unreachable. nil means every body is needed.
+	Selected []int
+}
+
+// PipelineRuntime adapts a trained pipeline to the Client's runtime
+// factory: each call clones the client-side networks (head, fixed noise,
+// selector, tail), so pooled concurrent requests never share forward
+// caches.
+func PipelineRuntime(e *ensemble.Ensembler) func() (*Runtime, error) {
+	return func() (*Runtime, error) {
+		rt := e.NewClientRuntime()
+		return &Runtime{
+			Features: rt.Features,
+			Select:   rt.Select,
+			Tail:     rt.Tail,
+			Selected: rt.Selector.Indices,
+		}, nil
+	}
+}
+
+// Config describes a sharded fleet from the client's point of view.
+type Config struct {
+	// Addrs are the K shard server addresses, in shard order.
+	Addrs []string
+	// Ranges are the body assignments per shard — typically Plan(N, K).
+	// They must be contiguous, disjoint, and cover [0, N).
+	Ranges []Range
+	// N is the total ensemble size the ranges must cover.
+	N int
+	// NewRuntime builds one client runtime (see PipelineRuntime). Called
+	// lazily as concurrent requests demand runtimes.
+	NewRuntime func() (*Runtime, error)
+	// PoolSize bounds the connection pool per shard (default 4).
+	PoolSize int
+	// Model and Version are the optional routing header each shard request
+	// carries; zero values mean the shard's default model at its current
+	// version.
+	Model   string
+	Version int
+	// Retries is how many additional attempts a failed shard exchange gets
+	// before the shard is declared failed for the request (default 1; < 0
+	// disables retries). The pool discards broken connections, so a retry
+	// dials fresh.
+	Retries int
+	// HedgeAfter, when positive, launches a second request on another
+	// pooled connection to the same shard if the first has not answered
+	// within this duration — straggler insurance; first answer wins, the
+	// loser is cancelled.
+	HedgeAfter time.Duration
+	// DownAfter is how many consecutive failures mark a shard down
+	// (default 3). A down shard still receives every request — traffic must
+	// stay selection-independent — but with a single attempt and no
+	// hedging, so a dead process costs one fast connection-refused per
+	// request instead of a retry storm.
+	DownAfter int
+	// ProbeTimeout bounds the single attempt a down shard gets per
+	// request (default 1s). A cleanly dead process refuses connections
+	// immediately, but a black-holed host (partition, dropped SYNs) would
+	// otherwise stall every gather for the kernel connect timeout.
+	ProbeTimeout time.Duration
+}
+
+// Health is one shard's observed state.
+type Health struct {
+	Addr                string
+	Bodies              Range
+	Down                bool
+	Requests            uint64
+	Failures            uint64
+	Hedged              uint64
+	ConsecutiveFailures int
+	LastErr             string
+}
+
+// shardHealth tracks one shard's failure state under a mutex (the counters
+// are touched once per request per shard; contention is negligible next to
+// a network round trip).
+type shardHealth struct {
+	mu          sync.Mutex
+	consecFails int
+	requests    uint64
+	failures    uint64
+	hedged      uint64
+	lastErr     string
+}
+
+func (h *shardHealth) succeed() {
+	h.mu.Lock()
+	h.requests++
+	h.consecFails = 0
+	h.lastErr = ""
+	h.mu.Unlock()
+}
+
+func (h *shardHealth) fail(err error) {
+	h.mu.Lock()
+	h.requests++
+	h.failures++
+	h.consecFails++
+	if err != nil {
+		h.lastErr = err.Error()
+	}
+	h.mu.Unlock()
+}
+
+func (h *shardHealth) hedge() {
+	h.mu.Lock()
+	h.hedged++
+	h.mu.Unlock()
+}
+
+func (h *shardHealth) isDown(downAfter int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.consecFails >= downAfter
+}
+
+// taggedRuntime ties a runtime to the configuration epoch that built it, so
+// Reconfigure can retire stale runtimes as they are released.
+type taggedRuntime struct {
+	rt    *Runtime
+	epoch uint64
+}
+
+// Client is the scatter-gather runtime over a sharded fleet: one connection
+// pool per shard, concurrent fan-out of each request's features to all K
+// shards, reassembly of the N feature vectors in body order, and the secret
+// selection applied locally. Safe for concurrent use.
+type Client struct {
+	cfg    Config
+	pools  []*comm.Pool
+	health []*shardHealth
+
+	mu         sync.Mutex
+	newRuntime func() (*Runtime, error)
+	rtEpoch    uint64
+	runtimes   []*taggedRuntime
+}
+
+// NewClient validates the fleet layout and wires one connection pool per
+// shard. Connections are dialed lazily, so a fleet with a dead shard still
+// constructs — the failure surfaces per request, where the selector decides
+// whether it matters.
+func NewClient(cfg Config) (*Client, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("shard: client needs at least one shard address")
+	}
+	if len(cfg.Addrs) != len(cfg.Ranges) {
+		return nil, fmt.Errorf("shard: %d addresses for %d body ranges", len(cfg.Addrs), len(cfg.Ranges))
+	}
+	if cfg.NewRuntime == nil {
+		return nil, fmt.Errorf("shard: client needs a runtime factory")
+	}
+	lo := 0
+	for k, r := range cfg.Ranges {
+		if r.Lo != lo || r.Hi <= r.Lo {
+			return nil, fmt.Errorf("shard: ranges must be contiguous and non-empty; shard %d has %v after offset %d", k, r, lo)
+		}
+		lo = r.Hi
+	}
+	if lo != cfg.N {
+		return nil, fmt.Errorf("shard: ranges cover %d bodies, config says N=%d", lo, cfg.N)
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 4
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 1
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = 3
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	c := &Client{cfg: cfg, newRuntime: cfg.NewRuntime}
+	for _, addr := range cfg.Addrs {
+		pool, err := comm.NewPool(addr, cfg.PoolSize, func(cc *comm.Client) error {
+			cc.Model = cfg.Model
+			cc.Version = cfg.Version
+			return nil
+		})
+		if err != nil {
+			for _, p := range c.pools {
+				p.Close()
+			}
+			return nil, err
+		}
+		c.pools = append(c.pools, pool)
+		c.health = append(c.health, &shardHealth{})
+	}
+	return c, nil
+}
+
+// Shards reports the fleet size K.
+func (c *Client) Shards() int { return len(c.pools) }
+
+// Health snapshots every shard's observed state, in shard order.
+func (c *Client) Health() []Health {
+	out := make([]Health, len(c.health))
+	for k, h := range c.health {
+		h.mu.Lock()
+		out[k] = Health{
+			Addr:                c.cfg.Addrs[k],
+			Bodies:              c.cfg.Ranges[k],
+			Down:                h.consecFails >= c.cfg.DownAfter,
+			Requests:            h.requests,
+			Failures:            h.failures,
+			Hedged:              h.hedged,
+			ConsecutiveFailures: h.consecFails,
+			LastErr:             h.lastErr,
+		}
+		h.mu.Unlock()
+	}
+	return out
+}
+
+// Reconfigure swaps the runtime factory — the client half of a selector
+// rotation or model hot swap. In-flight requests finish on the runtime they
+// acquired; released stale runtimes are dropped and subsequent requests
+// build fresh ones through the new factory. The shard servers see nothing:
+// a rotation changes only the client-side secret.
+func (c *Client) Reconfigure(newRuntime func() (*Runtime, error)) {
+	if newRuntime == nil {
+		return
+	}
+	c.mu.Lock()
+	c.newRuntime = newRuntime
+	c.rtEpoch++
+	c.runtimes = nil
+	c.mu.Unlock()
+}
+
+// Close tears down every shard pool.
+func (c *Client) Close() error {
+	var first error
+	for _, p := range c.pools {
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (c *Client) acquireRuntime() (*taggedRuntime, error) {
+	c.mu.Lock()
+	if n := len(c.runtimes); n > 0 {
+		rt := c.runtimes[n-1]
+		c.runtimes = c.runtimes[:n-1]
+		c.mu.Unlock()
+		return rt, nil
+	}
+	factory, epoch := c.newRuntime, c.rtEpoch
+	c.mu.Unlock()
+	rt, err := factory()
+	if err != nil {
+		return nil, fmt.Errorf("shard: building client runtime: %w", err)
+	}
+	if rt == nil || rt.Features == nil || rt.Select == nil || rt.Tail == nil {
+		return nil, fmt.Errorf("shard: runtime factory returned an incompletely wired runtime")
+	}
+	return &taggedRuntime{rt: rt, epoch: epoch}, nil
+}
+
+func (c *Client) releaseRuntime(rt *taggedRuntime) {
+	c.mu.Lock()
+	if rt.epoch == c.rtEpoch {
+		c.runtimes = append(c.runtimes, rt)
+	}
+	c.mu.Unlock()
+}
+
+// Infer runs one collaborative inference across the fleet: head features
+// computed once locally, scattered to all K shards concurrently, the N
+// feature vectors gathered in body order, and selection + tail applied
+// locally. The round-trip component of the returned timing is the
+// wall-clock of the slowest shard (the fan-out is concurrent); byte counts
+// sum over shards.
+func (c *Client) Infer(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, comm.Timing, error) {
+	var t comm.Timing
+	tagged, err := c.acquireRuntime()
+	if err != nil {
+		return nil, t, err
+	}
+	defer c.releaseRuntime(tagged)
+	rt := tagged.rt
+
+	start := time.Now()
+	feats := rt.Features(x)
+	t.Client = time.Since(start)
+
+	netStart := time.Now()
+	results := make([]*comm.Exchanged, len(c.pools))
+	timings := make([]comm.Timing, len(c.pools))
+	errs := make([]error, len(c.pools))
+	var wg sync.WaitGroup
+	for k := range c.pools {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			results[k], timings[k], errs[k] = c.exchange(ctx, k, feats)
+		}(k)
+	}
+	wg.Wait()
+	t.RoundTrip = time.Since(netStart)
+	for _, st := range timings {
+		t.BytesUp += st.BytesUp
+		t.BytesDown += st.BytesDown
+	}
+
+	// Every shard whose features the selection will consume must have
+	// answered from the same model epoch: during a rolling fleet reload,
+	// one shard may serve a newer version than another, and mixing their
+	// body outputs would produce logits matching neither pipeline — with
+	// nothing downstream able to tell. Shape-identical wrongness must be
+	// rejected here or nowhere. Unselected shards are exempt for the same
+	// reason their death is survivable: their features are never read, so
+	// a version-skewed answer from one is as harmless as no answer — and
+	// exempting them is what keeps a rolling reload zero-downtime for
+	// clients whose selection sits on the already-consistent shards.
+	epochK := -1
+	for k, res := range results {
+		if errs[k] != nil || !selectionNeeds(rt.Selected, c.cfg.Ranges[k]) {
+			continue
+		}
+		if epochK < 0 {
+			epochK = k
+			continue
+		}
+		first := results[epochK]
+		if res.Model != first.Model || res.Version != first.Version {
+			return nil, t, fmt.Errorf("shard: selected bodies answered from mixed epochs (%s v%d at shard %d vs %s v%d at shard %d) — mid-reload, retry",
+				first.Model, first.Version, epochK, res.Model, res.Version, k)
+		}
+	}
+
+	features := make([]*tensor.Tensor, c.cfg.N)
+	for k, r := range c.cfg.Ranges {
+		if errs[k] != nil {
+			// Graceful degradation: the loss only matters if the secret
+			// selection reads one of this shard's bodies. Unselected
+			// entries stay nil; Select never touches them.
+			if selectionNeeds(rt.Selected, r) {
+				return nil, t, fmt.Errorf("shard: shard %d (%s, bodies %s) hosts selected bodies and failed: %w",
+					k, c.cfg.Addrs[k], r, errs[k])
+			}
+			continue
+		}
+		copy(features[r.Lo:r.Hi], results[k].Features)
+	}
+
+	start = time.Now()
+	logits, err := finish(rt, features)
+	t.Client += time.Since(start)
+	return logits, t, err
+}
+
+// selectionNeeds reports whether any selected body index falls in the
+// range; a nil selection means every body is needed.
+func selectionNeeds(selected []int, r Range) bool {
+	if selected == nil {
+		return true
+	}
+	for _, i := range selected {
+		if r.Contains(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// finish applies selection and tail, converting a panic (a malformed
+// response that slipped past per-tensor validation, or a Select touching a
+// nil slot) into an error — shard servers are as untrusted as the monolith.
+func finish(rt *Runtime, features []*tensor.Tensor) (logits *tensor.Tensor, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			logits, err = nil, fmt.Errorf("shard: assembling response rejected: %v", r)
+		}
+	}()
+	return rt.Tail.Forward(rt.Select(features), false), nil
+}
+
+// exchange runs the feature round trip against one shard with the
+// configured retry and hedging policy, updating the shard's health.
+func (c *Client) exchange(ctx context.Context, k int, feats *tensor.Tensor) (*comm.Exchanged, comm.Timing, error) {
+	h := c.health[k]
+	down := h.isDown(c.cfg.DownAfter)
+	attempts := 1 + c.cfg.Retries
+	if down {
+		// A down shard gets exactly one cheap probe per request: traffic
+		// stays selection-independent, but a dead process doesn't earn a
+		// retry storm. Any success resets the state.
+		attempts = 1
+	}
+	var total comm.Timing
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			lastErr = err
+			break
+		}
+		attemptCtx := ctx
+		if down {
+			// Bound the probe: a black-holed host must not stall the
+			// gather for the kernel connect timeout on every request.
+			var cancel context.CancelFunc
+			attemptCtx, cancel = context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+			defer cancel()
+		}
+		res, t, err := c.exchangeOnce(attemptCtx, k, feats, down)
+		total.BytesUp += t.BytesUp
+		total.BytesDown += t.BytesDown
+		total.RoundTrip += t.RoundTrip
+		// A response carrying the wrong feature count is a shard failure
+		// like any other (a misconfigured or stale fleet member), and it
+		// must count against the shard's health before success is
+		// recorded — otherwise a persistently wrong shard would look
+		// healthy forever.
+		if err == nil && len(res.Features) != c.cfg.Ranges[k].Len() {
+			err = fmt.Errorf("shard: shard %d returned %d features for %d hosted bodies", k, len(res.Features), c.cfg.Ranges[k].Len())
+		}
+		if err == nil {
+			h.succeed()
+			return res, total, nil
+		}
+		lastErr = err
+	}
+	// A caller-side cancellation or deadline says nothing about the
+	// shard's health — charging it would mark healthy shards down under
+	// an impatient client and strip them of retries and hedging.
+	if ctx.Err() == nil {
+		h.fail(lastErr)
+	}
+	return nil, total, lastErr
+}
+
+// exchangeOnce performs a single (possibly hedged) exchange with shard k.
+func (c *Client) exchangeOnce(ctx context.Context, k int, feats *tensor.Tensor, down bool) (*comm.Exchanged, comm.Timing, error) {
+	pool := c.pools[k]
+	if c.cfg.HedgeAfter <= 0 || down {
+		return pool.Exchange(ctx, feats)
+	}
+	type result struct {
+		feats *comm.Exchanged
+		t     comm.Timing
+		err   error
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // aborts the losing request; its broken conn is discarded by the pool
+	ch := make(chan result, 2)
+	launch := func() {
+		f, t, err := pool.Exchange(hctx, feats)
+		ch <- result{f, t, err}
+	}
+	go launch()
+	timer := time.NewTimer(c.cfg.HedgeAfter)
+	defer timer.Stop()
+	outstanding := 1
+	hedged := false
+	for {
+		select {
+		case r := <-ch:
+			outstanding--
+			if r.err == nil || outstanding == 0 {
+				return r.feats, r.t, r.err
+			}
+			// The first responder failed but a hedge is still running —
+			// wait for it rather than failing the attempt early.
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				outstanding++
+				c.health[k].hedge()
+				go launch()
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package shard turns the single-box deployment into a horizontally
+// scalable fleet: K independent server processes each host a disjoint
+// contiguous subset of the N ensemble bodies (a comm.Server over a
+// comm.NewSubsetProvider), and the client-side scatter-gather runtime
+// (Client) fans one head output out to every shard concurrently,
+// reassembles the N feature vectors in body order, and applies the secret
+// selector and tail locally — exactly as against a monolith.
+//
+// The wire protocol per shard is unchanged, and the selection indices still
+// never appear anywhere: the client transmits the same features to every
+// shard on every request regardless of which bodies are selected, so a
+// per-shard observer cannot even learn whether its own bodies matter. This
+// is a strict strengthening of the paper's threat model — the adversarial
+// server of the monolithic deployment holds all N bodies; a compromised
+// shard host holds only its subset, the setting where ensemble-inversion
+// attacks degrade (see PAPERS.md on ensemble inversion and switching
+// ensembles).
+//
+// Shard loss is survivable because of the same secret: a request fails only
+// when a shard hosting one of its *selected* bodies is unreachable. With P
+// of N bodies selected, the selection touches at most P shards, so up to
+// K−P shard losses leave a given client fully servable — the fleet degrades
+// probabilistically rather than collapsing.
+package shard
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Range is one shard's contiguous body assignment [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns how many bodies the range hosts.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Contains reports whether body index i falls in the range.
+func (r Range) Contains(i int) bool { return i >= r.Lo && i < r.Hi }
+
+// String renders the range in the -bodies i..j CLI form.
+func (r Range) String() string { return fmt.Sprintf("%d..%d", r.Lo, r.Hi-1) }
+
+// Plan partitions N bodies across K shards as evenly as possible:
+// contiguous, disjoint, covering [0, N), with the first N mod K shards one
+// body larger. The plan is a pure function of (N, K), so every fleet member
+// — each shard server and every client — derives the identical layout from
+// the model configuration alone, with nothing to distribute or agree on.
+func Plan(n, k int) ([]Range, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shard: plan needs a positive body count, got N=%d", n)
+	}
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("shard: shard count K=%d out of range for N=%d bodies (want 1..%d)", k, n, n)
+	}
+	out := make([]Range, k)
+	base, extra := n/k, n%k
+	lo := 0
+	for i := range out {
+		size := base
+		if i < extra {
+			size++
+		}
+		out[i] = Range{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return out, nil
+}
+
+// ParseSpec parses the -shard CLI form "k/K" (1-based shard k of K), e.g.
+// "2/3" for the second of three shards.
+func ParseSpec(spec string) (k, total int, err error) {
+	parts := strings.Split(spec, "/")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("shard: spec %q is not of the form k/K (e.g. 2/3)", spec)
+	}
+	k, errK := strconv.Atoi(parts[0])
+	total, errT := strconv.Atoi(parts[1])
+	if errK != nil || errT != nil || total <= 0 || k <= 0 || k > total {
+		return 0, 0, fmt.Errorf("shard: spec %q wants shard k in 1..K, K positive", spec)
+	}
+	return k, total, nil
+}

@@ -1,0 +1,108 @@
+package shard
+
+import "testing"
+
+func TestPlanPartitionsEvenly(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want []Range
+	}{
+		{4, 1, []Range{{0, 4}}},
+		{4, 2, []Range{{0, 2}, {2, 4}}},
+		{4, 3, []Range{{0, 2}, {2, 3}, {3, 4}}},
+		{4, 4, []Range{{0, 1}, {1, 2}, {2, 3}, {3, 4}}},
+		{10, 3, []Range{{0, 4}, {4, 7}, {7, 10}}},
+	}
+	for _, c := range cases {
+		got, err := Plan(c.n, c.k)
+		if err != nil {
+			t.Fatalf("Plan(%d,%d): %v", c.n, c.k, err)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("Plan(%d,%d) = %v", c.n, c.k, got)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Plan(%d,%d)[%d] = %v, want %v", c.n, c.k, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestPlanCoversAndBalances(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		for k := 1; k <= n; k++ {
+			plan, err := Plan(n, k)
+			if err != nil {
+				t.Fatalf("Plan(%d,%d): %v", n, k, err)
+			}
+			lo, minLen, maxLen := 0, n, 0
+			for _, r := range plan {
+				if r.Lo != lo {
+					t.Fatalf("Plan(%d,%d) has gap before %v", n, k, r)
+				}
+				lo = r.Hi
+				if r.Len() < minLen {
+					minLen = r.Len()
+				}
+				if r.Len() > maxLen {
+					maxLen = r.Len()
+				}
+			}
+			if lo != n {
+				t.Fatalf("Plan(%d,%d) covers [0,%d)", n, k, lo)
+			}
+			if maxLen-minLen > 1 {
+				t.Errorf("Plan(%d,%d) unbalanced: sizes span %d..%d", n, k, minLen, maxLen)
+			}
+		}
+	}
+}
+
+func TestPlanRejectsBadShapes(t *testing.T) {
+	for _, c := range []struct{ n, k int }{{0, 1}, {4, 0}, {4, 5}, {-1, 1}, {3, -2}} {
+		if _, err := Plan(c.n, c.k); err == nil {
+			t.Errorf("Plan(%d,%d) should fail", c.n, c.k)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	k, total, err := ParseSpec("2/3")
+	if err != nil || k != 2 || total != 3 {
+		t.Fatalf("ParseSpec(2/3) = %d,%d,%v", k, total, err)
+	}
+	for _, bad := range []string{"", "3", "0/3", "4/3", "-1/3", "a/3", "1/b", "1/0", "1/2/3"} {
+		if _, _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) should fail", bad)
+		}
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	r := Range{2, 5}
+	for i, want := range map[int]bool{1: false, 2: true, 4: true, 5: false} {
+		if r.Contains(i) != want {
+			t.Errorf("Range%v.Contains(%d) = %v", r, i, !want)
+		}
+	}
+	if r.String() != "2..4" {
+		t.Errorf("Range%v.String() = %q", r, r.String())
+	}
+	if r.Len() != 3 {
+		t.Errorf("Range%v.Len() = %d", r, r.Len())
+	}
+}
+
+func TestSelectionNeeds(t *testing.T) {
+	r := Range{2, 4}
+	if !selectionNeeds(nil, r) {
+		t.Error("nil selection must need every range")
+	}
+	if selectionNeeds([]int{0, 1, 4}, r) {
+		t.Error("selection outside [2,4) should not need it")
+	}
+	if !selectionNeeds([]int{1, 3}, r) {
+		t.Error("selection touching [2,4) must need it")
+	}
+}
