@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -54,15 +55,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "server worker replicas for -serving")
 	reqBatch := fs.Int("req-batch", 1, "images per request for -serving")
 	duration := fs.Duration("duration", 2*time.Second, "measurement window per -serving regime")
+	jsonPath := fs.String("json", "", "write machine-readable -serving results to this path (the BENCH_*.json perf trajectory)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
 	}
+	if *jsonPath != "" && !*serving {
+		return fmt.Errorf("-json records serving measurements; combine it with -serving")
+	}
 
 	if *serving {
-		return runServingBench(stdout, stderr, *n, *clients, *workers, *reqBatch, *duration)
+		return runServingBench(stdout, stderr, *n, *clients, *workers, *reqBatch, *duration, *jsonPath)
 	}
 
 	var sc experiments.Scale
@@ -117,10 +122,50 @@ func run(args []string, stdout, stderr io.Writer) error {
 // harness.
 func benchArch() split.Arch { return split.DefaultArch(data.CIFAR10Like) }
 
+// BenchReport is the machine-readable form of one -serving run — the unit
+// of the repo's BENCH_*.json perf trajectory. Fields are stable: tooling
+// diffs consecutive reports for regressions.
+type BenchReport struct {
+	Timestamp  string            `json:"timestamp"`
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Config     BenchConfig       `json:"config"`
+	Results    []BenchResult     `json:"results"`
+	Extra      map[string]string `json:"extra,omitempty"`
+}
+
+// BenchConfig records the measured operating point.
+type BenchConfig struct {
+	Bodies        int     `json:"bodies"`
+	Clients       int     `json:"clients"`
+	Workers       int     `json:"workers"`
+	ReqBatch      int     `json:"req_batch"`
+	WindowSeconds float64 `json:"window_seconds"`
+}
+
+// BenchResult is one measured (or model-predicted) regime.
+type BenchResult struct {
+	Name      string  `json:"name"`
+	ReqPerSec float64 `json:"req_per_sec,omitempty"`
+	ImgPerSec float64 `json:"img_per_sec,omitempty"`
+	NsPerOp   float64 `json:"ns_per_op,omitempty"`
+	Value     float64 `json:"value,omitempty"`
+}
+
+// throughputResult converts a measured rate into the result row shape.
+func throughputResult(name string, reqPerSec float64, reqBatch int) BenchResult {
+	r := BenchResult{Name: name, ReqPerSec: reqPerSec, ImgPerSec: reqPerSec * float64(reqBatch)}
+	if reqPerSec > 0 {
+		r.NsPerOp = 1e9 / reqPerSec
+	}
+	return r
+}
+
 // runServingBench measures sustained request throughput over loopback TCP
 // for a single connection and for the requested concurrency, then prints
-// the analytic model's prediction for the same regimes.
-func runServingBench(stdout, stderr io.Writer, n, clients, workers, reqBatch int, window time.Duration) error {
+// the analytic model's prediction for the same regimes. jsonPath, when set,
+// additionally writes the measurements as a BenchReport.
+func runServingBench(stdout, stderr io.Writer, n, clients, workers, reqBatch int, window time.Duration, jsonPath string) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
@@ -146,15 +191,51 @@ func runServingBench(stdout, stderr io.Writer, n, clients, workers, reqBatch int
 		fmt.Fprintf(stdout, "  speedup: %.2f×\n", many/single)
 	}
 
+	predicted := latency.ConcurrencySpeedup(latency.Ensembler(n), workers, reqBatch, clients)
 	fmt.Fprintf(stdout, "\nanalytic model (calibrated to the paper's Table III devices, not this host):\n")
 	for _, est := range latency.ConcurrencySweep(latency.Ensembler(n), workers, reqBatch, []int{1, 2, 4, clients}) {
 		fmt.Fprintf(stdout, "  %s\n", est)
 	}
-	fmt.Fprintf(stdout, "  predicted speedup at %d clients: %.2f×\n",
-		clients, latency.ConcurrencySpeedup(latency.Ensembler(n), workers, reqBatch, clients))
+	fmt.Fprintf(stdout, "  predicted speedup at %d clients: %.2f×\n", clients, predicted)
+
+	if jsonPath != "" {
+		report := BenchReport{
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Config: BenchConfig{
+				Bodies: n, Clients: clients, Workers: workers,
+				ReqBatch: reqBatch, WindowSeconds: window.Seconds(),
+			},
+			Results: []BenchResult{
+				throughputResult("serve_single_connection", single, reqBatch),
+				throughputResult(fmt.Sprintf("serve_concurrent_%d", clients), many, reqBatch),
+			},
+		}
+		if single > 0 {
+			report.Results = append(report.Results, BenchResult{Name: "speedup", Value: many / single})
+		}
+		report.Results = append(report.Results, BenchResult{Name: "predicted_speedup", Value: predicted})
+		if err := writeBenchReport(jsonPath, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nwrote %s\n", jsonPath)
+	}
 
 	cancel()
 	<-served
+	return nil
+}
+
+// writeBenchReport writes one report as indented JSON.
+func writeBenchReport(path string, report BenchReport) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding bench report: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing bench report: %w", err)
+	}
 	return nil
 }
 

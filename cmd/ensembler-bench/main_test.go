@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -50,5 +53,58 @@ func TestRunServingBench(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("serving bench output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+func TestJSONRequiresServing(t *testing.T) {
+	err := run([]string{"-json", "out.json", "-table", "3"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-serving") {
+		t.Errorf("-json without -serving = %v, want an error naming -serving", err)
+	}
+}
+
+// TestServingBenchWritesJSONReport runs a minimal serving bench with -json
+// and validates the machine-readable report — the smoke CI runs on every
+// push to start the BENCH_*.json perf trajectory.
+func TestServingBenchWritesJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-serving", "-n", "2", "-clients", "2", "-workers", "2",
+		"-duration", "100ms", "-json", path,
+	}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report BenchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, raw)
+	}
+	if report.GoVersion == "" || report.Timestamp == "" || report.GOMAXPROCS <= 0 {
+		t.Errorf("report missing environment fields: %+v", report)
+	}
+	if report.Config.Bodies != 2 || report.Config.Clients != 2 || report.Config.WindowSeconds != 0.1 {
+		t.Errorf("report config = %+v", report.Config)
+	}
+	byName := map[string]BenchResult{}
+	for _, r := range report.Results {
+		byName[r.Name] = r
+	}
+	single, ok := byName["serve_single_connection"]
+	if !ok || single.ReqPerSec <= 0 || single.NsPerOp <= 0 {
+		t.Errorf("missing or empty single-connection result: %+v", report.Results)
+	}
+	if _, ok := byName["serve_concurrent_2"]; !ok {
+		t.Errorf("missing concurrent result: %+v", report.Results)
+	}
+	if pred, ok := byName["predicted_speedup"]; !ok || pred.Value <= 0 {
+		t.Errorf("missing predicted speedup: %+v", report.Results)
+	}
+	if !strings.Contains(out.String(), "wrote "+path) {
+		t.Errorf("stdout does not announce the report: %s", out.String())
 	}
 }

@@ -1,0 +1,141 @@
+package main
+
+// The admin plane: a second HTTP listener (-admin-addr) carrying the
+// operational surface of a serving process — health, Prometheus metrics,
+// live leakage state, and a manual rotation trigger. It is deliberately a
+// separate listener from the inference socket: the inference port faces
+// untrusted clients and speaks the gob protocol only, while the admin port
+// is for operators and scrapers and should be firewalled accordingly.
+//
+// Nothing served here reveals the secret selection: health and metrics
+// describe traffic volume, latency, versions, and leakage scores — all
+// quantities a wire observer or the (adversarial) serving box itself already
+// has. See DESIGN.md §2e on why the on-box auditor widens no attack surface.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"ensembler/internal/audit"
+	"ensembler/internal/registry"
+	"ensembler/internal/telemetry"
+)
+
+// adminPlane bundles what the admin endpoints read and do.
+type adminPlane struct {
+	reg     *registry.Registry
+	model   string // default model name
+	treg    *telemetry.Registry
+	auditor *audit.Auditor                              // nil: audit disabled
+	rotate  func(cause string) (*registry.Epoch, error) // nil: rotation not possible here (shard mode)
+	workers int
+	shard   string // "k/K" in fleet mode, "" otherwise
+	start   time.Time
+}
+
+// mux builds the admin endpoint routing.
+func (a *adminPlane) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("/healthz", a.handleHealthz)
+	m.Handle("/metrics", a.treg.Handler())
+	m.HandleFunc("/leakage", a.handleLeakage)
+	m.HandleFunc("/rotate", a.handleRotate)
+	return m
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client went away; nothing useful to do
+}
+
+func (a *adminPlane) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	cur, err := a.reg.Current(a.model)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "unhealthy", "error": err.Error(),
+		})
+		return
+	}
+	resp := map[string]any{
+		"status":         "ok",
+		"model":          cur.Name(),
+		"version":        cur.Version(),
+		"models":         a.reg.Models(),
+		"workers":        a.workers,
+		"uptime_seconds": time.Since(a.start).Seconds(),
+		"rotations":      a.reg.RotationCount(a.model),
+		"audit_enabled":  a.auditor != nil,
+	}
+	if a.shard != "" {
+		resp["shard"] = a.shard
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (a *adminPlane) handleLeakage(w http.ResponseWriter, r *http.Request) {
+	if a.auditor == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, a.auditor.State())
+}
+
+// handleRotate triggers one selector rotation — the operator's "rotate now"
+// button, recorded in the registry history with cause "admin request".
+func (a *adminPlane) handleRotate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]any{
+			"error": "rotation is a POST",
+		})
+		return
+	}
+	if a.rotate == nil {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": "this process cannot rotate: in a sharded fleet the selector is client-side — publish a rotated pipeline and SIGHUP the shards",
+		})
+		return
+	}
+	ep, err := a.rotate("admin request")
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"model": ep.Name(), "version": ep.Version(),
+	})
+}
+
+// serveAdmin binds the admin listener, announces its address on stdout (the
+// second scrapeable banner line), and serves until ctx is cancelled.
+func serveAdmin(ctx context.Context, addr string, plane *adminPlane, announce func(format string, args ...any)) (func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("admin plane: listening on %s: %w", addr, err)
+	}
+	announce("admin listening on %s\n", ln.Addr())
+	srv := &http.Server{Handler: plane.mux()}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+	return func() error {
+		err := <-done
+		if errors.Is(err, http.ErrServerClosed) || ctx.Err() != nil {
+			return nil
+		}
+		return err
+	}, nil
+}

@@ -29,9 +29,27 @@
 // shutdown: in-flight requests finish, their responses flush, and Serve
 // returns.
 //
+// -admin-addr opens the operational control plane on a second listener:
+// /healthz (liveness + live epoch), /metrics (Prometheus exposition of QPS,
+// latency, batch sizes, epoch version, rotations, worker utilization, and
+// audit leakage), /leakage (the audit engine's state as JSON), and /rotate
+// (POST: rotate the selector now, recorded with cause "admin request").
+//
+// -audit-sample N turns on the online privacy audit: every Nth request's
+// transmitted features are mirrored into a bounded reservoir, and on the
+// -audit-every cadence the process replays the repo's model-inversion attack
+// (oracle-grade — the conservative upper bound only the model owner can
+// mount) against the live pipeline, scoring reconstructions on a synthetic
+// calibration set. When the rolling SSIM stays above -audit-threshold for
+// -audit-breaches consecutive audits, the selector rotates automatically
+// (cause recorded with the evidence), rate-limited by -rotate-min-interval
+// and re-armed only after leakage dips below threshold−hysteresis. In a
+// sharded fleet the audit is report-only: rotation is the client's move.
+//
 //	ensembler-serve -model ensembler.gob -addr :7946 -workers 4 -max-batch 64
 //	ensembler-serve -model-dir models/ -model-name cifar -rotate-every 10m
 //	ensembler-serve -model-dir models/ -shard 2/3 -addr :7948
+//	ensembler-serve -model-dir models/ -admin-addr 127.0.0.1:9100 -audit-sample 100
 package main
 
 import (
@@ -44,13 +62,18 @@ import (
 	"os/signal"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"ensembler/internal/attack"
+	"ensembler/internal/audit"
 	"ensembler/internal/comm"
+	"ensembler/internal/data"
 	"ensembler/internal/ensemble"
 	"ensembler/internal/registry"
 	"ensembler/internal/shard"
+	"ensembler/internal/telemetry"
 )
 
 func main() {
@@ -78,6 +101,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	rotateSeed := fs.Int64("rotate-seed", 1, "seed stream for selector rotations")
 	keepVersions := fs.Int("keep-versions", 64, "on-disk versions kept per model when rotating (0 keeps everything)")
 	shardSpec := fs.String("shard", "", `host shard k of a K-shard fleet ("k/K"): only that shard's body subset`)
+	adminAddr := fs.String("admin-addr", "", "admin plane listen address (/healthz, /metrics, /leakage, /rotate); empty disables")
+	auditSample := fs.Int("audit-sample", 0, "mirror every Nth request's features into the privacy audit (0 disables the audit)")
+	auditReservoir := fs.Int("audit-reservoir", 64, "bound on mirrored feature tensors held for the audit")
+	auditEvery := fs.Duration("audit-every", time.Minute, "leakage audit cadence")
+	auditMinSamples := fs.Int("audit-min-samples", 8, "mirrored tensors required before an audit runs")
+	auditThreshold := fs.Float64("audit-threshold", 0.35, "rolling reconstruction SSIM that arms a selector rotation")
+	auditHysteresis := fs.Float64("audit-hysteresis", 0.05, "leakage must dip this far below the threshold to re-arm the trigger")
+	auditBreaches := fs.Int("audit-breaches", 2, "consecutive breaching audits required to rotate")
+	auditCalib := fs.Int("audit-calib", 64, "synthetic calibration images for the audit's attack replay")
+	rotateMinInterval := fs.Duration("rotate-min-interval", 10*time.Minute, "floor between leakage-triggered rotations")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,6 +122,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if *shardSpec != "" && *rotateEvery > 0 {
 		return fmt.Errorf("-rotate-every and -shard are mutually exclusive: in a fleet the selector is rotated client-side (publish the rotated pipeline and SIGHUP the shards)")
+	}
+	if *auditSample < 0 {
+		return fmt.Errorf("-audit-sample must be >= 0 (every Nth request; 0 disables), got %d", *auditSample)
+	}
+	if *auditSample > 0 && *auditThreshold <= 0 {
+		return fmt.Errorf("-audit-threshold must be positive when the audit is enabled, got %v", *auditThreshold)
 	}
 
 	reg, err := openRegistry(*modelPath, *modelDir, *modelName)
@@ -171,21 +210,34 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		shardBanner = fmt.Sprintf("shard %d/%d hosting bodies %s of %d — ", k, total, r, n)
 	}
 
+	// Observability: the telemetry registry always exists (it is cheap and
+	// the audit engine exports through it); per-request server metrics are
+	// only attached when an admin plane will scrape them, and the feature
+	// sampler only when the audit is on — both hooks cost one nil check on
+	// the hot path when absent.
+	startTime := time.Now()
+	treg := telemetry.NewRegistry()
+	serverOpts := []comm.ServerOption{
+		comm.WithWorkers(*workers),
+		comm.WithMaxBatch(*maxBatch),
+	}
+	var sm *comm.ServerMetrics
+	if *adminAddr != "" {
+		sm = comm.NewServerMetrics(treg)
+		serverOpts = append(serverOpts, comm.WithMetrics(sm))
+	}
+	var sampler *audit.Sampler
+	if *auditSample > 0 {
+		sampler = audit.NewSampler(*auditSample, *auditReservoir, *rotateSeed)
+		serverOpts = append(serverOpts, comm.WithObserver(sampler))
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("listening on %s: %w", *addr, err)
 	}
 	defer ln.Close()
-	srv := comm.NewModelServer(provider,
-		comm.WithWorkers(*workers),
-		comm.WithMaxBatch(*maxBatch),
-	)
-
-	// The bound address line comes first and stands alone so scripts (and
-	// tests using -addr :0) can scrape the actual port.
-	fmt.Fprintf(stdout, "listening on %s\n", ln.Addr())
-	fmt.Fprintf(stdout, "%sserving %s v%d (%d bodies) as default — %d models total, %d workers, max batch %d; selector stays client-side\n",
-		shardBanner, defaultModel, cur.Version(), cur.Pipeline().Cfg.N, len(reg.Models()), srv.Workers(), *maxBatch)
+	srv := comm.NewModelServer(provider, serverOpts...)
 
 	// A shard that ends up serving a layout-divergent model must stop
 	// serving — wrong-subset responses are shape-identical to right ones,
@@ -193,6 +245,142 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	// is live. serveCtx cancellation drains in-flight requests first.
 	serveCtx, stopServe := context.WithCancel(ctx)
 	defer stopServe()
+
+	// rotateNow is the one selector-rotation path every trigger shares —
+	// the -rotate-every timer (cause "schedule"), the leakage audit (cause
+	// carries the evidence), and the admin /rotate endpoint (cause "admin
+	// request") — so the registry's rotation history attributes each swap.
+	// A sharded fleet member cannot rotate (the selector is client-side).
+	var rotateNow func(cause string) (*registry.Epoch, error)
+	if *shardSpec == "" {
+		var rotateSeq atomic.Int64
+		var rotateMu sync.Mutex
+		rotateNow = func(cause string) (*registry.Epoch, error) {
+			rotateMu.Lock() // concurrent triggers serialize; each still publishes
+			defer rotateMu.Unlock()
+			seed := *rotateSeed + rotateSeq.Add(1)
+			start := time.Now()
+			ep, err := reg.RotateSelectorCause(defaultModel, cause, ensemble.RotateOptions{Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(stdout, "rotate[%s]: %s now v%d (selection re-drawn in %v; bodies unchanged)\n",
+				cause, ep.Name(), ep.Version(), time.Since(start).Round(time.Millisecond))
+			// Every rotation writes a full pipeline: prune the store so disk
+			// (and the checksum-verifying Open on restart) stays bounded.
+			if store := reg.Store(); store != nil && *keepVersions > 0 {
+				if pruned, err := store.Prune(ep.Name(), *keepVersions); err != nil {
+					fmt.Fprintf(stderr, "prune: %v\n", err)
+				} else if pruned > 0 {
+					fmt.Fprintf(stdout, "prune: removed %d old version(s) of %s\n", pruned, ep.Name())
+				}
+			}
+			return ep, nil
+		}
+	}
+
+	// The leakage audit: mirror sampled live features, replay the decoder
+	// attack against the published pipeline on a synthetic calibration set
+	// shaped like the model's inputs, and rotate on evidence. In a fleet the
+	// auditor is report-only (leakage is measured and exported; rotation is
+	// the client's move).
+	var auditor *audit.Auditor
+	if sampler != nil {
+		arch := cur.Pipeline().Cfg.Arch
+		if arch.InC != 3 {
+			return fmt.Errorf("-audit-sample: the synthetic calibration generator produces 3-channel images; model %s expects %d input channels", defaultModel, arch.InC)
+		}
+		calibN := *auditCalib
+		if calibN < 8 {
+			calibN = 8
+		}
+		calib := data.Generate(data.Config{
+			Kind: data.CIFAR10Like, H: arch.H, W: arch.W,
+			Train: 8, Aux: calibN, Test: max(8, calibN/2), Seed: 424242,
+		})
+		var rotateFn audit.RotateFunc
+		if rotateNow != nil {
+			rotateFn = func(cause string) error { _, err := rotateNow(cause); return err }
+		}
+		auditor, err = audit.New(audit.Config{
+			Registry:          reg,
+			Model:             defaultModel,
+			Sampler:           sampler,
+			MinSamples:        *auditMinSamples,
+			Interval:          *auditEvery,
+			Attack:            attack.Config{DecoderEpochs: 2, BatchSize: 16, Seed: *rotateSeed + 7919},
+			Aux:               calib.Aux,
+			Eval:              calib.Test,
+			EvalSamples:       16,
+			Oracle:            true, // audit against the strongest (oracle) inversion: conservative by construction
+			Threshold:         *auditThreshold,
+			Hysteresis:        *auditHysteresis,
+			Breaches:          *auditBreaches,
+			MinRotateInterval: *rotateMinInterval,
+			Rotate:            rotateFn,
+			Log:               stderr,
+		})
+		if err != nil {
+			return err
+		}
+		auditor.RegisterMetrics(treg)
+		go auditor.Run(serveCtx)
+	}
+
+	// Process-level gauges: uptime, live epoch, rotation count, and — when
+	// request metrics are on — worker-pool utilization derived from the
+	// serve-time histogram.
+	treg.GaugeFunc("ensembler_uptime_seconds", "Seconds since this process started serving.",
+		nil, func() float64 { return time.Since(startTime).Seconds() })
+	treg.GaugeFunc("ensembler_epoch_version", "Version of the default model's live epoch.",
+		nil, func() float64 {
+			if ep, err := reg.Current(defaultModel); err == nil {
+				return float64(ep.Version())
+			}
+			return 0
+		})
+	treg.CounterFunc("ensembler_rotations_total", "Selector rotations of the default model (any cause).",
+		nil, func() float64 { return float64(reg.RotationCount(defaultModel)) })
+	treg.GaugeFunc("ensembler_workers", "Size of the compute worker pool.",
+		nil, func() float64 { return float64(srv.Workers()) })
+	if sm != nil {
+		treg.GaugeFunc("ensembler_worker_utilization", "Fraction of worker-pool capacity spent serving since start.",
+			nil, func() float64 {
+				up := time.Since(startTime).Seconds()
+				if up <= 0 {
+					return 0
+				}
+				return sm.ServeSeconds.Sum() / (float64(srv.Workers()) * up)
+			})
+	}
+
+	// The bound address line comes first and stands alone so scripts (and
+	// tests using -addr :0) can scrape the actual port; the admin banner
+	// follows in the same scrapeable shape.
+	fmt.Fprintf(stdout, "listening on %s\n", ln.Addr())
+	var adminWait func() error
+	if *adminAddr != "" {
+		plane := &adminPlane{
+			reg: reg, model: defaultModel, treg: treg, auditor: auditor,
+			rotate: rotateNow, workers: srv.Workers(), shard: *shardSpec, start: startTime,
+		}
+		adminWait, err = serveAdmin(serveCtx, *adminAddr, plane, func(format string, args ...any) {
+			fmt.Fprintf(stdout, format, args...)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	auditBanner := ""
+	if auditor != nil {
+		mode := "rotating on evidence"
+		if *shardSpec != "" {
+			mode = "report-only in a fleet"
+		}
+		auditBanner = fmt.Sprintf("; audit mirrors 1/%d of requests (threshold SSIM %.2f, %s)", *auditSample, *auditThreshold, mode)
+	}
+	fmt.Fprintf(stdout, "%sserving %s v%d (%d bodies) as default — %d models total, %d workers, max batch %d; selector stays client-side%s\n",
+		shardBanner, defaultModel, cur.Version(), cur.Pipeline().Cfg.N, len(reg.Models()), srv.Workers(), *maxBatch, auditBanner)
 	var fatalMu sync.Mutex
 	var fatalErr error
 	failServe := func(err error) {
@@ -265,30 +453,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		go func() {
 			ticker := time.NewTicker(*rotateEvery)
 			defer ticker.Stop()
-			seed := *rotateSeed
 			for {
 				select {
 				case <-ctx.Done():
 					return
 				case <-ticker.C:
-					seed++
-					start := time.Now()
-					ep, err := reg.RotateSelector(defaultModel, ensemble.RotateOptions{Seed: seed})
-					if err != nil {
+					if _, err := rotateNow("schedule"); err != nil {
 						fmt.Fprintf(stderr, "rotate: %v\n", err)
-						continue
-					}
-					fmt.Fprintf(stdout, "rotate: %s now v%d (selection re-drawn in %v; bodies unchanged)\n",
-						ep.Name(), ep.Version(), time.Since(start).Round(time.Millisecond))
-					// A rotation cadence writes a full pipeline per tick:
-					// prune the store so disk (and the checksum-verifying
-					// Open on restart) stays bounded.
-					if store := reg.Store(); store != nil && *keepVersions > 0 {
-						if pruned, err := store.Prune(ep.Name(), *keepVersions); err != nil {
-							fmt.Fprintf(stderr, "prune: %v\n", err)
-						} else if pruned > 0 {
-							fmt.Fprintf(stdout, "prune: removed %d old version(s) of %s\n", pruned, ep.Name())
-						}
 					}
 				}
 			}
@@ -297,6 +468,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 
 	if err := srv.Serve(serveCtx, ln); err != nil {
 		return fmt.Errorf("serve: %w", err)
+	}
+	stopServe()
+	if adminWait != nil {
+		if err := adminWait(); err != nil {
+			return fmt.Errorf("admin plane: %w", err)
+		}
 	}
 	fatalMu.Lock()
 	err = fatalErr

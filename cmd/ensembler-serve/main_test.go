@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"context"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -217,5 +219,242 @@ func TestRunRejectsCorruptModelFile(t *testing.T) {
 	err := run(context.Background(), []string{"-model", path}, io.Discard, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "loading model") {
 		t.Errorf("corrupt model file: %v", err)
+	}
+}
+
+// scrapeAdminAddr reads stdout lines until the admin banner appears.
+func scrapeAdminAddr(t *testing.T, sc *bufio.Scanner, done <-chan error) string {
+	t.Helper()
+	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), "admin listening on "); ok {
+			return addr
+		}
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("server exited before announcing its admin address: %v", err)
+	case <-time.After(time.Second):
+		t.Fatal("no admin banner")
+	}
+	return ""
+}
+
+// adminGet fetches an admin endpoint body.
+func adminGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	dir, _ := publishTiny(t, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sc, done := runAsync(ctx, t, []string{
+		"-model-dir", dir, "-addr", "127.0.0.1:0", "-admin-addr", "127.0.0.1:0", "-workers", "2",
+	})
+	scrapeAddr(t, sc, done)
+	admin := "http://" + scrapeAdminAddr(t, sc, done)
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	if code, body := adminGet(t, admin+"/healthz"); code != 200 ||
+		!strings.Contains(body, `"status": "ok"`) || !strings.Contains(body, `"model": "tiny"`) {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := adminGet(t, admin+"/metrics"); code != 200 ||
+		!strings.Contains(body, "ensembler_server_requests_total") ||
+		!strings.Contains(body, "ensembler_epoch_version 1") ||
+		!strings.Contains(body, "ensembler_workers 2") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if code, body := adminGet(t, admin+"/leakage"); code != 200 || !strings.Contains(body, `"enabled": false`) {
+		t.Errorf("/leakage without audit = %d %q", code, body)
+	}
+
+	// Rotation is a POST; a GET must be refused.
+	if code, _ := adminGet(t, admin+"/rotate"); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /rotate = %d, want 405", code)
+	}
+	resp, err := http.Post(admin+"/rotate", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"version": 2`) {
+		t.Errorf("POST /rotate = %d %q", resp.StatusCode, body)
+	}
+	if code, b := adminGet(t, admin+"/metrics"); code != 200 ||
+		!strings.Contains(b, "ensembler_rotations_total 1") ||
+		!strings.Contains(b, "ensembler_epoch_version 2") {
+		t.Errorf("metrics after rotation = %d %q", code, b)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Errorf("graceful shutdown: %v", err)
+	}
+}
+
+func TestAdminRotateRefusedInShardMode(t *testing.T) {
+	dir, _ := publishTiny(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sc, done := runAsync(ctx, t, []string{
+		"-model-dir", dir, "-addr", "127.0.0.1:0", "-admin-addr", "127.0.0.1:0", "-shard", "1/2",
+	})
+	scrapeAddr(t, sc, done)
+	admin := "http://" + scrapeAdminAddr(t, sc, done)
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	resp, err := http.Post(admin+"/rotate", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || !strings.Contains(string(body), "client-side") {
+		t.Errorf("POST /rotate in shard mode = %d %q, want 409", resp.StatusCode, body)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Errorf("graceful shutdown: %v", err)
+	}
+}
+
+func TestAuditFlagValidation(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-audit-sample", "-1"}, "-audit-sample"},
+		{[]string{"-audit-sample", "2", "-audit-threshold", "0"}, "-audit-threshold"},
+	}
+	for _, c := range cases {
+		err := run(ctx, c.args, io.Discard, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("run(%v) = %v, want %q", c.args, err, c.want)
+		}
+	}
+}
+
+// TestLeakageTriggeredRotationEndToEnd is the control plane's acceptance
+// test: serve → live traffic mirrored by the sampler → the audit replays the
+// oracle inversion, scores above the (deliberately low) threshold → the
+// policy rotates the selector automatically — observed through /metrics as a
+// rotation count and a new epoch version — while the client load sees zero
+// failed requests across the swap.
+func TestLeakageTriggeredRotationEndToEnd(t *testing.T) {
+	dir, reg := publishTiny(t, 0)
+	e, err := reg.Current("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeline := e.Pipeline()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sc, done := runAsync(ctx, t, []string{
+		"-model-dir", dir, "-addr", "127.0.0.1:0", "-admin-addr", "127.0.0.1:0",
+		"-workers", "2",
+		"-audit-sample", "1",
+		"-audit-reservoir", "16",
+		"-audit-every", "25ms",
+		"-audit-min-samples", "2",
+		"-audit-calib", "16",
+		"-audit-threshold", "0.05", // any successful reconstruction on smooth calib images clears this
+		"-audit-breaches", "1",
+		"-rotate-min-interval", "1ms",
+	})
+	addr := scrapeAddr(t, sc, done)
+	admin := "http://" + scrapeAdminAddr(t, sc, done)
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	// Client load: keeps requests flowing through the audit and any
+	// rotation. The selector rotation must be invisible — zero failures.
+	client, err := comm.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	rt := pipeline.NewClientRuntime()
+	client.ComputeFeatures = rt.Features
+	client.Select = rt.Select
+	client.Tail = rt.Tail
+	arch := commtest.TinyArch()
+	x := tensor.New(1, arch.InC, arch.H, arch.W)
+	rng.New(17).FillNormal(x.Data, 0, 1)
+
+	var failures atomic.Int64
+	var requests atomic.Int64
+	stopLoad := make(chan struct{})
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		for {
+			select {
+			case <-stopLoad:
+				return
+			default:
+			}
+			if _, _, err := client.Infer(ctx, x); err != nil {
+				failures.Add(1)
+				return
+			}
+			requests.Add(1)
+		}
+	}()
+
+	// Watch /metrics until the automatic rotation lands: the rotation
+	// counter advances and the live epoch moves past v1.
+	deadline := time.Now().Add(30 * time.Second)
+	rotated := false
+	for time.Now().Before(deadline) {
+		_, body := adminGet(t, admin+"/metrics")
+		if strings.Contains(body, "ensembler_audit_rotations_total 1") &&
+			!strings.Contains(body, "ensembler_epoch_version 1\n") {
+			rotated = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	close(stopLoad)
+	<-loadDone
+	if !rotated {
+		_, leak := adminGet(t, admin+"/leakage")
+		t.Fatalf("no leakage-triggered rotation within 30s; /leakage: %s", leak)
+	}
+	if n := failures.Load(); n != 0 {
+		t.Errorf("%d client requests failed across the audit-triggered rotation, want 0", n)
+	}
+	if requests.Load() == 0 {
+		t.Error("load loop never completed a request")
+	}
+	// The leakage state names the evidence as the rotation cause.
+	if _, body := adminGet(t, admin+"/leakage"); !strings.Contains(body, "leakage") ||
+		!strings.Contains(body, `"rotations": 1`) {
+		t.Errorf("/leakage after rotation = %q", body)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Errorf("graceful shutdown: %v", err)
 	}
 }

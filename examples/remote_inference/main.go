@@ -21,14 +21,18 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"log"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ensembler/internal/attack"
+	"ensembler/internal/audit"
 	"ensembler/internal/comm"
 	"ensembler/internal/data"
 	"ensembler/internal/ensemble"
@@ -36,8 +40,32 @@ import (
 	"ensembler/internal/registry"
 	"ensembler/internal/shard"
 	"ensembler/internal/split"
+	"ensembler/internal/telemetry"
 	"ensembler/internal/tensor"
 )
+
+// printMetrics renders the telemetry registry and prints the sample lines
+// whose names start with any of the prefixes — a gofmt'd stand-in for
+// `curl /metrics | grep`.
+func printMetrics(treg *telemetry.Registry, prefixes ...string) {
+	var b strings.Builder
+	if err := treg.WriteProm(&b); err != nil {
+		log.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, p := range prefixes {
+			if strings.HasPrefix(line, p) {
+				fmt.Println("  " + line)
+				break
+			}
+		}
+	}
+}
 
 func main() {
 	sp := data.Generate(data.Config{Kind: data.CIFAR10Like, Train: 256, Aux: 16, Test: 64, Seed: 3})
@@ -64,7 +92,13 @@ func main() {
 		log.Fatal(err)
 	}
 	defer ln.Close()
-	srv := comm.NewModelServer(reg, comm.WithWorkers(4))
+	// The server is born instrumented: per-request telemetry plus the audit
+	// engine's reservoir sampler mirroring every 2nd request's transmitted
+	// features. Both hooks are nil checks on the hot path when absent.
+	treg := telemetry.NewRegistry()
+	sampler := audit.NewSampler(2, 64, 5)
+	srv := comm.NewModelServer(reg, comm.WithWorkers(4),
+		comm.WithMetrics(comm.NewServerMetrics(treg)), comm.WithObserver(sampler))
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	served := make(chan error, 1)
@@ -237,6 +271,105 @@ func main() {
 		fmt.Printf("routed a pinned request to %s v%d on the same socket ✓\n", model, version)
 	}
 
+	// --- Online privacy audit: leakage-triggered rotation ---
+	//
+	// So far every rotation was commanded. The audit engine closes the loop:
+	// the sampler has been mirroring live transmitted features all along;
+	// now an auditor replays the repo's inversion attack against the live
+	// epoch — oracle-grade, with the attacker's aux set drawn from the same
+	// distribution as the victim data — scores reconstructions against the
+	// calibration floor, and rotates the selector on evidence.
+	fmt.Println("\nonline privacy audit: attack replay against the live epoch")
+	auditAttack := attack.Config{DecoderEpochs: 4, BatchSize: 16, Seed: 123}
+
+	// First, measure: a report-only auditor (threshold at the ceiling, no
+	// Rotate hook) establishes what the oracle attack extracts right now.
+	probe, err := audit.New(audit.Config{
+		Registry: reg, Model: "cifar", Sampler: sampler, MinSamples: 4,
+		Aux: sp.Aux, Eval: sp.Test, EvalSamples: 8,
+		Oracle: true, Attack: auditAttack, Threshold: 0.99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 8; i++ { // traffic for the sampler to mirror
+		if _, _, err := pool.Infer(ctx, x); err != nil {
+			log.Fatal(err)
+		}
+	}
+	measured := probe.RunOnce()
+	if measured.LastErr != "" {
+		log.Fatal(measured.LastErr)
+	}
+	fmt.Printf("measured leakage: oracle reconstruction SSIM %.3f (calibration floor %.3f)\n",
+		measured.LastSSIM, measured.Floor)
+	if measured.LastSSIM < measured.Floor {
+		fmt.Println("the defense holds: even the oracle attacker reconstructs below the input-independent floor")
+	}
+
+	// Then, govern: an operator would set the threshold where leakage
+	// becomes unacceptable; to watch the closed loop trip, set it just
+	// below what we measured, with two consecutive breaches required.
+	threshold := max(measured.LastSSIM-0.02, 0.01)
+	live := rotated // the pipeline clients must run after each swap
+	auditor, err := audit.New(audit.Config{
+		Registry: reg, Model: "cifar", Sampler: sampler, MinSamples: 4,
+		Aux: sp.Aux, Eval: sp.Test, EvalSamples: 8,
+		Oracle: true, Attack: auditAttack,
+		Threshold: threshold, Hysteresis: 0.05, Breaches: 2, Alpha: 1,
+		MinRotateInterval: time.Millisecond,
+		Rotate: func(cause string) error {
+			ep, err := reg.RotateSelectorCause("cifar", cause, ensemble.RotateOptions{Seed: 777})
+			if err != nil {
+				return err
+			}
+			live = ep.Pipeline()
+			// Client half of the fan-out, exactly as in the manual swap.
+			pool.Reconfigure(func(c *comm.Client) error {
+				rt := live.NewClientRuntime()
+				c.ComputeFeatures = rt.Features
+				c.Select = rt.Select
+				c.Tail = rt.Tail
+				return nil
+			})
+			return nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	auditor.RegisterMetrics(treg)
+
+	for audits := 0; audits < 2; audits++ {
+		for i := 0; i < 8; i++ { // each audit consumes the reservoir; refill it
+			if _, _, err := pool.Infer(ctx, x); err != nil {
+				log.Fatal(err)
+			}
+		}
+		st := auditor.RunOnce()
+		fmt.Printf("audit %d: leakage %.3f vs threshold %.3f (breaches %d, armed %v)\n",
+			audits+1, st.Leakage, threshold, st.Breaches, st.Armed)
+	}
+	final := auditor.State()
+	if final.Rotations != 1 {
+		log.Fatalf("expected exactly one leakage-triggered rotation, got %d", final.Rotations)
+	}
+	hist := reg.RotationHistory("cifar")
+	last := hist[len(hist)-1]
+	fmt.Printf("automatic rotation: v%d published, cause %q\n", last.Version, last.Cause)
+	if post, _, err := pool.Infer(ctx, x); err != nil {
+		log.Fatal(err)
+	} else if post.AllClose(live.Predict(x), 1e-9) {
+		fmt.Printf("post-audit traffic matches the rotated pipeline exactly ✓ (selection now %v)\n",
+			live.Selector.Indices)
+	}
+	fmt.Println("the control plane's /metrics view of the same story:")
+	printMetrics(treg,
+		"ensembler_server_requests_total",
+		"ensembler_audit_leakage",
+		"ensembler_audit_rotations_total",
+		"ensembler_audit_features_sampled_total")
+
 	cancel()
 	if err := <-served; err != nil {
 		log.Fatal(err)
@@ -287,21 +420,41 @@ func main() {
 		Addrs:      addrs,
 		Ranges:     plan,
 		N:          cfg.N,
-		NewRuntime: shard.PipelineRuntime(rotated),
+		NewRuntime: shard.PipelineRuntime(live),
 		PoolSize:   4,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer fleet.Close()
+	fleet.RegisterMetrics(treg) // per-shard health lands in the same scrape
 
 	fleetLogits, ft, err := fleet.Infer(context.Background(), x)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if fleetLogits.AllClose(rotated.Predict(x), 1e-9) {
+	if fleetLogits.AllClose(live.Predict(x), 1e-9) {
 		fmt.Printf("scatter-gather inference matches local pipeline exactly ✓ (slowest shard %.1fms, %.1f KiB up across %d shards)\n",
 			ft.RoundTrip.Seconds()*1e3, float64(ft.BytesUp)/1024, shards)
+	}
+
+	// Rotation fan-out in a fleet: the registry re-draws the secret, and the
+	// only propagation needed is the scatter-gather client re-wiring — the
+	// shard servers never learn anything happened (their bodies, and even
+	// their responses, are byte-identical across the rotation).
+	fleetEp, err := reg.RotateSelectorCause("cifar", "schedule", ensemble.RotateOptions{Seed: 888})
+	if err != nil {
+		log.Fatal(err)
+	}
+	live = fleetEp.Pipeline()
+	fleet.RotateTo(live)
+	fanned, _, err := fleet.Infer(context.Background(), x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fanned.AllClose(live.Predict(x), 1e-9) {
+		fmt.Printf("rotation fanned out to the fleet ✓ (selection now %v; cause %q in the registry trail)\n",
+			live.Selector.Indices, "schedule")
 	}
 
 	// Kill a shard hosting no selected body while traffic flows. The
@@ -310,7 +463,7 @@ func main() {
 	victim := -1
 	for k, r := range plan {
 		hostsSelected := false
-		for _, i := range rotated.Selector.Indices {
+		for _, i := range live.Selector.Indices {
 			if r.Contains(i) {
 				hostsSelected = true
 				break
@@ -322,7 +475,7 @@ func main() {
 		}
 	}
 	fmt.Printf("killing shard %d/%d mid-traffic (selection %v never touches its bodies %s)\n",
-		victim+1, shards, rotated.Selector.Indices, plan[victim])
+		victim+1, shards, live.Selector.Indices, plan[victim])
 
 	var fleetErrs atomic.Int64
 	var fleetReqs atomic.Int64
@@ -362,11 +515,13 @@ func main() {
 		fmt.Printf("  shard %s (bodies %s): %s — %d requests, %d failures\n",
 			h.Addr, h.Bodies, status, h.Requests, h.Failures)
 	}
+	fmt.Println("the same health, as a scraper sees it:")
+	printMetrics(treg, "ensembler_shard_up")
 	degraded, _, err := fleet.Infer(context.Background(), x)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if degraded.AllClose(rotated.Predict(x), 1e-9) {
+	if degraded.AllClose(live.Predict(x), 1e-9) {
 		fmt.Println("degraded fleet still matches local inference exactly ✓")
 	}
 
@@ -377,5 +532,5 @@ func main() {
 		}
 	}
 	fmt.Printf("neither the old %v nor the new %v secret selection ever appeared on the wire — on any shard.\n",
-		e.Selector.Indices, rotated.Selector.Indices)
+		e.Selector.Indices, live.Selector.Indices)
 }

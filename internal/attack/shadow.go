@@ -90,7 +90,7 @@ func ComputeChannelStats(f *tensor.Tensor) ChannelStats {
 			}
 		}
 		st.Mean[ci] = mean
-		st.Std[ci] = sqrt(vsum/m + 1e-8)
+		st.Std[ci] = math.Sqrt(vsum/m + 1e-8)
 	}
 	return st
 }
@@ -318,7 +318,7 @@ func TrainShadow(cfg Config, bodies []*nn.Network, adaptive bool, aux *data.Data
 	// co-adapted body, a landscape where SGD stalls far from the victim's
 	// loss level (verified empirically; see EXPERIMENTS.md).
 	opt := optim.NewAdam(s.Params(), cfg.ShadowLR)
-	sched := optim.StepDecay(cfg.ShadowLR, 0.5, maxInt(1, cfg.ShadowEpochs/2))
+	sched := optim.StepDecay(cfg.ShadowLR, 0.5, max(1, cfg.ShadowEpochs/2))
 	var obs ChannelStats
 	var obsMap *tensor.Tensor
 	align := cfg.AlignWeight > 0 && cfg.Observed != nil
@@ -351,13 +351,4 @@ func TrainShadow(cfg Config, bodies []*nn.Network, adaptive bool, aux *data.Data
 		}
 	}
 	return s
-}
-
-func sqrt(v float64) float64 { return math.Sqrt(v) }
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,450 @@
+package audit
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ensembler/internal/attack"
+	"ensembler/internal/commtest"
+	"ensembler/internal/data"
+	"ensembler/internal/registry"
+	"ensembler/internal/rng"
+	"ensembler/internal/telemetry"
+	"ensembler/internal/tensor"
+)
+
+func feat(rows int, seed int64) *tensor.Tensor {
+	x := tensor.New(rows, 4, 8, 8)
+	rng.New(seed).FillNormal(x.Data, 0, 1)
+	return x
+}
+
+func TestSamplerReservoirBoundedAndCounted(t *testing.T) {
+	s := NewSampler(2, 4, 1)
+	for i := 0; i < 100; i++ {
+		s.ObserveFeatures("m", 1, feat(1, int64(i)))
+	}
+	seen, sampled := s.Counts()
+	if seen != 100 || sampled != 50 {
+		t.Errorf("counts = (%d, %d), want (100, 50)", seen, sampled)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 4 {
+		t.Errorf("reservoir holds %d, want cap 4", len(snap))
+	}
+	for _, smp := range snap {
+		if smp.Model != "m" || smp.Version != 1 || smp.Features == nil {
+			t.Errorf("bad sample %+v", smp)
+		}
+	}
+	s.Reset()
+	if len(s.Snapshot()) != 0 {
+		t.Error("reset must empty the reservoir")
+	}
+	// Counts survive a reset (they are lifetime telemetry).
+	if seen, _ := s.Counts(); seen != 100 {
+		t.Errorf("seen = %d after reset, want 100", seen)
+	}
+}
+
+func TestSamplerCopiesTensors(t *testing.T) {
+	s := NewSampler(1, 2, 1)
+	x := feat(1, 7)
+	s.ObserveFeatures("m", 1, x)
+	x.Data[0] = 12345 // the request mutating its tensor later must not leak in
+	if got := s.Snapshot()[0].Features.Data[0]; got == 12345 {
+		t.Error("sampler retained the request's tensor instead of a copy")
+	}
+}
+
+// TestDisabledSamplerDoesNotAllocate pins the serving-path contract: a
+// disabled sampler costs nothing, and an enabled sampler costs nothing on
+// the observations it skips.
+func TestDisabledSamplerDoesNotAllocate(t *testing.T) {
+	x := feat(1, 3)
+	disabled := NewSampler(0, 8, 1)
+	if n := testing.AllocsPerRun(200, func() { disabled.ObserveFeatures("m", 1, x) }); n != 0 {
+		t.Errorf("disabled sampler allocates %.1f objects per observation, want 0", n)
+	}
+	var nilSampler *Sampler
+	if n := testing.AllocsPerRun(200, func() { nilSampler.ObserveFeatures("m", 1, x) }); n != 0 {
+		t.Errorf("nil sampler allocates %.1f objects per observation, want 0", n)
+	}
+	skipping := NewSampler(1<<30, 8, 1)
+	if n := testing.AllocsPerRun(200, func() { skipping.ObserveFeatures("m", 1, x) }); n != 0 {
+		t.Errorf("skip path allocates %.1f objects per observation, want 0", n)
+	}
+}
+
+// TestSamplerConcurrent exercises the reservoir under 8 concurrent
+// observers with -race.
+func TestSamplerConcurrent(t *testing.T) {
+	s := NewSampler(1, 16, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.ObserveFeatures("m", 1, feat(1, int64(w*1000+i)))
+				if i%50 == 0 {
+					s.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen, sampled := s.Counts()
+	if seen != 1600 || sampled != 1600 {
+		t.Errorf("counts = (%d, %d), want (1600, 1600)", seen, sampled)
+	}
+	if len(s.Snapshot()) != 16 {
+		t.Errorf("reservoir holds %d, want 16", len(s.Snapshot()))
+	}
+}
+
+func TestStackObserved(t *testing.T) {
+	samples := []Sample{
+		{Model: "m", Features: feat(2, 1)},
+		{Model: "m", Features: feat(3, 2)},
+		{Model: "other", Features: feat(8, 3)},             // different model: dropped
+		{Model: "m", Features: tensor.New(1, 2, 2, 2)},     // minority shape: dropped
+		{Model: "", Features: feat(1, 4)},                  // single-model server: kept
+		{Model: "m", Features: nil},                        // defensive
+		{Model: "m", Features: &tensor.Tensor{Shape: nil}}, // defensive
+	}
+	out := stackObserved(samples, "m", 100)
+	if out == nil || out.Shape[0] != 6 {
+		t.Fatalf("stacked shape = %v, want [6 4 8 8]", out)
+	}
+	capped := stackObserved(samples, "m", 4)
+	if capped.Shape[0] != 4 {
+		t.Errorf("cap ignored: %v rows", capped.Shape[0])
+	}
+	if stackObserved(nil, "m", 10) != nil {
+		t.Error("empty sample set must stack to nil")
+	}
+}
+
+func TestCalibrationFloor(t *testing.T) {
+	sp := data.Generate(data.Config{Kind: data.CIFAR10Like, H: 8, Train: 8, Aux: 8, Test: 32, Seed: 5})
+	floor := CalibrationFloor(sp.Test, 16)
+	if floor <= -1 || floor >= 0.9 {
+		t.Errorf("floor = %.3f, want a value clearly below perfect reconstruction", floor)
+	}
+	// A constant dataset's mean image is a perfect reconstruction: floor 1.
+	one := sp.Test.Image(0)
+	flat := tensor.New(4, one.Shape[0], one.Shape[1], one.Shape[2])
+	for i := 0; i < 4; i++ {
+		copy(flat.Data[i*one.Size():], one.Data)
+	}
+	constant := &data.Dataset{Name: "const", Images: flat, Labels: []int{0, 0, 0, 0}, Classes: 1}
+	if got := CalibrationFloor(constant, 0); got < 0.999 {
+		t.Errorf("constant-set floor = %.3f, want 1", got)
+	}
+}
+
+// auditFixture wires an auditor over a published tiny pipeline with a stub
+// scorer the test scripts, returning the auditor and a rotation counter.
+func auditFixture(t *testing.T, cfg Config, scores *[]float64) (*Auditor, *int) {
+	t.Helper()
+	reg := registry.New(nil)
+	if _, err := reg.Publish("m", commtest.Pipeline(commtest.TinyArch(), 4, 2, 21)); err != nil {
+		t.Fatal(err)
+	}
+	sp := data.Generate(data.Config{Kind: data.CIFAR10Like, H: 8, Train: 8, Aux: 16, Test: 16, Seed: 6})
+	rotations := 0
+	cfg.Registry = reg
+	cfg.Model = "m"
+	cfg.Aux, cfg.Eval = sp.Aux, sp.Test
+	cfg.EvalSamples = 8
+	if cfg.Rotate == nil {
+		cfg.Rotate = func(cause string) error {
+			rotations++
+			if !strings.Contains(cause, "leakage") {
+				t.Errorf("cause %q does not cite leakage evidence", cause)
+			}
+			return nil
+		}
+	}
+	if cfg.Scorer == nil {
+		cfg.Scorer = func(*registry.Epoch, *tensor.Tensor) (float64, float64, error) {
+			s := (*scores)[0]
+			if len(*scores) > 1 {
+				*scores = (*scores)[1:]
+			}
+			return s, 10, nil
+		}
+	}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, &rotations
+}
+
+// TestRotationExactlyOnceUnderHysteresis is the policy's central promise: a
+// leakage excursion above the threshold rotates exactly once, no matter how
+// many audits keep reporting high leakage, until the gauge has dipped below
+// the hysteresis band and breached again.
+func TestRotationExactlyOnceUnderHysteresis(t *testing.T) {
+	scores := []float64{0.9}
+	a, rotations := auditFixture(t, Config{
+		Threshold:         0.3,
+		Hysteresis:        0.1,
+		Breaches:          2,
+		Alpha:             1, // no smoothing: the stub score is the gauge
+		MinRotateInterval: time.Nanosecond,
+	}, &scores)
+
+	// Six consecutive breaching audits: rotation fires on the second breach
+	// and never again while the trigger stays disarmed.
+	for i := 0; i < 6; i++ {
+		a.RunOnce()
+	}
+	if *rotations != 1 {
+		t.Fatalf("rotations = %d after 6 breaching audits, want exactly 1", *rotations)
+	}
+	st := a.State()
+	if st.Armed {
+		t.Error("trigger must disarm after rotating")
+	}
+
+	// Leakage inside the hysteresis band (0.25 ∈ (0.2, 0.3]) must NOT
+	// re-arm; breaching again afterwards must not rotate.
+	scores = []float64{0.25}
+	a.RunOnce()
+	scores = []float64{0.9}
+	a.RunOnce()
+	a.RunOnce()
+	if *rotations != 1 {
+		t.Fatalf("rotations = %d after an in-band dip, want still 1", *rotations)
+	}
+
+	// A dip below threshold−hysteresis re-arms; two fresh breaches rotate a
+	// second time.
+	scores = []float64{0.1}
+	a.RunOnce()
+	if st := a.State(); !st.Armed {
+		t.Fatal("trigger must re-arm below the hysteresis band")
+	}
+	scores = []float64{0.9}
+	a.RunOnce()
+	a.RunOnce()
+	if *rotations != 2 {
+		t.Fatalf("rotations = %d after re-arm and two breaches, want 2", *rotations)
+	}
+}
+
+// TestMinRotateIntervalHoldsTheFleet: even armed and breaching, rotations
+// are spaced by MinRotateInterval.
+func TestMinRotateIntervalHoldsTheFleet(t *testing.T) {
+	now := time.Unix(1000, 0)
+	scores := []float64{0.9}
+	a, rotations := auditFixture(t, Config{
+		Threshold:         0.3,
+		Breaches:          1,
+		Alpha:             1,
+		Hysteresis:        0.1,
+		MinRotateInterval: time.Hour,
+		Now:               func() time.Time { return now },
+	}, &scores)
+
+	a.RunOnce()
+	if *rotations != 1 {
+		t.Fatalf("first breach must rotate, got %d", *rotations)
+	}
+	// Re-arm, breach again 30 minutes later: held by the interval.
+	scores = []float64{0.1}
+	a.RunOnce()
+	now = now.Add(30 * time.Minute)
+	scores = []float64{0.9}
+	a.RunOnce()
+	if *rotations != 1 {
+		t.Fatalf("rotation inside MinRotateInterval: %d", *rotations)
+	}
+	// Past the interval it fires.
+	now = now.Add(31 * time.Minute)
+	a.RunOnce()
+	if *rotations != 2 {
+		t.Fatalf("rotation past MinRotateInterval must fire, got %d", *rotations)
+	}
+}
+
+func TestAuditSkipsWithoutTraffic(t *testing.T) {
+	scores := []float64{0.9}
+	s := NewSampler(1, 8, 1)
+	a, rotations := auditFixture(t, Config{
+		Threshold:  0.3,
+		Sampler:    s,
+		MinSamples: 4,
+		Breaches:   1,
+		Alpha:      1,
+	}, &scores)
+	st := a.RunOnce()
+	if st.Skipped != 1 || st.Audits != 0 {
+		t.Fatalf("audit without traffic: %+v, want skipped", st)
+	}
+	for i := 0; i < 4; i++ {
+		s.ObserveFeatures("m", 1, feat(1, int64(i)))
+	}
+	st = a.RunOnce()
+	if st.Audits != 0 || *rotations != 1 {
+		// Audits resets to 0 after a rotation; the rotation itself proves
+		// the audit ran.
+		t.Fatalf("audit with traffic must run and rotate: %+v, rotations %d", st, *rotations)
+	}
+	// The reservoir was consumed: the next tick skips again.
+	if st := a.RunOnce(); st.Skipped != 2 {
+		t.Fatalf("reservoir must be consumed by the audit: %+v", st)
+	}
+}
+
+func TestAuditFailureIsReportedNotFatal(t *testing.T) {
+	scores := []float64{0.9}
+	a, _ := auditFixture(t, Config{
+		Threshold: 0.3,
+		Alpha:     1,
+		Scorer: func(*registry.Epoch, *tensor.Tensor) (float64, float64, error) {
+			panic("shape surprise")
+		},
+	}, &scores)
+	st := a.RunOnce()
+	if st.Failures != 1 || !strings.Contains(st.LastErr, "shape surprise") {
+		t.Fatalf("panicking scorer must fail the audit: %+v", st)
+	}
+}
+
+// TestOracleAttackScoreEndToEnd runs the real scorer (oracle mode) against
+// a published pipeline: the audit must complete, score within SSIM range,
+// and land above the nothing-extracted floor minus noise.
+func TestOracleAttackScoreEndToEnd(t *testing.T) {
+	reg := registry.New(nil)
+	if _, err := reg.Publish("m", commtest.Pipeline(commtest.TinyArch(), 4, 2, 23)); err != nil {
+		t.Fatal(err)
+	}
+	sp := data.Generate(data.Config{Kind: data.CIFAR10Like, H: 8, Train: 8, Aux: 32, Test: 16, Seed: 8})
+	a, err := New(Config{
+		Registry:    reg,
+		Model:       "m",
+		Aux:         sp.Aux,
+		Eval:        sp.Test,
+		EvalSamples: 8,
+		Oracle:      true,
+		Attack:      attackConfigTiny(),
+		Threshold:   0.99, // never rotate here; this test is about scoring
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := a.RunOnce()
+	if st.LastErr != "" {
+		t.Fatalf("oracle audit failed: %s", st.LastErr)
+	}
+	if st.Audits != 1 {
+		t.Fatalf("audits = %d, want 1", st.Audits)
+	}
+	if st.LastSSIM < -1 || st.LastSSIM > 1 {
+		t.Fatalf("SSIM %v out of range", st.LastSSIM)
+	}
+	if st.Leakage != st.LastSSIM {
+		t.Errorf("first audit must seed the EWMA: leakage %v vs ssim %v", st.Leakage, st.LastSSIM)
+	}
+}
+
+// TestShadowAttackScoreUsesObserved runs the real query-free scorer with
+// mirrored features feeding the alignment term.
+func TestShadowAttackScoreUsesObserved(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a shadow network")
+	}
+	reg := registry.New(nil)
+	pipe := commtest.Pipeline(commtest.TinyArch(), 2, 1, 29)
+	if _, err := reg.Publish("m", pipe); err != nil {
+		t.Fatal(err)
+	}
+	sp := data.Generate(data.Config{Kind: data.CIFAR10Like, H: 8, Train: 8, Aux: 24, Test: 8, Seed: 9})
+	// TinyArch classifies 4 ways; fold the 10-class labels into range so the
+	// shadow's classification loss is well-formed.
+	for _, ds := range []*data.Dataset{sp.Aux, sp.Test} {
+		for i, l := range ds.Labels {
+			ds.Labels[i] = l % 4
+		}
+	}
+	s := NewSampler(1, 8, 1)
+	// Mirror what a client would really transmit.
+	rt := pipe.NewClientRuntime()
+	for i := 0; i < 4; i++ {
+		x, _ := sp.Test.Batch([]int{i})
+		s.ObserveFeatures("m", 1, rt.Features(x))
+	}
+	a, err := New(Config{
+		Registry:    reg,
+		Model:       "m",
+		Sampler:     s,
+		MinSamples:  2,
+		Aux:         sp.Aux,
+		Eval:        sp.Test,
+		EvalSamples: 4,
+		Attack:      attackConfigTiny(),
+		Threshold:   0.99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := a.RunOnce()
+	if st.LastErr != "" {
+		t.Fatalf("shadow audit failed: %s", st.LastErr)
+	}
+	if st.Audits != 1 {
+		t.Fatalf("audits = %d, want 1", st.Audits)
+	}
+}
+
+func TestRegisterMetricsExportsLeakage(t *testing.T) {
+	scores := []float64{0.42}
+	s := NewSampler(1, 8, 1)
+	a, _ := auditFixture(t, Config{Threshold: 0.99, Alpha: 1, Sampler: s}, &scores)
+	s.ObserveFeatures("m", 1, feat(1, 1))
+	a.RunOnce()
+	treg := telemetry.NewRegistry()
+	a.RegisterMetrics(treg)
+	var b strings.Builder
+	if err := treg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"ensembler_audit_leakage 0.42",
+		"ensembler_audit_runs_total 1",
+		"ensembler_audit_rotations_total 0",
+		"ensembler_audit_armed 1",
+		"ensembler_audit_features_sampled_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	sp := data.Generate(data.Config{Kind: data.CIFAR10Like, H: 8, Train: 4, Aux: 4, Test: 4, Seed: 4})
+	reg := registry.New(nil)
+	cases := []Config{
+		{},                           // no registry
+		{Registry: reg},              // no datasets
+		{Registry: reg, Aux: sp.Aux}, // no eval
+		{Registry: reg, Aux: sp.Aux, Eval: sp.Test}, // no threshold
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New(%+v) accepted an invalid config", i, cfg)
+		}
+	}
+}
+
+func attackConfigTiny() attack.Config {
+	return attack.Config{ShadowEpochs: 1, DecoderEpochs: 1, BatchSize: 8, Seed: 99}
+}

@@ -1,0 +1,139 @@
+package audit_test
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+
+	"ensembler/internal/audit"
+	"ensembler/internal/comm"
+	"ensembler/internal/commtest"
+	"ensembler/internal/data"
+	"ensembler/internal/registry"
+	"ensembler/internal/tensor"
+)
+
+// TestSamplingUnderEightClientLoad is the audit loop's serving integration
+// test: a registry-backed server with the reservoir sampler attached via
+// the comm observer hook, eight concurrent clients hammering it, and an
+// audit (stub scorer, so -race runs fast) consuming the mirrored features
+// mid-load. Every request must succeed — sampling is observation, never
+// interference — and the reservoir must hold real transmitted features.
+func TestSamplingUnderEightClientLoad(t *testing.T) {
+	const (
+		nBodies  = 4
+		clients  = 8
+		requests = 25
+	)
+	arch := commtest.TinyArch()
+	reg := registry.New(nil)
+	pipe := commtest.Pipeline(arch, nBodies, 2, 61)
+	if _, err := reg.Publish("m", pipe); err != nil {
+		t.Fatal(err)
+	}
+	sampler := audit.NewSampler(3, 16, 1)
+	srv := comm.NewModelServer(reg, comm.WithWorkers(4), comm.WithObserver(sampler))
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, ln) }()
+	defer func() {
+		cancel()
+		ln.Close()
+		<-served
+	}()
+
+	sp := data.Generate(data.Config{Kind: data.CIFAR10Like, H: 8, Train: 8, Aux: 16, Test: 16, Seed: 62})
+	rotations := 0
+	var rotMu sync.Mutex
+	auditor, err := audit.New(audit.Config{
+		Registry:   reg,
+		Model:      "m",
+		Sampler:    sampler,
+		MinSamples: 4,
+		Aux:        sp.Aux,
+		Eval:       sp.Test,
+		Threshold:  0.3,
+		Breaches:   1,
+		Alpha:      1,
+		Rotate: func(cause string) error {
+			rotMu.Lock()
+			rotations++
+			rotMu.Unlock()
+			return nil
+		},
+		Scorer: func(ep *registry.Epoch, observed *tensor.Tensor) (float64, float64, error) {
+			// The stub asserts what the real attack would consume: stacked
+			// live features of the served shape.
+			if observed == nil {
+				t.Error("audit ran without mirrored features")
+				return 0, 0, nil
+			}
+			c, h, w := arch.HeadC, arch.H, arch.W
+			if observed.Shape[1] != c || observed.Shape[2] != h || observed.Shape[3] != w {
+				t.Errorf("observed shape %v, want [*, %d, %d, %d]", observed.Shape, c, h, w)
+			}
+			return 0.9, 10, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var failures sync.Map
+	for cidx := 0; cidx < clients; cidx++ {
+		wg.Add(1)
+		go func(cidx int) {
+			defer wg.Done()
+			client, err := comm.Dial(ln.Addr().String())
+			if err != nil {
+				failures.Store(cidx, err)
+				return
+			}
+			defer client.Close()
+			rt := pipe.NewClientRuntime()
+			client.ComputeFeatures = rt.Features
+			client.Select = rt.Select
+			client.Tail = rt.Tail
+			x := tensor.New(1, arch.InC, arch.H, arch.W)
+			copy(x.Data, sp.Test.Image(cidx%sp.Test.Len()).Data)
+			for i := 0; i < requests; i++ {
+				if _, _, err := client.Infer(ctx, x); err != nil {
+					failures.Store(cidx, err)
+					return
+				}
+				if i == requests/2 && cidx == 0 {
+					auditor.RunOnce() // audit mid-load, concurrent with traffic
+				}
+			}
+		}(cidx)
+	}
+	wg.Wait()
+	failures.Range(func(k, v any) bool {
+		t.Errorf("client %v failed: %v", k, v)
+		return true
+	})
+
+	seen, sampled := sampler.Counts()
+	if seen != clients*requests {
+		t.Errorf("sampler saw %d features, want %d", seen, clients*requests)
+	}
+	if wantMin := seen / 3; sampled != wantMin {
+		t.Errorf("sampled = %d, want every 3rd of %d = %d", sampled, seen, wantMin)
+	}
+	st := auditor.State()
+	if st.Audits+st.Rotations == 0 && st.Skipped == 0 {
+		t.Errorf("auditor never ran: %+v", st)
+	}
+	rotMu.Lock()
+	defer rotMu.Unlock()
+	if rotations != 1 {
+		t.Errorf("rotations = %d, want 1 (single mid-load audit over threshold)", rotations)
+	}
+}

@@ -20,6 +20,13 @@
 // back per input. Context plumbing runs through Serve and Infer for graceful
 // shutdown and per-request deadlines.
 //
+// The serving path is observable without being slowed: WithMetrics attaches
+// a telemetry bundle (requests, errors, images, per-request serve-time and
+// batch-size histograms) and WithObserver mirrors transmitted features into
+// the privacy-audit engine's sampler. Both are nil checks on the hot path
+// when absent, and the attached implementations are lock-free (telemetry)
+// or amortized to an atomic add (audit sampling).
+//
 // The server no longer owns its bodies: every request resolves a
 // (model, version) pair through a ModelProvider — a registry of published
 // model epochs, or the built-in single-model provider NewServer wraps around

@@ -1,0 +1,130 @@
+package comm
+
+// Serving-path observability: a ServerMetrics bundle of telemetry series the
+// server updates per request, and a FeatureObserver hook that mirrors
+// transmitted features into the privacy-audit engine. Both are opt-in and
+// cost exactly one nil check each on the hot path when disabled — the
+// contract BenchmarkServing holds the serving subsystem to (±5%), asserted
+// by the allocation tests in the audit package.
+
+import (
+	"time"
+
+	"ensembler/internal/telemetry"
+	"ensembler/internal/tensor"
+)
+
+// FeatureObserver receives the intermediate feature tensors clients
+// transmit, exactly as the serving worker is about to compute on them. The
+// audit engine's reservoir sampler implements it.
+//
+// ObserveFeatures is called synchronously on the worker goroutine once per
+// input tensor (batched requests observe each input), after the request
+// resolved its model but before any body pass. The tensor is owned by the
+// request: an implementation that retains it must copy, and must return
+// quickly — its latency is request latency.
+type FeatureObserver interface {
+	ObserveFeatures(model string, version int, features *tensor.Tensor)
+}
+
+// WithObserver mirrors every request's transmitted features into o — the
+// comm-side half of the audit subsystem's sampling loop. A nil observer
+// (the default) leaves the hot path untouched.
+func WithObserver(o FeatureObserver) ServerOption {
+	return func(opts *serverOptions) { opts.observer = o }
+}
+
+// WithMetrics makes the server record per-request telemetry into m. A nil
+// bundle (the default) leaves the hot path untouched.
+func WithMetrics(m *ServerMetrics) ServerOption {
+	return func(opts *serverOptions) { opts.metrics = m }
+}
+
+// ServerMetrics is the per-request telemetry the serving path maintains.
+// Construct with NewServerMetrics so the series land in a scrapeable
+// registry; every field is updated lock-free.
+type ServerMetrics struct {
+	// Requests counts requests served, including failed ones.
+	Requests *telemetry.Counter
+	// Errors counts requests answered with an error response.
+	Errors *telemetry.Counter
+	// Images counts input rows served (batch rows × inputs per request).
+	Images *telemetry.Counter
+	// ServeSeconds observes per-request server-side time: resolve + replica
+	// lookup (or clone) + all hosted body passes. Its Sum divided by
+	// workers × uptime is the pool utilization.
+	ServeSeconds *telemetry.Histogram
+	// BatchInputs observes the number of feature tensors per request (1 for
+	// a plain Infer, len(Inputs) for InferBatch).
+	BatchInputs *telemetry.Histogram
+}
+
+// NewServerMetrics registers the serving metric family into r under the
+// ensembler_server_* namespace and returns the bundle to pass to
+// WithMetrics.
+func NewServerMetrics(r *telemetry.Registry) *ServerMetrics {
+	return &ServerMetrics{
+		Requests: r.Counter("ensembler_server_requests_total",
+			"Requests served, including failed ones.", nil),
+		Errors: r.Counter("ensembler_server_errors_total",
+			"Requests answered with an error response.", nil),
+		Images: r.Counter("ensembler_server_images_total",
+			"Input rows pushed through the hosted bodies.", nil),
+		ServeSeconds: r.Histogram("ensembler_server_serve_seconds",
+			"Server-side time per request: resolve, replica lookup, body passes.",
+			telemetry.DefaultLatencyBuckets, nil),
+		BatchInputs: r.Histogram("ensembler_server_batch_inputs",
+			"Feature tensors per request (batched requests carry several).",
+			telemetry.DefaultSizeBuckets, nil),
+	}
+}
+
+// record tallies one finished request.
+func (m *ServerMetrics) record(req *Request, resp *Response, dur time.Duration) {
+	m.Requests.Inc()
+	if resp.Err != "" {
+		m.Errors.Inc()
+	}
+	inputs, rows := requestSize(req)
+	m.BatchInputs.Observe(float64(inputs))
+	m.Images.Add(uint64(rows))
+	m.ServeSeconds.Observe(dur.Seconds())
+}
+
+// requestSize reports how many input tensors and total batch rows a request
+// carries, tolerating malformed wire data (shapes are validated later, on
+// the compute path).
+func requestSize(req *Request) (inputs, rows int) {
+	if req.Inputs != nil {
+		for _, in := range req.Inputs {
+			if in != nil && len(in.Shape) > 0 && in.Shape[0] > 0 {
+				rows += in.Shape[0]
+			}
+		}
+		return len(req.Inputs), rows
+	}
+	if f := req.Features; f != nil && len(f.Shape) > 0 && f.Shape[0] > 0 {
+		rows = f.Shape[0]
+	}
+	return 1, rows
+}
+
+// observeRequest mirrors a request's feature tensors into the observer.
+// Each tensor is fully validated first — the same structural-honesty check
+// the compute path applies — because the observer may copy what it is
+// handed: an attacker-controlled Shape claiming 2^62 elements over an empty
+// Data slice must be rejected here, not allocated by the sampler (the
+// compute path re-validates later; that redundancy is the trust boundary).
+func observeRequest(o FeatureObserver, model string, version int, req *Request) {
+	if req.Inputs != nil {
+		for _, in := range req.Inputs {
+			if validateFeatures(in) == nil {
+				o.ObserveFeatures(model, version, in)
+			}
+		}
+		return
+	}
+	if validateFeatures(req.Features) == nil {
+		o.ObserveFeatures(model, version, req.Features)
+	}
+}

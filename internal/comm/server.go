@@ -52,6 +52,8 @@ type serverOptions struct {
 	maxBatch  int
 	drain     time.Duration
 	replicate func() []*nn.Network
+	metrics   *ServerMetrics  // nil: no telemetry, zero hot-path cost
+	observer  FeatureObserver // nil: no feature mirroring, zero hot-path cost
 }
 
 // WithWorkers bounds the compute worker pool. For a single-model server
@@ -432,11 +434,28 @@ func (s *Server) worker(stop <-chan struct{}) {
 }
 
 // serve resolves one request against the provider and runs it over the
-// caller's replica cache.
+// caller's replica cache, feeding the optional telemetry and audit hooks.
+// Both hooks cost one nil check when disabled — the serving benchmarks hold
+// this path to within measurement noise of the uninstrumented server.
 func (s *Server) serve(req *Request, replicas *replicaCache) *Response {
+	var start time.Time
+	if s.opts.metrics != nil {
+		start = time.Now()
+	}
+	resp := s.serveResolved(req, replicas)
+	if s.opts.metrics != nil {
+		s.opts.metrics.record(req, resp, time.Since(start))
+	}
+	return resp
+}
+
+func (s *Server) serveResolved(req *Request, replicas *replicaCache) *Response {
 	m, err := s.provider.Resolve(req.Model, req.Version)
 	if err != nil {
 		return &Response{Err: err.Error()}
+	}
+	if s.opts.observer != nil {
+		observeRequest(s.opts.observer, m.Name(), m.Version(), req)
 	}
 	wr, err := replicas.replicaFor(m)
 	if err != nil {

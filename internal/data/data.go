@@ -275,7 +275,7 @@ func drawObject(img *tensor.Tensor, label, classes int, fineTexture bool, r *rng
 	// wide scale range, jittered contrasting color.
 	cx := r.Uniform(0.2, 0.8) * float64(w)
 	cy := r.Uniform(0.2, 0.8) * float64(h)
-	rad := float64(minInt(h, w)) * r.Uniform(0.12, 0.34)
+	rad := float64(min(h, w)) * r.Uniform(0.12, 0.34)
 	sr, sg, sb := palette((label+classes/2)%classes, classes)
 	sr, sg, sb = jit(sr), jit(sg), jit(sb)
 	switch label % 4 {
@@ -320,7 +320,7 @@ func drawFace(img *tensor.Tensor, id, ids int, r *rng.RNG) {
 	// Eyes: spacing and height encode identity.
 	eyeDX := rx * (0.4 + 0.15*math.Sin(4*math.Pi*t))
 	eyeY := cy - ry*0.25
-	eyeR := math.Max(0.8, float64(minInt(h, w))*0.05)
+	eyeR := math.Max(0.8, float64(min(h, w))*0.05)
 	fillDisc(img, cx-eyeDX, eyeY, eyeR, 0.05, 0.05, 0.1)
 	fillDisc(img, cx+eyeDX, eyeY, eyeR, 0.05, 0.05, 0.1)
 
@@ -332,13 +332,6 @@ func drawFace(img *tensor.Tensor, id, ids int, r *rng.RNG) {
 	// Hairline: identity-colored band across the top of the face.
 	hr, hg, hb := palette(id, ids)
 	fillEllipseBand(img, cx, cy-ry*0.75, rx*0.95, ry*0.45, hr*0.5, hg*0.5, hb*0.5)
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // fillDisc paints a filled circle with soft edges.

@@ -101,7 +101,7 @@ func TrainShredder(arch split.Arch, sigma, mu float64, train *data.Dataset, opts
 	}
 	br := rng.New(seed + 7)
 	opt := optim.NewSGD(m.Params(), opts.LR, opts.Momentum, opts.WeightDecay)
-	sched := optim.StepDecay(opts.LR, 0.5, maxInt(1, opts.Epochs/2))
+	sched := optim.StepDecay(opts.LR, 0.5, max(1, opts.Epochs/2))
 	noise := m.Noise.Noise
 	for epoch := 0; epoch < opts.Epochs; epoch++ {
 		opt.SetLR(sched(epoch))
@@ -162,11 +162,4 @@ func TrainDRN(cfg ensemble.Config, dropout float64, train *data.Dataset, log io.
 	cfg.Sigma = 0 // no noise layer at all in the DR variant
 	e := ensemble.Train(cfg, train, log)
 	return &Ensemble{name: "DR-10", E: e}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -157,7 +157,7 @@ func (e *Ensembler) trainStage3(train *data.Dataset, log io.Writer) {
 	r := rng.New(e.Cfg.Seed*7919 + 13)
 	params := append(e.Head.Params(), e.Tail.Params()...)
 	opt := optim.NewSGD(params, opts.LR, opts.Momentum, opts.WeightDecay)
-	sched := optim.StepDecay(opts.LR, 0.5, maxInt(1, opts.Epochs/2))
+	sched := optim.StepDecay(opts.LR, 0.5, max(1, opts.Epochs/2))
 	regHeads := e.regHeads()
 	featDim := e.Cfg.Arch.FeatureDim()
 
@@ -356,11 +356,4 @@ func (e *Ensembler) HeadCosines(x *tensor.Tensor) []float64 {
 		out[i] = s / float64(n)
 	}
 	return out
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

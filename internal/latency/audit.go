@@ -1,0 +1,108 @@
+package latency
+
+import "fmt"
+
+// The audit-overhead serving term: the analytic counterpart of the
+// internal/audit engine, answering the planning question its flags pose —
+// how aggressively can the leakage audit sample and replay before it bites
+// into serving throughput? Two costs exist, and they enter the model in
+// different places:
+//
+//  1. Mirroring. Every SampleEvery-th request pays MirrorSeconds (one
+//     feature-tensor copy) synchronously on a worker, so the mean service
+//     time inflates by MirrorSeconds/SampleEvery. This is on the request
+//     path: it moves both the unloaded round trip and the pool's capacity.
+//  2. Replay. Every PeriodSeconds the audit replays the inversion attack
+//     for ReplaySeconds on a background goroutine that competes with the
+//     pool for cores — ReplaySeconds/PeriodSeconds of one worker's
+//     capacity, exactly like the rotation re-clone term (Rotation), and
+//     never on any request's critical path.
+
+// Audit models the audit engine's operating point.
+type Audit struct {
+	// SampleEvery mirrors every Nth request (the -audit-sample flag);
+	// <= 0 disables sampling and the mirroring cost.
+	SampleEvery int
+	// MirrorSeconds is the cost of copying one request's feature tensor
+	// into the reservoir.
+	MirrorSeconds float64
+	// PeriodSeconds is the audit cadence (-audit-every); <= 0 disables the
+	// replay cost.
+	PeriodSeconds float64
+	// ReplaySeconds is one attack replay's compute time (shadow/decoder
+	// training plus reconstruction scoring at the audit's operating point).
+	ReplaySeconds float64
+}
+
+// MirrorOverheadSeconds is the amortized per-request mirroring cost.
+func (a Audit) MirrorOverheadSeconds() float64 {
+	if a.SampleEvery <= 0 || a.MirrorSeconds <= 0 {
+		return 0
+	}
+	return a.MirrorSeconds / float64(a.SampleEvery)
+}
+
+// ReplayOverheadFraction is the fraction of one worker's capacity the
+// background replay consumes, clamped to [0,1].
+func (a Audit) ReplayOverheadFraction() float64 {
+	if a.PeriodSeconds <= 0 || a.ReplaySeconds <= 0 {
+		return 0
+	}
+	f := a.ReplaySeconds / a.PeriodSeconds
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// EstimateServingAudited evaluates the closed-system serving model under
+// both a rotation cadence and an audit: the per-request service time gains
+// the amortized mirroring cost, the pool capacity loses the rotation
+// overhead (every worker re-clones per epoch) plus the replay fraction (one
+// background auditor competes with the pool). Zero-valued Rotation and
+// Audit reduce exactly to EstimateServing.
+func EstimateServingAudited(sc ServingScenario, rot Rotation, a Audit) ServingEstimate {
+	request, service := servingTimes(&sc)
+	mirror := a.MirrorOverheadSeconds()
+	request += mirror
+	service += mirror
+	capacity := float64(sc.Workers)*(1-rot.OverheadFraction()) - a.ReplayOverheadFraction()
+	if capacity < 0 {
+		capacity = 0
+	}
+	clientBound := float64(sc.Clients) / request
+	x := clientBound
+	if service > 0 {
+		if serverBound := capacity / service; serverBound < x {
+			x = serverBound
+		}
+	}
+	name := servingName(sc, rot)
+	if a.SampleEvery > 0 {
+		name += fmt.Sprintf(" audit=1/%d", a.SampleEvery)
+	} else if a.ReplayOverheadFraction() > 0 {
+		name += " audit=bg"
+	}
+	return ServingEstimate{
+		Name:           name,
+		RequestSeconds: request,
+		ThroughputRPS:  x,
+		ThroughputIPS:  x * float64(sc.Batch),
+		Utilization:    x * service / float64(sc.Workers),
+	}
+}
+
+// AuditSweep evaluates a serving scenario across sampling rates — the
+// planning table behind the -audit-sample flag: how cheap must mirroring be
+// for 1/N sampling to stay invisible in throughput?
+func AuditSweep(base Scenario, workers, clients, batch int, a Audit, sampleEveries []int) []ServingEstimate {
+	out := make([]ServingEstimate, len(sampleEveries))
+	for i, n := range sampleEveries {
+		cfg := a
+		cfg.SampleEvery = n
+		out[i] = EstimateServingAudited(
+			ServingScenario{Base: base, Workers: workers, Clients: clients, Batch: batch},
+			Rotation{}, cfg)
+	}
+	return out
+}

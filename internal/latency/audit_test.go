@@ -1,0 +1,89 @@
+package latency
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func auditScenario(workers, clients int) ServingScenario {
+	return ServingScenario{Base: Ensembler(10), Workers: workers, Clients: clients, Batch: 1}
+}
+
+func TestZeroAuditReducesToServingEstimate(t *testing.T) {
+	sc := auditScenario(4, 8)
+	plain := EstimateServing(sc)
+	audited := EstimateServingAudited(sc, Rotation{}, Audit{})
+	if math.Abs(plain.ThroughputRPS-audited.ThroughputRPS) > 1e-12 ||
+		math.Abs(plain.RequestSeconds-audited.RequestSeconds) > 1e-12 {
+		t.Errorf("zero audit must be exactly EstimateServing: %+v vs %+v", plain, audited)
+	}
+}
+
+func TestMirroringInflatesServiceAndRequest(t *testing.T) {
+	sc := auditScenario(4, 64) // server-bound regime
+	base := EstimateServingAudited(sc, Rotation{}, Audit{})
+	a := Audit{SampleEvery: 10, MirrorSeconds: 0.01}
+	audited := EstimateServingAudited(sc, Rotation{}, a)
+	if got, want := audited.RequestSeconds-base.RequestSeconds, 0.001; math.Abs(got-want) > 1e-9 {
+		t.Errorf("request inflation = %v, want amortized mirror cost %v", got, want)
+	}
+	if audited.ThroughputRPS >= base.ThroughputRPS {
+		t.Errorf("mirroring on a saturated server must cost throughput: %v >= %v",
+			audited.ThroughputRPS, base.ThroughputRPS)
+	}
+	if !strings.Contains(audited.Name, "audit=1/10") {
+		t.Errorf("estimate name %q must carry the sampling rate", audited.Name)
+	}
+}
+
+func TestReplayStealsWorkerCapacity(t *testing.T) {
+	sc := auditScenario(2, 64) // server-bound: capacity is the binding constraint
+	base := EstimateServingAudited(sc, Rotation{}, Audit{})
+	// The replay consumes half a worker: capacity 2 → 1.5.
+	a := Audit{PeriodSeconds: 60, ReplaySeconds: 30}
+	audited := EstimateServingAudited(sc, Rotation{}, a)
+	if got, want := audited.ThroughputRPS/base.ThroughputRPS, 1.5/2.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("replay capacity ratio = %v, want %v", got, want)
+	}
+	// Replay overhead clamps at one full worker.
+	worst := Audit{PeriodSeconds: 1, ReplaySeconds: 10}
+	if f := worst.ReplayOverheadFraction(); f != 1 {
+		t.Errorf("replay fraction = %v, want clamp at 1", f)
+	}
+}
+
+func TestAuditComposesWithRotation(t *testing.T) {
+	sc := auditScenario(4, 64)
+	rot := Rotation{PeriodSeconds: 60, CloneSeconds: 6} // 10% per worker
+	a := Audit{SampleEvery: 100, MirrorSeconds: 0.001, PeriodSeconds: 60, ReplaySeconds: 6}
+	both := EstimateServingAudited(sc, rot, a)
+	rotOnly := EstimateServingRotated(sc, rot)
+	if both.ThroughputRPS >= rotOnly.ThroughputRPS {
+		t.Errorf("audit on top of rotation must cost something: %v >= %v",
+			both.ThroughputRPS, rotOnly.ThroughputRPS)
+	}
+	if both.ThroughputRPS <= 0 {
+		t.Errorf("moderate audit must not zero the pool: %+v", both)
+	}
+}
+
+func TestAuditSweepMonotone(t *testing.T) {
+	a := Audit{MirrorSeconds: 0.02, PeriodSeconds: 60, ReplaySeconds: 3}
+	rows := AuditSweep(Ensembler(10), 4, 64, 1, a, []int{1, 10, 100, 1000})
+	if len(rows) != 4 {
+		t.Fatalf("sweep returned %d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		// Coarser sampling must never serve *less*.
+		if rows[i].ThroughputRPS < rows[i-1].ThroughputRPS {
+			t.Errorf("sweep not monotone: row %d (%v rps) < row %d (%v rps)",
+				i, rows[i].ThroughputRPS, i-1, rows[i-1].ThroughputRPS)
+		}
+	}
+	// Coarser sampling strictly helps while the mirror cost binds.
+	if !(rows[3].ThroughputRPS >= rows[0].ThroughputRPS) {
+		t.Errorf("1/1000 sampling (%v rps) must beat 1/1 (%v rps)",
+			rows[3].ThroughputRPS, rows[0].ThroughputRPS)
+	}
+}

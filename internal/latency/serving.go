@@ -96,27 +96,19 @@ func (r Rotation) OverheadFraction() float64 {
 // waits on a clone already paid for by its worker). A zero Rotation is
 // exactly EstimateServing. This is the analytic counterpart of
 // BenchmarkHotSwap: rotation bounds what a curious server accumulates
-// against one selector, and this term prices that privacy.
+// against one selector, and this term prices that privacy. It is the
+// zero-audit slice of the general estimator (see EstimateServingAudited).
 func EstimateServingRotated(sc ServingScenario, rot Rotation) ServingEstimate {
-	request, service := servingTimes(&sc)
-	capacity := float64(sc.Workers) * (1 - rot.OverheadFraction())
-	clientBound := float64(sc.Clients) / request
-	serverBound := capacity / service // +Inf when service is 0: never binding
-	x := clientBound
-	if serverBound < x {
-		x = serverBound
-	}
+	return EstimateServingAudited(sc, rot, Audit{})
+}
+
+// servingName labels one serving estimate row.
+func servingName(sc ServingScenario, rot Rotation) string {
 	name := fmt.Sprintf("c=%d w=%d b=%d", sc.Clients, sc.Workers, sc.Batch)
 	if rot.OverheadFraction() > 0 {
 		name += fmt.Sprintf(" rot=%.0fs", rot.PeriodSeconds)
 	}
-	return ServingEstimate{
-		Name:           name,
-		RequestSeconds: request,
-		ThroughputRPS:  x,
-		ThroughputIPS:  x * float64(sc.Batch),
-		Utilization:    x * service / float64(sc.Workers),
-	}
+	return name
 }
 
 // RotationSweep evaluates a serving scenario across rotation periods — the

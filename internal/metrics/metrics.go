@@ -75,7 +75,7 @@ func SSIM(a, b *tensor.Tensor) float64 {
 	c, h, w := a.Shape[0], a.Shape[1], a.Shape[2]
 	win := 8
 	if h < win || w < win {
-		win = minInt(h, w)
+		win = min(h, w)
 	}
 	kern := gaussianKernel(win, 1.5)
 	const c1 = 0.01 * 0.01
@@ -191,11 +191,4 @@ func AccuracyFromCounts(m [][]int) float64 {
 		return 0
 	}
 	return float64(correct) / float64(total)
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -123,6 +123,48 @@ func TestSSIMSmallImage(t *testing.T) {
 	}
 }
 
+// TestSSIMNonSquare covers rectangular images, including both narrow axes
+// and the degenerate cases where one dimension is smaller than the 8-pixel
+// window (the window must shrink to min(h, w), not either axis alone).
+func TestSSIMNonSquare(t *testing.T) {
+	for _, dims := range [][2]int{{16, 10}, {10, 16}, {4, 16}, {16, 4}, {5, 9}} {
+		h, w := dims[0], dims[1]
+		a := randImg(int64(10*h+w), 1, h, w)
+		if got := SSIM(a, a); math.Abs(got-1) > 1e-9 {
+			t.Errorf("SSIM(x,x) on %dx%d = %v, want 1", h, w, got)
+		}
+		b := randImg(int64(10*h+w+1), 1, h, w)
+		s := SSIM(a, b)
+		if s < -1 || s > 1 {
+			t.Errorf("SSIM on %dx%d out of range: %v", h, w, s)
+		}
+		if math.Abs(SSIM(a, b)-SSIM(b, a)) > 1e-9 {
+			t.Errorf("SSIM on %dx%d not symmetric", h, w)
+		}
+	}
+	// Transposing both images must not change the score (the window is
+	// square, so the sliding positions are mirrored one-to-one).
+	a, b := randImg(41, 1, 12, 7), randImg(42, 1, 12, 7)
+	at, bt := transpose(a), transpose(b)
+	if math.Abs(SSIM(a, b)-SSIM(at, bt)) > 1e-9 {
+		t.Errorf("SSIM changed under transposition: %v vs %v", SSIM(a, b), SSIM(at, bt))
+	}
+}
+
+// transpose swaps the spatial axes of a [C,H,W] image.
+func transpose(x *tensor.Tensor) *tensor.Tensor {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	out := tensor.New(c, w, h)
+	for ci := 0; ci < c; ci++ {
+		for y := 0; y < h; y++ {
+			for xx := 0; xx < w; xx++ {
+				out.Set(x.At(ci, y, xx), ci, xx, y)
+			}
+		}
+	}
+	return out
+}
+
 func TestBatchMetrics(t *testing.T) {
 	r := rng.New(10)
 	a := tensor.New(4, 3, 8, 8)

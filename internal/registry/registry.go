@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ensembler/internal/comm"
 	"ensembler/internal/ensemble"
@@ -61,13 +62,43 @@ func (ep *Epoch) NumBodies() int { return ep.pipeline.Cfg.N }
 // become unknown-version errors, which is the honest answer.
 const maxRetainedEpochs = 8
 
+// RotationRecord is one entry of a model's rotation audit trail: which
+// version a selector rotation published, when, and why. The cause is what
+// turns a rotation log into evidence — "schedule" and "leakage 0.41 > 0.30"
+// answer very different operational questions.
+type RotationRecord struct {
+	Version int
+	At      time.Time
+	Cause   string
+}
+
+// maxRotationHistory bounds the per-model rotation trail. Under an
+// aggressive cadence the history would otherwise grow without limit; the
+// most recent records are the operationally interesting ones.
+const maxRotationHistory = 64
+
 // modelState is the live state of one model name: the current epoch behind
-// an atomic pointer (the serving hot path reads only this) and the retained
-// map of published versions for pinned resolution.
+// an atomic pointer (the serving hot path reads only this), the retained
+// map of published versions for pinned resolution, and the rotation trail.
 type modelState struct {
 	current atomic.Pointer[Epoch]
 	mu      sync.Mutex
 	epochs  map[int]*Epoch
+
+	rotMu     sync.Mutex
+	rotations []RotationRecord
+	rotCount  atomic.Uint64
+}
+
+// recordRotation appends to the bounded rotation trail.
+func (ms *modelState) recordRotation(rec RotationRecord) {
+	ms.rotMu.Lock()
+	ms.rotations = append(ms.rotations, rec)
+	if len(ms.rotations) > maxRotationHistory {
+		ms.rotations = ms.rotations[len(ms.rotations)-maxRotationHistory:]
+	}
+	ms.rotMu.Unlock()
+	ms.rotCount.Add(1)
 }
 
 // retain inserts an epoch and evicts the oldest retained versions (never the
@@ -196,13 +227,22 @@ func (r *Registry) publishLocked(name string, e *ensemble.Ensembler) (*Epoch, er
 // result as a new version — the switching-ensembles defense cadence. The
 // server bodies are unchanged, so the swap is invisible on the wire; only
 // the client-side secret (and, with opts.Tune, the stage-3 head/noise/tail)
-// moves.
+// moves. The rotation is recorded with cause "manual"; callers that rotate
+// on a schedule or on audit evidence should use RotateSelectorCause so the
+// trail says why.
+func (r *Registry) RotateSelector(name string, opts ensemble.RotateOptions) (*Epoch, error) {
+	return r.RotateSelectorCause(name, "manual", opts)
+}
+
+// RotateSelectorCause is RotateSelector with an explicit cause recorded in
+// the model's rotation history — the audit trail the control plane reads
+// back through RotationHistory and exports as the rotation counter.
 // Rotation runs outside the publish lock (a fine-tune can take seconds), so
 // a Publish or LoadStore may land mid-rotation; publishing the rotation of a
-// stale pipeline would silently revert the newer model. RotateSelector
+// stale pipeline would silently revert the newer model. The rotation
 // therefore re-checks the current epoch under the lock before publishing and
 // starts over on the fresh pipeline when it moved.
-func (r *Registry) RotateSelector(name string, opts ensemble.RotateOptions) (*Epoch, error) {
+func (r *Registry) RotateSelectorCause(name, cause string, opts ensemble.RotateOptions) (*Epoch, error) {
 	const maxAttempts = 3
 	for attempt := 0; ; attempt++ {
 		cur, err := r.Epoch(name, 0)
@@ -223,8 +263,52 @@ func (r *Registry) RotateSelector(name string, opts ensemble.RotateOptions) (*Ep
 		}
 		ep, err := r.publishLocked(cur.name, rotated)
 		r.mu.Unlock()
+		if err == nil {
+			r.state(ep.name).recordRotation(RotationRecord{Version: ep.version, At: time.Now(), Cause: cause})
+		}
 		return ep, err
 	}
+}
+
+// RotationHistory returns a copy of the named model's rotation trail ("" for
+// the default model), oldest first, bounded to the most recent
+// maxRotationHistory entries. An unknown model has an empty history.
+func (r *Registry) RotationHistory(name string) []RotationRecord {
+	ms := r.lookupState(name)
+	if ms == nil {
+		return nil
+	}
+	ms.rotMu.Lock()
+	defer ms.rotMu.Unlock()
+	return append([]RotationRecord(nil), ms.rotations...)
+}
+
+// RotationCount reports how many selector rotations the named model has
+// undergone since this registry was opened — the cheap form the telemetry
+// counter scrapes without copying history.
+func (r *Registry) RotationCount(name string) uint64 {
+	ms := r.lookupState(name)
+	if ms == nil {
+		return 0
+	}
+	return ms.rotCount.Load()
+}
+
+// lookupState resolves a model name ("" for default) to its live state
+// without creating one, returning nil when unknown.
+func (r *Registry) lookupState(name string) *modelState {
+	if name == "" {
+		def := r.defName.Load()
+		if def == nil {
+			return nil
+		}
+		name = *def
+	}
+	ms, ok := r.models.Load(name)
+	if !ok {
+		return nil
+	}
+	return ms.(*modelState)
 }
 
 // Epoch resolves a model name and version to a live epoch. name "" means the

@@ -336,3 +336,55 @@ func TestEpochReplicasAreIndependent(t *testing.T) {
 		}
 	}
 }
+
+func TestRotationHistoryRecordsCause(t *testing.T) {
+	r := registry.New(nil)
+	if _, err := r.Publish("m", pipeline(31)); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.RotationHistory("m"); len(got) != 0 {
+		t.Fatalf("fresh model has %d rotation records, want 0", len(got))
+	}
+	if got := r.RotationCount("m"); got != 0 {
+		t.Fatalf("fresh model rotation count %d, want 0", got)
+	}
+
+	before := time.Now()
+	ep2, err := r.RotateSelectorCause("m", "leakage 0.41 > 0.30", ensemble.RotateOptions{Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RotateSelector("", ensemble.RotateOptions{Seed: 33}); err != nil {
+		t.Fatal(err)
+	}
+
+	// "" resolves the default model's history, like every other lookup.
+	hist := r.RotationHistory("")
+	if len(hist) != 2 {
+		t.Fatalf("history has %d records, want 2", len(hist))
+	}
+	if hist[0].Version != ep2.Version() || hist[0].Cause != "leakage 0.41 > 0.30" {
+		t.Errorf("first record = %+v", hist[0])
+	}
+	if hist[1].Cause != "manual" {
+		t.Errorf("RotateSelector must record cause %q, got %q", "manual", hist[1].Cause)
+	}
+	if hist[0].At.Before(before) || hist[0].At.After(time.Now()) {
+		t.Errorf("rotation timestamp %v outside the test window", hist[0].At)
+	}
+	if got := r.RotationCount("m"); got != 2 {
+		t.Errorf("rotation count %d, want 2", got)
+	}
+
+	// Publishes are not rotations: the trail must not grow.
+	if _, err := r.Publish("m", pipeline(34)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.RotationHistory("m")); got != 2 {
+		t.Errorf("publish grew the rotation history to %d records", got)
+	}
+	// Unknown models answer empty, not panic.
+	if got := r.RotationHistory("nope"); got != nil {
+		t.Errorf("unknown model history = %v, want nil", got)
+	}
+}

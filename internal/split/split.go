@@ -191,7 +191,7 @@ func Train(m *Model, ds *data.Dataset, opts TrainOptions) float64 {
 	opts = opts.withDefaults()
 	r := rng.New(opts.Seed)
 	opt := optim.NewSGD(m.Params(), opts.LR, opts.Momentum, opts.WeightDecay)
-	sched := optim.StepDecay(opts.LR, 0.5, maxInt(1, opts.Epochs/2))
+	sched := optim.StepDecay(opts.LR, 0.5, max(1, opts.Epochs/2))
 	var last float64
 	for epoch := 0; epoch < opts.Epochs; epoch++ {
 		opt.SetLR(sched(epoch))
@@ -238,11 +238,4 @@ func EvaluateFn(ds *data.Dataset, logitsFn func(x *tensor.Tensor) *tensor.Tensor
 		total += len(idxs)
 	}
 	return correct / float64(total)
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
