@@ -234,7 +234,9 @@ const servingConns = 8
 
 // startServingBench boots a replicated worker-pool server over the shared
 // commtest harness on loopback and returns its address plus a shutdown
-// function.
+// function. Kernel-level parallelism is pinned to 1 for the bench's
+// lifetime: the worker pool is the serving path's one level of parallelism,
+// and nested kernel goroutines only oversubscribe the cores it already owns.
 func startServingBench(b *testing.B, nBodies int) (string, func()) {
 	b.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -246,6 +248,7 @@ func startServingBench(b *testing.B, nBodies int) (string, func()) {
 		comm.WithWorkers(runtime.GOMAXPROCS(0)),
 		comm.WithReplicas(func() []*nn.Network { return commtest.Bodies(arch, nBodies) }),
 	)
+	comm.PinKernelParallelism(srv.Workers())
 	ctx, cancel := context.WithCancel(context.Background())
 	served := make(chan error, 1)
 	go func() { served <- srv.Serve(ctx, ln) }()
@@ -253,6 +256,7 @@ func startServingBench(b *testing.B, nBodies int) (string, func()) {
 		cancel()
 		ln.Close()
 		<-served
+		tensor.SetKernelParallelism(0)
 	}
 }
 
@@ -274,7 +278,11 @@ func servingInput() *tensor.Tensor {
 }
 
 // BenchmarkServeSingleConnection measures request latency (= 1/throughput)
-// over one connection.
+// over one connection. The reported allocs/op are the CLIENT side of the
+// round trip (response decode and tail forward — tensors that escape to the
+// caller by design); the server's per-request compute+codec loop is pinned
+// at 0 allocs/op by internal/comm's BenchmarkServeRequestLoop and
+// TestServerComputeLoopZeroAllocs.
 func BenchmarkServeSingleConnection(b *testing.B) {
 	const nBodies = 4
 	addr, shutdown := startServingBench(b, nBodies)
@@ -283,6 +291,7 @@ func BenchmarkServeSingleConnection(b *testing.B) {
 	defer client.Close()
 	x := servingInput()
 	ctx := context.Background()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := client.Infer(ctx, x); err != nil {
@@ -462,14 +471,15 @@ func BenchmarkHotSwap(b *testing.B) {
 // (the planning-time counterpart of the live benches above).
 func BenchmarkServingModel(b *testing.B) {
 	base := latency.Ensembler(10)
+	maxPar := runtime.GOMAXPROCS(0)
 	for i := 0; i < b.N; i++ {
-		rows := latency.ConcurrencySweep(base, 4, 1, []int{1, 2, 4, 8, 16})
+		rows := latency.ConcurrencySweep(base, 4, maxPar, 1, []int{1, 2, 4, 8, 16})
 		if i == 0 {
 			for _, r := range rows {
 				fmt.Println(r)
 			}
-			fmt.Printf("predicted speedup, 8 clients vs 1: %.2f×\n",
-				latency.ConcurrencySpeedup(base, 4, 1, 8))
+			fmt.Printf("predicted speedup, 8 clients vs 1 (host parallelism %d): %.2f×\n",
+				maxPar, latency.ConcurrencySpeedup(base, 4, maxPar, 1, 8))
 		}
 	}
 }

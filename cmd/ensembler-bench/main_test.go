@@ -108,3 +108,87 @@ func TestServingBenchWritesJSONReport(t *testing.T) {
 		t.Errorf("stdout does not announce the report: %s", out.String())
 	}
 }
+
+func TestWireAndCompareFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-serving", "-wire", "carrier-pigeon"}, "unknown -wire"},
+		{[]string{"-compare", "base.json", "-table", "3"}, "-compare gates serving"},
+	}
+	for _, c := range cases {
+		err := run(c.args, io.Discard, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("run(%v) = %v, want %q", c.args, err, c.want)
+		}
+	}
+}
+
+// TestServingBenchGobAndF32Wires drives the serving bench over both
+// non-default wires end to end.
+func TestServingBenchGobAndF32Wires(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving bench smoke test")
+	}
+	for _, wire := range []string{"gob", "f32"} {
+		var out bytes.Buffer
+		err := run([]string{"-serving", "-n", "2", "-clients", "2", "-workers", "2",
+			"-duration", "100ms", "-wire", wire}, &out, io.Discard)
+		if err != nil {
+			t.Fatalf("-wire %s: %v", wire, err)
+		}
+		if !strings.Contains(out.String(), "allocs/req") {
+			t.Errorf("-wire %s output missing allocation accounting:\n%s", wire, out.String())
+		}
+	}
+}
+
+// TestCompareReports covers the perf gate: pass within the band, fail on
+// an alloc regression, skip raw req/s across host shapes.
+func TestCompareReports(t *testing.T) {
+	mk := func(effective int, rps, speedup, allocs float64) *BenchReport {
+		return &BenchReport{
+			Config: BenchConfig{Clients: 8, EffectiveParallelism: effective},
+			Results: []BenchResult{
+				{Name: "serve_single_connection", ReqPerSec: rps},
+				{Name: "serve_concurrent_8", ReqPerSec: rps},
+				{Name: "speedup", Value: speedup},
+				{Name: "allocs_per_req", Value: allocs},
+			},
+		}
+	}
+	write := func(r *BenchReport) string {
+		path := filepath.Join(t.TempDir(), "base.json")
+		if err := writeBenchReport(path, *r); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	base := write(mk(1, 1000, 1.0, 40))
+	var out bytes.Buffer
+	if err := compareReports(&out, base, mk(1, 950, 0.98, 42), 0.2); err != nil {
+		t.Errorf("within-band run failed the gate: %v\n%s", err, out.String())
+	}
+	if err := compareReports(io.Discard, base, mk(1, 1000, 1.0, 500), 0.2); err == nil {
+		t.Error("10x alloc regression passed the gate")
+	}
+	if err := compareReports(io.Discard, base, mk(1, 1000, 0.5, 40), 0.2); err == nil {
+		t.Error("halved speedup passed the gate")
+	}
+	if err := compareReports(io.Discard, base, mk(1, 100, 1.0, 40), 0.2); err == nil {
+		t.Error("5x single-connection slowdown on the same host shape passed the gate")
+	}
+	// Different effective parallelism: raw req/s must be skipped, not failed.
+	out.Reset()
+	if err := compareReports(&out, base, mk(8, 100, 1.0, 40), 0.2); err != nil {
+		t.Errorf("cross-host-shape req/s comparison failed instead of skipping: %v", err)
+	}
+	if !strings.Contains(out.String(), "skipped") {
+		t.Errorf("gate output does not announce the skip:\n%s", out.String())
+	}
+	if err := compareReports(io.Discard, filepath.Join(t.TempDir(), "missing.json"), mk(1, 1, 1, 1), 0.2); err == nil {
+		t.Error("missing baseline accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
 	"fmt"
@@ -11,15 +12,28 @@ import (
 	"ensembler/internal/tensor"
 )
 
+// DialOption configures how a client connection is established.
+type DialOption func(*dialOptions)
+
+type dialOptions struct {
+	wire WireFormat
+}
+
+// WithWire selects the client's wire protocol: WireBinary (default),
+// WireBinaryF32 for float32 payloads (half the bytes, ~1e-7 relative
+// feature rounding), or WireGob for servers predating the binary codec.
+func WithWire(f WireFormat) DialOption {
+	return func(o *dialOptions) { o.wire = f }
+}
+
 // Client performs remote ensemble inference: local head+noise, remote
 // bodies, local secret selection and tail. A Client is bound to one
 // connection and is safe for one goroutine at a time (the head and tail
 // networks cache forward state); use a Pool for concurrent callers.
 type Client struct {
-	conn *countingConn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	// broken is set after any transport failure: the gob stream may hold a
+	conn  *countingConn
+	codec clientCodec
+	// broken is set after any transport failure: the wire stream may hold a
 	// partial or stale message, so reusing the connection could silently
 	// return the previous request's response. A broken client fails fast
 	// until redialed.
@@ -56,26 +70,100 @@ func (c *Client) Served() (model string, version int) {
 	return c.servedModel, c.servedVersion
 }
 
-// Dial connects a client to a comm.Server.
-func Dial(addr string) (*Client, error) {
-	return DialContext(context.Background(), addr)
+// Dial connects a client to a comm.Server, negotiating the binary wire
+// codec by default; pass WithWire to select float32 payloads or the legacy
+// gob protocol.
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	return DialContext(context.Background(), addr, opts...)
 }
 
 // DialContext connects a client to a comm.Server, honoring the context's
-// deadline and cancellation during connection establishment.
-func DialContext(ctx context.Context, addr string) (*Client, error) {
+// deadline and cancellation during connection establishment (including the
+// wire-codec hello exchange).
+func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
+	var o dialOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("comm: dialing %s: %w", addr, err)
 	}
-	return NewLocalClient(conn), nil
+	c, err := newClientConn(ctx, conn, o.wire)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
 }
 
-// NewLocalClient wraps an existing connection (for tests over net.Pipe).
+// helloTimeout bounds the wire negotiation when the dialing context carries
+// no deadline: the hello is one small local round trip, so a server that
+// stays mute for this long is not going to answer requests either — fail
+// the dial instead of hanging it.
+const helloTimeout = 10 * time.Second
+
+// newClientConn wraps conn in a client speaking the requested wire format,
+// performing the binary hello under the context's deadline (or a default
+// handshake timeout when the context has none).
+func newClientConn(ctx context.Context, conn net.Conn, wire WireFormat) (*Client, error) {
+	if wire == WireGob {
+		return NewLocalClient(conn), nil
+	}
+	cc := &countingConn{Conn: conn}
+	deadline := time.Now().Add(helloTimeout)
+	if d, ok := ctx.Deadline(); ok {
+		deadline = d
+	}
+	cc.SetDeadline(deadline)
+	if ctx.Done() != nil {
+		// Plain cancellation (no deadline) must also abort a hello blocked
+		// on a stalled server — expiring the deadline fails the pending I/O.
+		stop := make(chan struct{})
+		watcher := make(chan struct{})
+		go func() {
+			defer close(watcher)
+			select {
+			case <-ctx.Done():
+				cc.SetDeadline(time.Unix(1, 0))
+			case <-stop:
+			}
+		}()
+		defer func() {
+			close(stop)
+			<-watcher
+			cc.SetDeadline(time.Time{})
+		}()
+	} else {
+		defer cc.SetDeadline(time.Time{})
+	}
+	br := bufio.NewReaderSize(cc, 1<<16)
+	f32OK, err := negotiateClient(cc, br, wire == WireBinaryF32)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: cc, codec: &binClientCodec{binFramer{w: cc, r: br, f32: wire == WireBinaryF32 && f32OK}}}, nil
+}
+
+// NewLocalClient wraps an existing connection in a gob-protocol client —
+// the legacy wire format, kept for tests over net.Pipe and for hand-rolled
+// server loops. Dialed clients default to the binary codec instead.
 func NewLocalClient(conn net.Conn) *Client {
 	cc := &countingConn{Conn: conn}
-	return &Client{conn: cc, enc: gob.NewEncoder(cc), dec: gob.NewDecoder(cc)}
+	return &Client{conn: cc, codec: &gobClientCodec{enc: gob.NewEncoder(cc), dec: gob.NewDecoder(cc)}}
+}
+
+// gobClientCodec speaks the legacy gob protocol.
+type gobClientCodec struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func (c *gobClientCodec) writeRequest(req *Request) error { return c.enc.Encode(req) }
+func (c *gobClientCodec) readResponse(resp *Response) error {
+	*resp = Response{}
+	return c.dec.Decode(resp)
 }
 
 // Close tears down the connection.
@@ -84,7 +172,7 @@ func (c *Client) Close() error { return c.conn.Close() }
 // roundTrip performs one encode/decode exchange under ctx: a context
 // deadline maps onto the connection deadline and cancellation aborts the
 // blocked I/O. Any transport failure — including a context-induced abort —
-// leaves the gob stream in an unknown state, so it breaks the client.
+// leaves the wire stream in an unknown state, so it breaks the client.
 func (c *Client) roundTrip(ctx context.Context, req *Request) (*Response, error) {
 	if c.broken {
 		return nil, fmt.Errorf("comm: connection broken by an earlier failed request; redial")
@@ -118,11 +206,11 @@ func (c *Client) roundTrip(ctx context.Context, req *Request) (*Response, error)
 			c.conn.SetDeadline(time.Time{})
 		}()
 	}
-	if err := c.enc.Encode(req); err != nil {
+	if err := c.codec.writeRequest(req); err != nil {
 		return nil, c.fail(ctx, fmt.Errorf("comm: sending features: %w", err))
 	}
 	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
+	if err := c.codec.readResponse(&resp); err != nil {
 		return nil, c.fail(ctx, fmt.Errorf("comm: receiving features: %w", err))
 	}
 	// A server-reported error leaves the stream synchronized; the

@@ -1,0 +1,679 @@
+package comm
+
+// The binary wire codec: a length-prefixed, version-negotiated frame format
+// replacing gob on the feature hot path. Gob spends the bulk of a request's
+// wire time re-describing types and boxing float64s one reflect call at a
+// time; the binary codec writes one header and the raw payload, reuses its
+// encode/decode buffers across requests, and optionally ships float32 on
+// the wire (half the bytes, ~1e-7 relative feature error — see README).
+//
+// Framing (all integers little-endian):
+//
+//	hello     = magic[4] version(u8) flags(u8) reserved(u16)   client→server
+//	hello-ack = same 8 bytes                                   server→client
+//	frame     = length(u32) body
+//	request   = 0x01 modelLen(u16) model version(u32) kind(u8) count(u16) tensor*
+//	response  = 0x02 modelLen(u16) model version(u32) errLen(u16) err kind(u8)
+//	            features: count(u16) tensor*
+//	            outputs:  outer(u16) inner(u16) tensor*(outer×inner, row-major)
+//	tensor    = rank(u8) dtype(u8) dims(u32)*rank payload(f64|f32 ×n)
+//
+// Version negotiation: the client's hello names the highest version it
+// speaks; the server acks the version the connection will use (currently 1)
+// and echoes the subset of requested flags it accepts. A server that
+// receives bytes that are not the hello magic treats the connection as a
+// legacy gob client — the magic's first byte (0xE5) is not a byte a gob
+// stream can start with, so sniffing is unambiguous.
+//
+// Trust boundary: decoders validate every length against the remaining
+// frame before allocating, so a hostile frame claiming 2^30 elements over a
+// short body is rejected, not allocated. FuzzWireRequestFrame and
+// FuzzWireStream run random bytes through both parsers.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+
+	"ensembler/internal/tensor"
+)
+
+// WireFormat selects a client's wire protocol.
+type WireFormat int
+
+const (
+	// WireBinary is the length-prefixed binary codec with float64 payloads
+	// — bit-identical to gob's values at a fraction of the encode cost. The
+	// default for Dial.
+	WireBinary WireFormat = iota
+	// WireBinaryF32 ships float32 payloads: half the bytes, ~1e-7 relative
+	// rounding on transmitted features (see README for the accuracy
+	// trade-off).
+	WireBinaryF32
+	// WireGob is the legacy gob protocol, for servers predating the binary
+	// codec.
+	WireGob
+)
+
+func (f WireFormat) String() string {
+	switch f {
+	case WireBinary:
+		return "binary"
+	case WireBinaryF32:
+		return "binary+f32"
+	case WireGob:
+		return "gob"
+	default:
+		return fmt.Sprintf("WireFormat(%d)", int(f))
+	}
+}
+
+const (
+	wireVersion = 1
+	wireFlagF32 = 0x01
+
+	wireMsgRequest  = 0x01
+	wireMsgResponse = 0x02
+
+	wireKindFeatures = 0x00
+	wireKindBatched  = 0x01
+
+	wireDtypeF64 = 0x00
+	wireDtypeF32 = 0x01
+
+	// maxWireFrame bounds one frame; larger requests must batch across
+	// frames. 256 MiB comfortably holds the largest supported batch.
+	maxWireFrame = 1 << 28
+	maxWireModel = 4096
+	maxWireRank  = 8
+)
+
+// wireMagic opens the hello and hello-ack. 0xE5 sits in the dead zone of
+// gob's unsigned-integer prefix encoding (a gob stream starts with a byte
+// < 0x80 or >= 0xF8), which is what makes server-side sniffing exact.
+var wireMagic = [4]byte{0xE5, 'N', 'S', 'B'}
+
+// helloBytes builds the 8-byte hello/ack for a version and flag set.
+func helloBytes(version, flags byte) [8]byte {
+	return [8]byte{wireMagic[0], wireMagic[1], wireMagic[2], wireMagic[3], version, flags, 0, 0}
+}
+
+// tensorAlloc abstracts where decoded tensors land: the serving path hands
+// out arena storage recycled per request, the client and wiretap paths
+// allocate from the heap.
+type tensorAlloc interface {
+	newTensor(shape []int) *tensor.Tensor
+}
+
+type heapAlloc struct{}
+
+func (heapAlloc) newTensor(shape []int) *tensor.Tensor { return tensor.New(shape...) }
+
+// arenaAlloc adapts a *tensor.Arena to the allocator interface. It is a
+// defined type over Arena (not a wrapper struct) so that the *arenaAlloc
+// stored in the interface is a plain pointer — a struct value would be boxed
+// on every readRequest, one heap allocation per request.
+type arenaAlloc tensor.Arena
+
+func (al *arenaAlloc) newTensor(shape []int) *tensor.Tensor {
+	// Wire payloads overwrite every element; no zeroing needed.
+	return (*tensor.Arena)(al).NewTensor(shape...)
+}
+
+// --- encoding ---
+
+// appendTensor encodes one tensor.
+func appendTensor(buf []byte, t *tensor.Tensor, f32 bool) []byte {
+	buf = append(buf, byte(len(t.Shape)))
+	if f32 {
+		buf = append(buf, wireDtypeF32)
+	} else {
+		buf = append(buf, wireDtypeF64)
+	}
+	for _, d := range t.Shape {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(d))
+	}
+	if f32 {
+		for _, v := range t.Data {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(float32(v)))
+		}
+	} else {
+		for _, v := range t.Data {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf
+}
+
+// appendRequest encodes a request body (no length prefix).
+func appendRequest(buf []byte, req *Request, f32 bool) ([]byte, error) {
+	if len(req.Model) > maxWireModel {
+		return buf, fmt.Errorf("comm: model name of %d bytes exceeds wire limit %d", len(req.Model), maxWireModel)
+	}
+	buf = append(buf, wireMsgRequest)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(req.Model)))
+	buf = append(buf, req.Model...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(req.Version))
+	if req.Inputs != nil {
+		if len(req.Inputs) > math.MaxUint16 {
+			return buf, fmt.Errorf("comm: batch of %d exceeds wire limit %d", len(req.Inputs), math.MaxUint16)
+		}
+		buf = append(buf, wireKindBatched)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(req.Inputs)))
+		for _, t := range req.Inputs {
+			if t == nil {
+				return buf, fmt.Errorf("comm: nil tensor in batched request")
+			}
+			buf = appendTensor(buf, t, f32)
+		}
+		return buf, nil
+	}
+	if req.Features == nil {
+		return buf, fmt.Errorf("comm: request carries no features")
+	}
+	buf = append(buf, wireKindFeatures)
+	buf = binary.LittleEndian.AppendUint16(buf, 1)
+	return appendTensor(buf, req.Features, f32), nil
+}
+
+// appendResponse encodes a response body (no length prefix).
+func appendResponse(buf []byte, resp *Response, f32 bool) ([]byte, error) {
+	if len(resp.Model) > maxWireModel {
+		return buf, fmt.Errorf("comm: model name of %d bytes exceeds wire limit %d", len(resp.Model), maxWireModel)
+	}
+	if len(resp.Err) > math.MaxUint16 {
+		return buf, fmt.Errorf("comm: error string of %d bytes exceeds wire limit", len(resp.Err))
+	}
+	buf = append(buf, wireMsgResponse)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(resp.Model)))
+	buf = append(buf, resp.Model...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(resp.Version))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(resp.Err)))
+	buf = append(buf, resp.Err...)
+	if resp.Outputs != nil {
+		outer := len(resp.Outputs)
+		inner := 0
+		if outer > 0 {
+			inner = len(resp.Outputs[0])
+		}
+		if outer > math.MaxUint16 || inner > math.MaxUint16 {
+			return buf, fmt.Errorf("comm: response outputs %d×%d exceed wire limits", outer, inner)
+		}
+		buf = append(buf, wireKindBatched)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(outer))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(inner))
+		for _, row := range resp.Outputs {
+			if len(row) != inner {
+				return buf, fmt.Errorf("comm: ragged response outputs (%d vs %d per input)", len(row), inner)
+			}
+			for _, t := range row {
+				if t == nil {
+					return buf, fmt.Errorf("comm: nil tensor in response outputs")
+				}
+				buf = appendTensor(buf, t, f32)
+			}
+		}
+		return buf, nil
+	}
+	buf = append(buf, wireKindFeatures)
+	if len(resp.Features) > math.MaxUint16 {
+		return buf, fmt.Errorf("comm: response of %d feature maps exceeds wire limit", len(resp.Features))
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(resp.Features)))
+	for _, t := range resp.Features {
+		if t == nil {
+			return buf, fmt.Errorf("comm: nil tensor in response features")
+		}
+		buf = appendTensor(buf, t, f32)
+	}
+	return buf, nil
+}
+
+// --- decoding ---
+
+// wireReader is a bounds-checked cursor over one frame body.
+type wireReader struct {
+	b   []byte
+	off int
+}
+
+func (r *wireReader) remaining() int { return len(r.b) - r.off }
+
+func (r *wireReader) u8() (byte, error) {
+	if r.remaining() < 1 {
+		return 0, fmt.Errorf("comm: truncated frame")
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *wireReader) u16() (int, error) {
+	if r.remaining() < 2 {
+		return 0, fmt.Errorf("comm: truncated frame")
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return int(v), nil
+}
+
+func (r *wireReader) u32() (uint32, error) {
+	if r.remaining() < 4 {
+		return 0, fmt.Errorf("comm: truncated frame")
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *wireReader) str(n int) (string, error) {
+	if r.remaining() < n {
+		return "", fmt.Errorf("comm: truncated frame")
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s, nil
+}
+
+// tensor decodes one tensor, validating every dimension against the bytes
+// actually present before allocating — the rule that keeps a hostile frame
+// from turning a 20-byte message into a multi-gigabyte allocation.
+func (r *wireReader) tensor(alloc tensorAlloc, shapeBuf []int) (*tensor.Tensor, error) {
+	rank, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if rank == 0 || rank > maxWireRank {
+		return nil, fmt.Errorf("comm: tensor rank %d out of range [1,%d]", rank, maxWireRank)
+	}
+	dtype, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	width := 8
+	switch dtype {
+	case wireDtypeF64:
+	case wireDtypeF32:
+		width = 4
+	default:
+		return nil, fmt.Errorf("comm: unknown tensor dtype %d", dtype)
+	}
+	shape := shapeBuf[:0]
+	maxElems := r.remaining() / width
+	n := 1
+	for i := 0; i < int(rank); i++ {
+		d, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		// n stays ≤ maxElems (< 2^28) before each multiply and d < 2^32, so
+		// the product cannot overflow a 64-bit int before the bound check.
+		if d == 0 {
+			return nil, fmt.Errorf("comm: zero tensor dimension")
+		}
+		if n *= int(d); n > maxElems {
+			return nil, fmt.Errorf("comm: tensor of %d elements exceeds frame size", n)
+		}
+		shape = append(shape, int(d))
+	}
+	if r.remaining() < n*width {
+		return nil, fmt.Errorf("comm: tensor payload truncated (%d elements, %d bytes left)", n, r.remaining())
+	}
+	t := alloc.newTensor(shape)
+	src := r.b[r.off:]
+	if dtype == wireDtypeF64 {
+		for i := 0; i < n; i++ {
+			t.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+		}
+		r.off += 8 * n
+	} else {
+		for i := 0; i < n; i++ {
+			t.Data[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:])))
+		}
+		r.off += 4 * n
+	}
+	return t, nil
+}
+
+// parseRequestInto decodes a request frame body into req. alloc places the
+// tensor data; j (optional) donates its reusable Inputs slice so the serving
+// path's steady state allocates nothing.
+func parseRequestInto(body []byte, req *Request, alloc tensorAlloc, j *job) error {
+	r := wireReader{b: body}
+	msg, err := r.u8()
+	if err != nil {
+		return err
+	}
+	if msg != wireMsgRequest {
+		return fmt.Errorf("comm: expected request frame, got message type %d", msg)
+	}
+	mlen, err := r.u16()
+	if err != nil {
+		return err
+	}
+	if mlen > maxWireModel {
+		return fmt.Errorf("comm: model name of %d bytes exceeds wire limit", mlen)
+	}
+	if req.Model, err = r.str(mlen); err != nil {
+		return err
+	}
+	ver, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if ver > math.MaxInt32 {
+		return fmt.Errorf("comm: version %d out of range", ver)
+	}
+	req.Version = int(ver)
+	kind, err := r.u8()
+	if err != nil {
+		return err
+	}
+	count, err := r.u16()
+	if err != nil {
+		return err
+	}
+	// The shape scratch must not live on this stack frame: it crosses the
+	// allocator interface, so escape analysis would heap-move a local array
+	// on every request. The job donates its persistent buffer; only the
+	// job-less paths (client, wiretap) pay a per-call slice.
+	var shapeBuf []int
+	if j != nil {
+		shapeBuf = j.shape[:0]
+	} else {
+		shapeBuf = make([]int, 0, maxWireRank)
+	}
+	switch kind {
+	case wireKindFeatures:
+		if count != 1 {
+			return fmt.Errorf("comm: feature request carries %d tensors, want 1", count)
+		}
+		if req.Features, err = r.tensor(alloc, shapeBuf); err != nil {
+			return err
+		}
+	case wireKindBatched:
+		if count == 0 {
+			return fmt.Errorf("comm: batched request carries no inputs")
+		}
+		inputs := []*tensor.Tensor(nil)
+		if j != nil {
+			inputs = j.inputs[:0]
+		}
+		for i := 0; i < count; i++ {
+			t, err := r.tensor(alloc, shapeBuf)
+			if err != nil {
+				return err
+			}
+			inputs = append(inputs, t)
+		}
+		if j != nil {
+			j.inputs = inputs
+		}
+		req.Inputs = inputs
+	default:
+		return fmt.Errorf("comm: unknown request kind %d", kind)
+	}
+	if r.remaining() != 0 {
+		return fmt.Errorf("comm: %d trailing bytes after request", r.remaining())
+	}
+	return nil
+}
+
+// parseResponseInto decodes a response frame body into resp, allocating from
+// the heap (the client hands decoded tensors to its caller).
+func parseResponseInto(body []byte, resp *Response) error {
+	r := wireReader{b: body}
+	msg, err := r.u8()
+	if err != nil {
+		return err
+	}
+	if msg != wireMsgResponse {
+		return fmt.Errorf("comm: expected response frame, got message type %d", msg)
+	}
+	mlen, err := r.u16()
+	if err != nil {
+		return err
+	}
+	if mlen > maxWireModel {
+		return fmt.Errorf("comm: model name of %d bytes exceeds wire limit", mlen)
+	}
+	if resp.Model, err = r.str(mlen); err != nil {
+		return err
+	}
+	ver, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if ver > math.MaxInt32 {
+		return fmt.Errorf("comm: version %d out of range", ver)
+	}
+	resp.Version = int(ver)
+	elen, err := r.u16()
+	if err != nil {
+		return err
+	}
+	if resp.Err, err = r.str(elen); err != nil {
+		return err
+	}
+	kind, err := r.u8()
+	if err != nil {
+		return err
+	}
+	var shapeBuf [maxWireRank]int
+	switch kind {
+	case wireKindFeatures:
+		count, err := r.u16()
+		if err != nil {
+			return err
+		}
+		if count > 0 {
+			resp.Features = make([]*tensor.Tensor, count)
+			for i := range resp.Features {
+				if resp.Features[i], err = r.tensor(heapAlloc{}, shapeBuf[:]); err != nil {
+					return err
+				}
+			}
+		}
+	case wireKindBatched:
+		outer, err := r.u16()
+		if err != nil {
+			return err
+		}
+		inner, err := r.u16()
+		if err != nil {
+			return err
+		}
+		// Bound the slice headers against the bytes present: each tensor
+		// costs at least 2 bytes of header.
+		if outer*inner > r.remaining()/2+1 {
+			return fmt.Errorf("comm: response grid %d×%d exceeds frame size", outer, inner)
+		}
+		resp.Outputs = make([][]*tensor.Tensor, outer)
+		for i := range resp.Outputs {
+			resp.Outputs[i] = make([]*tensor.Tensor, inner)
+			for b := range resp.Outputs[i] {
+				if resp.Outputs[i][b], err = r.tensor(heapAlloc{}, shapeBuf[:]); err != nil {
+					return err
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("comm: unknown response kind %d", kind)
+	}
+	if r.remaining() != 0 {
+		return fmt.Errorf("comm: %d trailing bytes after response", r.remaining())
+	}
+	return nil
+}
+
+// --- framed I/O ---
+
+// writeFrame sends buf (whose first 4 bytes are reserved for the length
+// prefix) in a single Write.
+func writeFrame(w io.Writer, buf []byte) error {
+	if len(buf) < 4 {
+		panic("comm: writeFrame buffer missing length prefix reservation")
+	}
+	body := len(buf) - 4
+	if body > maxWireFrame {
+		return fmt.Errorf("comm: frame of %d bytes exceeds limit %d", body, maxWireFrame)
+	}
+	binary.LittleEndian.PutUint32(buf, uint32(body))
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one length-prefixed frame into buf (growing it as needed)
+// and returns the body.
+func readFrame(r io.Reader, buf []byte) ([]byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return buf, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxWireFrame {
+		return buf, nil, fmt.Errorf("comm: frame of %d bytes exceeds limit %d", n, maxWireFrame)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return buf, nil, err
+	}
+	return buf, buf, nil
+}
+
+// --- client codec ---
+
+// clientCodec is one connection's wire protocol from the client side.
+type clientCodec interface {
+	writeRequest(*Request) error
+	readResponse(*Response) error
+}
+
+// binFramer is the framing state both ends of the binary codec share: the
+// write/read halves of one connection plus their reusable buffers. The
+// encode side reserves 4 bytes for the length prefix via frameStart; method
+// bodies stay direct calls (no encode closures) so the server's per-request
+// path performs no allocations.
+type binFramer struct {
+	w      io.Writer
+	r      *bufio.Reader
+	f32    bool
+	encBuf []byte
+	decBuf []byte
+}
+
+// frameStart returns the encode buffer with the length prefix reserved.
+func (c *binFramer) frameStart() []byte { return append(c.encBuf[:0], 0, 0, 0, 0) }
+
+// readBody reads the next frame into the reusable decode buffer.
+func (c *binFramer) readBody() ([]byte, error) {
+	buf, body, err := readFrame(c.r, c.decBuf)
+	c.decBuf = buf
+	return body, err
+}
+
+type binClientCodec struct {
+	binFramer
+}
+
+func (c *binClientCodec) writeRequest(req *Request) error {
+	buf, err := appendRequest(c.frameStart(), req, c.f32)
+	c.encBuf = buf
+	if err != nil {
+		return err
+	}
+	return writeFrame(c.w, buf)
+}
+
+func (c *binClientCodec) readResponse(resp *Response) error {
+	body, err := c.readBody()
+	if err != nil {
+		return err
+	}
+	*resp = Response{}
+	return parseResponseInto(body, resp)
+}
+
+// negotiateClient performs the hello exchange on a fresh connection,
+// returning whether the server accepted the float32 payload flag.
+func negotiateClient(conn io.Writer, r *bufio.Reader, f32 bool) (f32OK bool, err error) {
+	var flags byte
+	if f32 {
+		flags |= wireFlagF32
+	}
+	hello := helloBytes(wireVersion, flags)
+	if _, err := conn.Write(hello[:]); err != nil {
+		return false, fmt.Errorf("comm: sending wire hello: %w", err)
+	}
+	var ack [8]byte
+	if _, err := io.ReadFull(r, ack[:]); err != nil {
+		return false, fmt.Errorf("comm: reading wire hello ack (a server predating the binary codec closes here; dial with WithWire(WireGob)): %w", err)
+	}
+	if [4]byte{ack[0], ack[1], ack[2], ack[3]} != wireMagic {
+		return false, fmt.Errorf("comm: server is not speaking the binary wire protocol; dial with WithWire(WireGob)")
+	}
+	if ack[4] != wireVersion {
+		return false, fmt.Errorf("comm: server negotiated unsupported wire version %d", ack[4])
+	}
+	return ack[5]&wireFlagF32 != 0, nil
+}
+
+// decodeGobStream decodes a captured legacy gob request stream.
+func decodeGobStream(stream []byte) ([]*Request, error) {
+	dec := gob.NewDecoder(bytes.NewReader(stream))
+	var out []*Request
+	for {
+		req := &Request{}
+		if err := dec.Decode(req); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, fmt.Errorf("comm: decoding gob stream: %w", err)
+		}
+		out = append(out, req)
+	}
+}
+
+// DecodeWireStream parses a captured client→server byte stream — the
+// adversary's observational power over one connection — and returns every
+// decoded request, whichever protocol the client spoke. A stream opening
+// with the binary hello parses as binary frames; anything else decodes as a
+// gob stream. The framing is public by design (Kerckhoffs: only the
+// client's selection is secret); the shard privacy tests invert exactly
+// what this function recovers from a wiretap.
+func DecodeWireStream(stream []byte) ([]*Request, error) {
+	if len(stream) >= 4 && [4]byte{stream[0], stream[1], stream[2], stream[3]} == wireMagic {
+		if len(stream) < 8 {
+			return nil, fmt.Errorf("comm: truncated wire hello")
+		}
+		rest := stream[8:]
+		var out []*Request
+		for len(rest) > 0 {
+			if len(rest) < 4 {
+				return out, fmt.Errorf("comm: truncated frame header")
+			}
+			n := binary.LittleEndian.Uint32(rest)
+			if n > maxWireFrame {
+				return out, fmt.Errorf("comm: frame of %d bytes exceeds limit", n)
+			}
+			if len(rest) < 4+int(n) {
+				return out, fmt.Errorf("comm: truncated frame body")
+			}
+			req := &Request{}
+			if err := parseRequestInto(rest[4:4+int(n)], req, heapAlloc{}, nil); err != nil {
+				return out, err
+			}
+			out = append(out, req)
+			rest = rest[4+int(n):]
+		}
+		return out, nil
+	}
+	return decodeGobStream(stream)
+}

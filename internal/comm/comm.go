@@ -136,46 +136,7 @@ func validateFeatures(f *tensor.Tensor) error {
 	return validateTensor(f)
 }
 
-// stackInputs concatenates B feature tensors along the batch axis so each
-// body runs one forward pass per request instead of B. All inputs must share
-// the trailing [C,H,W] shape.
-func stackInputs(inputs []*tensor.Tensor) (*tensor.Tensor, []int, error) {
-	rows := make([]int, len(inputs))
-	total := 0
-	for i, in := range inputs {
-		if err := validateFeatures(in); err != nil {
-			return nil, nil, err
-		}
-		if i > 0 {
-			a, b := inputs[0].Shape, in.Shape
-			if a[1] != b[1] || a[2] != b[2] || a[3] != b[3] {
-				return nil, nil, fmt.Errorf("comm: batched inputs disagree on feature shape: %v vs %v", a[1:], b[1:])
-			}
-		}
-		rows[i] = in.Shape[0]
-		total += in.Shape[0]
-	}
-	s := inputs[0].Shape
-	out := tensor.New(total, s[1], s[2], s[3])
-	off := 0
-	for _, in := range inputs {
-		off += copy(out.Data[off:], in.Data)
-	}
-	return out, rows, nil
-}
-
-// splitRows undoes stackInputs on a server output: it slices a [ΣB_i, D...]
-// tensor back into per-input tensors of row counts rows.
-func splitRows(t *tensor.Tensor, rows []int) []*tensor.Tensor {
-	per := t.Size() / t.Shape[0]
-	out := make([]*tensor.Tensor, len(rows))
-	off := 0
-	for i, r := range rows {
-		shape := append([]int{r}, t.Shape[1:]...)
-		part := tensor.New(shape...)
-		copy(part.Data, t.Data[off:off+r*per])
-		out[i] = part
-		off += r * per
-	}
-	return out
-}
+// Batch stacking and splitting live on the serving job (see job.stackInputs
+// in server.go and the split loop in processUnguarded): both write into the
+// request's recycled arena so the batched path shares the single-feature
+// path's zero-allocation steady state.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"testing"
@@ -332,6 +333,16 @@ func TestAbortedRequestBreaksClient(t *testing.T) {
 			}
 			go func() {
 				defer conn.Close()
+				// Complete the wire negotiation (echoing the client's hello
+				// verbatim is a valid ack), then go mute: requests are read
+				// and never answered.
+				hello := make([]byte, 8)
+				if _, err := io.ReadFull(conn, hello); err != nil {
+					return
+				}
+				if _, err := conn.Write(hello); err != nil {
+					return
+				}
 				buf := make([]byte, 1<<16)
 				for {
 					if _, err := conn.Read(buf); err != nil {
@@ -537,7 +548,10 @@ func TestClientRejectsHostileResponses(t *testing.T) {
 
 	x := commtest.Input(tiny, 63, 1)
 	for i := range responses {
-		client, err := comm.Dial(ln.Addr().String())
+		// The hand-rolled hostile server speaks gob; the validation under
+		// test is codec-agnostic (the binary decoder rejects the structural
+		// lies even earlier, at frame parse time).
+		client, err := comm.Dial(ln.Addr().String(), comm.WithWire(comm.WireGob))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -577,5 +591,41 @@ func TestBatchedRequestValidation(t *testing.T) {
 	other.Data = other.Data[:other.Shape[0]*other.Shape[1]*other.Shape[2]*other.Shape[3]]
 	if _, _, err := client.InferBatch(ctx, []*tensor.Tensor{x, other}); err == nil {
 		t.Error("shape-mismatched batch must be rejected")
+	}
+}
+
+// TestDialContextCancelAbortsHello pins the negotiation's cancellation
+// path: a cancellable (deadline-less) context must abort a hello blocked on
+// a server that accepts the connection but never acks, promptly rather than
+// after the 10-second default handshake timeout.
+func TestDialContextCancelAbortsHello(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Hold the connection open without ever answering the hello.
+			defer conn.Close()
+		}
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = comm.DialContext(ctx, ln.Addr().String())
+	if err == nil {
+		t.Fatal("dial against a mute negotiator must fail on cancellation")
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Errorf("cancelled dial took %v, want prompt abort", d)
 	}
 }

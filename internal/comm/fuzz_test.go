@@ -1,0 +1,84 @@
+package comm
+
+import (
+	"bytes"
+	"testing"
+
+	"ensembler/internal/tensor"
+)
+
+// FuzzWireRequestFrame runs arbitrary bytes through the binary request
+// parser — the server's trust boundary for everything after the frame
+// length. The parser must never panic and never allocate beyond what the
+// frame's actual byte count supports (the lying-dims guard); round-tripping
+// whatever decodes must reproduce the frame's semantics.
+func FuzzWireRequestFrame(f *testing.F) {
+	seed, err := appendRequest(nil, &Request{Model: "m", Version: 2, Features: wireTensor(41, 1, 2, 4, 4)}, false)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	batched, err := appendRequest(nil, &Request{Inputs: []*tensor.Tensor{wireTensor(42, 1, 2, 4, 4)}}, true)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(batched)
+	f.Add([]byte{wireMsgRequest, 0, 0, 0, 0, 0, 0, wireKindFeatures, 1, 0, 1, wireDtypeF64, 1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var req Request
+		if err := parseRequestInto(body, &req, heapAlloc{}, nil); err != nil {
+			return
+		}
+		// Whatever parsed must re-encode and re-parse to the same header.
+		re, err := appendRequest(nil, &req, false)
+		if err != nil {
+			t.Fatalf("decoded request does not re-encode: %v", err)
+		}
+		var req2 Request
+		if err := parseRequestInto(re, &req2, heapAlloc{}, nil); err != nil {
+			t.Fatalf("re-encoded request does not parse: %v", err)
+		}
+		if req2.Model != req.Model || req2.Version != req.Version {
+			t.Fatal("request header does not round-trip")
+		}
+	})
+}
+
+// FuzzWireResponseFrame covers the client's half of the trust boundary: the
+// server is the adversary of the threat model, so its frames deserve the
+// same hostility testing as requests.
+func FuzzWireResponseFrame(f *testing.F) {
+	seed, err := appendResponse(nil, &Response{Model: "m", Version: 1,
+		Features: []*tensor.Tensor{wireTensor(43, 2, 8)}}, false)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	errFrame, err := appendResponse(nil, &Response{Err: "x"}, false)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(errFrame)
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var resp Response
+		_ = parseResponseInto(body, &resp)
+	})
+}
+
+// FuzzWireStream covers the wiretap/stream parser over both protocols,
+// hello negotiation included.
+func FuzzWireStream(f *testing.F) {
+	var bin bytes.Buffer
+	hello := helloBytes(wireVersion, 0)
+	bin.Write(hello[:])
+	c := &binClientCodec{binFramer{w: &bin}}
+	if err := c.writeRequest(&Request{Features: wireTensor(44, 1, 1, 2, 2)}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bin.Bytes())
+	f.Add([]byte{0xE5, 'N', 'S', 'B'})
+	f.Add([]byte{3, 0xFF})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		_, _ = DecodeWireStream(stream)
+	})
+}

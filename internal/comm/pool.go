@@ -15,7 +15,8 @@ import (
 // hook (typically from ensemble.NewClientRuntime, which clones the
 // client-side networks).
 type Pool struct {
-	addr string
+	addr     string
+	dialOpts []DialOption
 
 	mu        sync.Mutex
 	configure func(*Client) error
@@ -30,8 +31,9 @@ type Pool struct {
 
 // NewPool creates a pool of up to size connections to addr. Connections are
 // dialed lazily on demand; configure wires each fresh Client (its
-// ComputeFeatures, Select, and Tail) before first use.
-func NewPool(addr string, size int, configure func(*Client) error) (*Pool, error) {
+// ComputeFeatures, Select, and Tail) before first use. Dial options (e.g.
+// WithWire) apply to every connection the pool establishes.
+func NewPool(addr string, size int, configure func(*Client) error, opts ...DialOption) (*Pool, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("comm: pool size must be positive, got %d", size)
 	}
@@ -40,6 +42,7 @@ func NewPool(addr string, size int, configure func(*Client) error) (*Pool, error
 	}
 	return &Pool{
 		addr:      addr,
+		dialOpts:  opts,
 		configure: configure,
 		size:      size,
 		idle:      make(chan *Client, size),
@@ -70,7 +73,7 @@ func (p *Pool) get(ctx context.Context) (*Client, error) {
 			// tagged with the old epoch so put discards it.
 			configure, epoch := p.configure, p.cfgEpoch
 			p.mu.Unlock()
-			c, err := DialContext(ctx, p.addr)
+			c, err := DialContext(ctx, p.addr, p.dialOpts...)
 			if err == nil {
 				c.cfgEpoch = epoch
 				err = configure(c)

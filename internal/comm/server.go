@@ -1,9 +1,11 @@
 package comm
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"runtime"
 	"sync"
@@ -70,6 +72,22 @@ func WithWorkers(n int) ServerOption {
 	}
 }
 
+// PinKernelParallelism applies the serving-path parallelism invariant for a
+// process about to run a worker pool of the given size: a multi-worker pool
+// is the one level of parallelism, so kernel-level goroutines are disabled
+// (tensor.SetKernelParallelism(1)) — nesting them under the pool only
+// oversubscribes the cores the pool already saturates, the regression
+// behind BENCH_2026-07-30's 0.94× concurrent "speedup". A single-worker
+// pool leaves the kernels free to parallelize, since they are then the only
+// parallelism available. The knob is process-global: serving binaries call
+// this once at startup; harnesses that later run training in the same
+// process restore with tensor.SetKernelParallelism(0).
+func PinKernelParallelism(workers int) {
+	if workers > 1 {
+		tensor.SetKernelParallelism(1)
+	}
+}
+
 // WithMaxBatch caps the number of inputs a single batched request may carry.
 func WithMaxBatch(n int) ServerOption {
 	return func(o *serverOptions) {
@@ -119,11 +137,42 @@ type Server struct {
 	syncReplicas *replicaCache
 }
 
-// job is one decoded request awaiting a pool worker; reply receives exactly
-// one response.
+// job is one request's full serving context: the decoded request, the reply
+// channel the pool answers on, and the request-scoped arena plus reusable
+// slice storage that make the steady-state loop allocation-free. A job is
+// recycled per connection — the reader draws one from the free list, the
+// writer resets and returns it after the response bytes leave the process —
+// so at pipelining depth d a connection owns d jobs, total.
 type job struct {
-	req   *Request
+	req   Request
+	resp  Response
 	reply chan *Response
+
+	// arena backs the binary-decoded request tensors and every response
+	// tensor; reset by the connection writer once the response is encoded.
+	arena tensor.Arena
+
+	feats   []*tensor.Tensor   // reusable Response.Features storage
+	inputs  []*tensor.Tensor   // reusable decoded Request.Inputs storage
+	outs    []*tensor.Tensor   // reusable per-body output list
+	outputs [][]*tensor.Tensor // reusable Response.Outputs grid
+	rows    []int              // reusable per-input row counts
+	shape   [maxWireRank]int   // scratch for composing output shapes
+}
+
+func newJob() *job { return &job{reply: make(chan *Response, 1)} }
+
+// reset reclaims the job for the next request. Must only run after the
+// response has been fully encoded: it invalidates every arena tensor.
+func (j *job) reset() {
+	j.req = Request{}
+	j.resp = Response{}
+	j.feats = j.feats[:0]
+	j.inputs = j.inputs[:0]
+	j.outs = j.outs[:0]
+	j.outputs = j.outputs[:0]
+	j.rows = j.rows[:0]
+	j.arena.Reset()
 }
 
 // staticModel adapts a fixed body slice to the ModelProvider contract: one
@@ -315,49 +364,138 @@ func (s *Server) forceCloseConns() {
 	}
 }
 
+// serverCodec is one connection's wire protocol from the server side,
+// chosen by negotiate: the binary codec for clients that open with the
+// hello magic, gob for everything else (the legacy fallback).
+type serverCodec interface {
+	// readRequest decodes the next request into j (arena-backed on the
+	// binary path).
+	readRequest(j *job) error
+	// writeResponse encodes one response; it must not retain resp or its
+	// tensors past the call (the writer recycles them immediately after).
+	writeResponse(resp *Response) error
+}
+
+type gobServerCodec struct {
+	dec *gob.Decoder
+	enc *gob.Encoder
+}
+
+func (c *gobServerCodec) readRequest(j *job) error {
+	j.req = Request{} // gob leaves absent fields untouched; never inherit the previous request's
+	return c.dec.Decode(&j.req)
+}
+
+func (c *gobServerCodec) writeResponse(resp *Response) error { return c.enc.Encode(resp) }
+
+type binServerCodec struct {
+	binFramer
+}
+
+func (c *binServerCodec) readRequest(j *job) error {
+	body, err := c.readBody()
+	if err != nil {
+		return err
+	}
+	j.req = Request{}
+	return parseRequestInto(body, &j.req, (*arenaAlloc)(&j.arena), j)
+}
+
+func (c *binServerCodec) writeResponse(resp *Response) error {
+	buf, err := appendResponse(c.frameStart(), resp, c.f32)
+	c.encBuf = buf
+	if err != nil {
+		return err
+	}
+	return writeFrame(c.w, buf)
+}
+
+// negotiate sniffs the first bytes of a fresh connection: the binary hello
+// magic selects the binary codec (and acks version + accepted flags);
+// anything else is a legacy gob client, served by the gob codec over
+// byte-identical framing.
+func negotiate(conn net.Conn, br *bufio.Reader) (serverCodec, error) {
+	peek, err := br.Peek(4)
+	if err != nil {
+		return nil, err
+	}
+	if [4]byte(peek) != wireMagic {
+		return &gobServerCodec{dec: gob.NewDecoder(br), enc: gob.NewEncoder(conn)}, nil
+	}
+	var hello [8]byte
+	if _, err := io.ReadFull(br, hello[:]); err != nil {
+		return nil, err
+	}
+	if hello[4] < 1 {
+		return nil, fmt.Errorf("comm: client hello names unsupported wire version %d", hello[4])
+	}
+	flags := hello[5] & wireFlagF32
+	ack := helloBytes(wireVersion, flags)
+	if _, err := conn.Write(ack[:]); err != nil {
+		return nil, err
+	}
+	return &binServerCodec{binFramer{w: conn, r: br, f32: flags&wireFlagF32 != 0}}, nil
+}
+
 // handle processes one client connection until it closes or the server
 // shuts down. Requests pipeline: a reader decodes and submits to the worker
-// pool while a writer flushes responses in request order.
+// pool while a writer flushes responses in request order. Jobs (request
+// context, arena, reply channel) recycle through the free list, so a
+// connection's steady state decodes, computes, and encodes without heap
+// allocation on the binary wire.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	br := bufio.NewReaderSize(conn, 1<<16)
+	codec, err := negotiate(conn, br)
+	if err != nil {
+		return
+	}
 
 	// pending preserves request order across the concurrent pool: the writer
-	// awaits each reply channel in FIFO order.
-	pending := make(chan chan *Response, 32)
+	// awaits each job's reply in FIFO order. free returns fully written jobs
+	// to the reader.
+	pending := make(chan *job, 32)
+	free := make(chan *job, 64)
 	var writer sync.WaitGroup
 	writer.Add(1)
 	go func() {
 		defer writer.Done()
 		failed := false
-		for ch := range pending {
-			resp := <-ch
-			if failed {
-				continue
+		for j := range pending {
+			resp := <-j.reply
+			if !failed {
+				if err := codec.writeResponse(resp); err != nil {
+					// The client is gone; closing the conn unblocks the
+					// reader, and draining keeps submitted jobs from leaking.
+					failed = true
+					conn.Close()
+				}
 			}
-			if err := enc.Encode(resp); err != nil {
-				// The client is gone; closing the conn unblocks the reader,
-				// and draining keeps submitted jobs from leaking.
-				failed = true
-				conn.Close()
+			j.reset()
+			select {
+			case free <- j:
+			default: // reader gone or list full; let the job be collected
 			}
 		}
 	}()
 
 	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
+		var j *job
+		select {
+		case j = <-free:
+		default:
+			j = newJob()
+		}
+		if err := codec.readRequest(j); err != nil {
 			break // client closed, protocol error, or shutdown deadline
 		}
-		ch := make(chan *Response, 1)
-		pending <- ch
+		pending <- j
 		// The pool outlives every handler (Serve joins handlers before
 		// stopping workers), so an unconditional send cannot deadlock and a
 		// request that was decoded always computes — even mid-shutdown,
 		// honoring the drain guarantee without racing ctx.Done against a
 		// free worker.
-		s.jobs <- &job{req: &req, reply: ch}
+		s.jobs <- j
 	}
 	close(pending)
 	writer.Wait()
@@ -369,11 +507,23 @@ func (s *Server) handle(conn net.Conn) {
 // the least-recently-used replica and the next request for it re-clones.
 const maxWorkerReplicas = 16
 
-// workerReplica is one worker's private replica of one model epoch.
+// workerReplica is one worker's private replica of one model epoch, with
+// one inference scratch per body: the scratch is as private as the replica
+// (one goroutine computes on it at a time) and holds every activation
+// buffer a body pass needs, so steady-state requests allocate nothing.
 type workerReplica struct {
-	seq      uint64
-	bodies   []*nn.Network
-	lastUsed uint64 // worker-local request counter for LRU eviction
+	seq       uint64
+	bodies    []*nn.Network
+	scratches []*nn.Scratch
+	lastUsed  uint64 // worker-local request counter for LRU eviction
+}
+
+// epochKey identifies one model epoch in a worker's replica cache. A struct
+// key keeps the per-request lookup allocation-free (the old formatted-string
+// key cost one heap allocation per request).
+type epochKey struct {
+	name string
+	seq  uint64
 }
 
 // replicaCache is one worker's private replicas, keyed by epoch (name, seq)
@@ -381,19 +531,19 @@ type workerReplica struct {
 // keep their own replica instead of thrashing a shared slot with full
 // re-clones per request.
 type replicaCache struct {
-	entries map[string]*workerReplica
+	entries map[epochKey]*workerReplica
 	tick    uint64
 }
 
 func newReplicaCache() *replicaCache {
-	return &replicaCache{entries: map[string]*workerReplica{}}
+	return &replicaCache{entries: map[epochKey]*workerReplica{}}
 }
 
 // replicaFor returns the cached replica for the epoch, cloning (and evicting
 // the least recently used entry past the cap) on first sight.
 func (rc *replicaCache) replicaFor(m ServedModel) (*workerReplica, error) {
 	rc.tick++
-	key := fmt.Sprintf("%s@%d", m.Name(), m.Seq())
+	key := epochKey{name: m.Name(), seq: m.Seq()}
 	if wr := rc.entries[key]; wr != nil {
 		wr.lastUsed = rc.tick
 		return wr, nil
@@ -402,13 +552,18 @@ func (rc *replicaCache) replicaFor(m ServedModel) (*workerReplica, error) {
 	if err != nil {
 		return nil, err
 	}
-	wr := &workerReplica{seq: m.Seq(), bodies: bodies, lastUsed: rc.tick}
+	scratches := make([]*nn.Scratch, len(bodies))
+	for i := range scratches {
+		scratches[i] = nn.NewScratch()
+	}
+	wr := &workerReplica{seq: m.Seq(), bodies: bodies, scratches: scratches, lastUsed: rc.tick}
 	rc.entries[key] = wr
 	for len(rc.entries) > maxWorkerReplicas {
-		lruKey, lru := "", uint64(0)
+		var lruKey epochKey
+		found, lru := false, uint64(0)
 		for k, e := range rc.entries {
-			if k != key && (lruKey == "" || e.lastUsed < lru) {
-				lruKey, lru = k, e.lastUsed
+			if k != key && (!found || e.lastUsed < lru) {
+				lruKey, lru, found = k, e.lastUsed, true
 			}
 		}
 		delete(rc.entries, lruKey)
@@ -426,7 +581,7 @@ func (s *Server) worker(stop <-chan struct{}) {
 	for {
 		select {
 		case j := <-s.jobs:
-			j.reply <- s.serve(j.req, replicas)
+			j.reply <- s.serve(j, replicas)
 		case <-stop:
 			return
 		}
@@ -437,31 +592,31 @@ func (s *Server) worker(stop <-chan struct{}) {
 // caller's replica cache, feeding the optional telemetry and audit hooks.
 // Both hooks cost one nil check when disabled — the serving benchmarks hold
 // this path to within measurement noise of the uninstrumented server.
-func (s *Server) serve(req *Request, replicas *replicaCache) *Response {
+func (s *Server) serve(j *job, replicas *replicaCache) *Response {
 	var start time.Time
 	if s.opts.metrics != nil {
 		start = time.Now()
 	}
-	resp := s.serveResolved(req, replicas)
+	resp := s.serveResolved(j, replicas)
 	if s.opts.metrics != nil {
-		s.opts.metrics.record(req, resp, time.Since(start))
+		s.opts.metrics.record(&j.req, resp, time.Since(start))
 	}
 	return resp
 }
 
-func (s *Server) serveResolved(req *Request, replicas *replicaCache) *Response {
-	m, err := s.provider.Resolve(req.Model, req.Version)
+func (s *Server) serveResolved(j *job, replicas *replicaCache) *Response {
+	m, err := s.provider.Resolve(j.req.Model, j.req.Version)
 	if err != nil {
 		return &Response{Err: err.Error()}
 	}
 	if s.opts.observer != nil {
-		observeRequest(s.opts.observer, m.Name(), m.Version(), req)
+		observeRequest(s.opts.observer, m.Name(), m.Version(), &j.req)
 	}
 	wr, err := replicas.replicaFor(m)
 	if err != nil {
 		return &Response{Err: err.Error()}
 	}
-	resp := s.processWith(req, wr.bodies)
+	resp := s.processWith(j, wr)
 	resp.Model, resp.Version = m.Name(), m.Version()
 	return resp
 }
@@ -486,28 +641,31 @@ func cloneReplica(m ServedModel) (bodies []*nn.Network, err error) {
 // point used by tests and by callers that manage their own concurrency. It
 // keeps its own replica cache (shared by all process callers, guarded by a
 // mutex), so it must not be mixed with concurrent Serve traffic on a
-// single-model server without replicas.
+// single-model server without replicas. Each call uses a fresh job, so the
+// returned response (unlike a pooled worker's) stays valid indefinitely.
 func (s *Server) process(req *Request) *Response {
 	s.syncMu.Lock()
 	defer s.syncMu.Unlock()
-	return s.serve(req, s.syncReplicas)
+	j := newJob()
+	j.req = *req
+	return s.serve(j, s.syncReplicas)
 }
 
-// processWith validates a request and runs it over one replica set. The
-// per-body passes fan out across goroutines — each body is a distinct
-// network, so its forward cache is touched by one goroutine only. A panic
-// anywhere in the pass (validation can't anticipate every shape the hosted
-// bodies reject) becomes an error response instead of killing the server.
-func (s *Server) processWith(req *Request, bodies []*nn.Network) (resp *Response) {
+// processWith validates a request and runs it over one worker replica. A
+// panic anywhere in the pass (validation can't anticipate every shape the
+// hosted bodies reject) becomes an error response instead of killing the
+// server.
+func (s *Server) processWith(j *job, wr *workerReplica) (resp *Response) {
 	defer func() {
 		if r := recover(); r != nil {
 			resp = &Response{Err: fmt.Sprintf("comm: request failed: %v", r)}
 		}
 	}()
-	return s.processUnguarded(req, bodies)
+	return s.processUnguarded(j, wr)
 }
 
-func (s *Server) processUnguarded(req *Request, bodies []*nn.Network) *Response {
+func (s *Server) processUnguarded(j *job, wr *workerReplica) *Response {
+	req := &j.req
 	switch {
 	case req.Inputs != nil:
 		if len(req.Inputs) == 0 {
@@ -516,39 +674,126 @@ func (s *Server) processUnguarded(req *Request, bodies []*nn.Network) *Response 
 		if len(req.Inputs) > s.opts.maxBatch {
 			return &Response{Err: fmt.Sprintf("comm: batch of %d exceeds server cap %d", len(req.Inputs), s.opts.maxBatch)}
 		}
-		stacked, rows, err := stackInputs(req.Inputs)
+		stacked, err := j.stackInputs()
 		if err != nil {
 			return &Response{Err: err.Error()}
 		}
-		perBody := forwardAll(bodies, stacked)
-		// Transpose [body][input] into the wire layout [input][body].
-		outputs := make([][]*tensor.Tensor, len(rows))
-		for i := range outputs {
-			outputs[i] = make([]*tensor.Tensor, len(bodies))
+		perBody := s.forwardBodies(j, wr, stacked)
+		// Transpose [body][input] into the wire layout [input][body],
+		// copying each part out of its body's scratch into the job arena.
+		nb := len(wr.bodies)
+		if cap(j.outputs) < len(j.rows) {
+			j.outputs = make([][]*tensor.Tensor, len(j.rows))
+		}
+		j.outputs = j.outputs[:len(j.rows)]
+		for i := range j.outputs {
+			if cap(j.outputs[i]) < nb {
+				j.outputs[i] = make([]*tensor.Tensor, nb)
+			}
+			j.outputs[i] = j.outputs[i][:nb]
 		}
 		for b, out := range perBody {
-			for i, part := range splitRows(out, rows) {
-				outputs[i][b] = part
+			per := out.Size() / out.Shape[0]
+			off := 0
+			for i, r := range j.rows {
+				shape := append(j.shape[:0], r)
+				shape = append(shape, out.Shape[1:]...)
+				part := j.arena.NewTensor(shape...)
+				copy(part.Data, out.Data[off:off+r*per])
+				j.outputs[i][b] = part
+				off += r * per
 			}
 		}
-		return &Response{Outputs: outputs}
+		j.resp = Response{Outputs: j.outputs}
+		return &j.resp
 	default:
 		if err := validateFeatures(req.Features); err != nil {
 			return &Response{Err: err.Error()}
 		}
-		return &Response{Features: forwardAll(bodies, req.Features)}
+		perBody := s.forwardBodies(j, wr, req.Features)
+		feats := j.feats[:0]
+		for _, out := range perBody {
+			feats = append(feats, j.arena.Clone(out))
+		}
+		j.feats = feats
+		j.resp = Response{Features: feats}
+		return &j.resp
 	}
 }
 
-// forwardAll runs every body over x concurrently and joins the results in
-// body order. A panic in any body's goroutine is re-raised on the calling
-// goroutine (where processWith's recover can turn it into an error
-// response); left alone it would kill the process.
-func forwardAll(bodies []*nn.Network, x *tensor.Tensor) []*tensor.Tensor {
-	out := make([]*tensor.Tensor, len(bodies))
-	panics := make(chan any, len(bodies))
+// stackInputs concatenates the request's inputs along the batch axis into
+// the job arena, recording per-input row counts in j.rows — the
+// allocation-free form of the package-level stackInputs.
+func (j *job) stackInputs() (*tensor.Tensor, error) {
+	inputs := j.req.Inputs
+	rows := j.rows[:0]
+	total := 0
+	for i, in := range inputs {
+		if err := validateFeatures(in); err != nil {
+			return nil, err
+		}
+		if i > 0 {
+			a, b := inputs[0].Shape, in.Shape
+			if a[1] != b[1] || a[2] != b[2] || a[3] != b[3] {
+				return nil, fmt.Errorf("comm: batched inputs disagree on feature shape: %v vs %v", a[1:], b[1:])
+			}
+		}
+		rows = append(rows, in.Shape[0])
+		total += in.Shape[0]
+	}
+	j.rows = rows
+	s := inputs[0].Shape
+	out := j.arena.NewTensor(total, s[1], s[2], s[3])
+	off := 0
+	for _, in := range inputs {
+		off += copy(out.Data[off:], in.Data)
+	}
+	return out, nil
+}
+
+// forwardBodies runs every body of the replica over x in inference mode,
+// each over its private scratch, returning outputs in body order. Each
+// scratch is Reset at the START of its body's pass, never after: the
+// results stay valid until the same replica's next request, and a pass
+// that panics mid-network (hostile shapes that clear validateFeatures but
+// break deeper in) cannot leave un-reset arenas accumulating demand across
+// malformed requests — the next request's reset reclaims them.
+//
+// With a multi-worker pool the bodies run serially — the pool is the one
+// level of parallelism, and N workers × serial bodies keeps every core on
+// dedicated cache-resident work instead of oversubscribing N×bodies
+// goroutines. A single-worker server keeps the historical per-body fan-out
+// (it is the only parallelism available), with a panic in any body's
+// goroutine re-raised on the calling goroutine for processWith to absorb.
+func (s *Server) forwardBodies(j *job, wr *workerReplica, x *tensor.Tensor) []*tensor.Tensor {
+	// The serial path must not share a local with the goroutine-spawning
+	// branch: a closure-captured slice header is heap-moved on every call,
+	// which is exactly the allocation this loop exists to avoid.
+	if s.opts.workers > 1 || len(wr.bodies) == 1 {
+		outs := j.outs[:0]
+		for i, b := range wr.bodies {
+			sc := wr.scratches[i]
+			sc.Reset()
+			outs = append(outs, b.ForwardInfer(x, sc))
+		}
+		j.outs = outs
+		return outs
+	}
+	return forwardBodiesParallel(j, wr, x)
+}
+
+// forwardBodiesParallel is the single-worker server's per-body fan-out. A
+// panic in any body's goroutine is re-raised on the calling goroutine for
+// processWith to absorb.
+func forwardBodiesParallel(j *job, wr *workerReplica, x *tensor.Tensor) []*tensor.Tensor {
+	outs := j.outs[:0]
+	for range wr.bodies {
+		outs = append(outs, nil)
+	}
+	j.outs = outs
+	panics := make(chan any, len(wr.bodies))
 	var wg sync.WaitGroup
-	for i, b := range bodies {
+	for i, b := range wr.bodies {
 		wg.Add(1)
 		go func(i int, b *nn.Network) {
 			defer wg.Done()
@@ -557,7 +802,9 @@ func forwardAll(bodies []*nn.Network, x *tensor.Tensor) []*tensor.Tensor {
 					panics <- r
 				}
 			}()
-			out[i] = b.Forward(x, false)
+			sc := wr.scratches[i]
+			sc.Reset()
+			outs[i] = b.ForwardInfer(x, sc)
 		}(i, b)
 	}
 	wg.Wait()
@@ -566,5 +813,5 @@ func forwardAll(bodies []*nn.Network, x *tensor.Tensor) []*tensor.Tensor {
 		panic(r)
 	default:
 	}
-	return out
+	return outs
 }

@@ -7,7 +7,9 @@ import (
 	"ensembler/internal/tensor"
 )
 
-// TestStackSplitRoundTrip pins the batch stacking/splitting helpers.
+// TestStackSplitRoundTrip pins the batch stacking on the serving job: the
+// inputs concatenate along the batch axis into the job arena, row counts
+// land in j.rows, and mismatched trailing shapes are rejected.
 func TestStackSplitRoundTrip(t *testing.T) {
 	mk := func(seed int64, rows int) *tensor.Tensor {
 		x := tensor.New(rows, 4, 8, 8)
@@ -15,16 +17,39 @@ func TestStackSplitRoundTrip(t *testing.T) {
 		return x
 	}
 	a, b := mk(56, 2), mk(57, 3)
-	stacked, rows, err := stackInputs([]*tensor.Tensor{a, b})
+	j := newJob()
+	j.req = Request{Inputs: []*tensor.Tensor{a, b}}
+	stacked, err := j.stackInputs()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stacked.Shape[0] != 5 {
 		t.Fatalf("stacked rows = %d, want 5", stacked.Shape[0])
 	}
-	parts := splitRows(stacked, rows)
-	if !parts[0].AllClose(a, 0) || !parts[1].AllClose(b, 0) {
-		t.Error("stack→split must round-trip exactly")
+	if len(j.rows) != 2 || j.rows[0] != 2 || j.rows[1] != 3 {
+		t.Fatalf("row counts %v, want [2 3]", j.rows)
+	}
+	per := 4 * 8 * 8
+	for i, in := range []*tensor.Tensor{a, b} {
+		off := 0
+		if i == 1 {
+			off = 2 * per
+		}
+		for k, v := range in.Data {
+			if stacked.Data[off+k] != v {
+				t.Fatalf("stacked data diverges for input %d at %d", i, k)
+			}
+		}
+	}
+
+	// Mismatched trailing shape within one batch is a protocol error.
+	c := mk(58, 1)
+	c.Shape[2] = 4
+	c.Data = c.Data[:1*4*4*8]
+	j.reset()
+	j.req = Request{Inputs: []*tensor.Tensor{a, c}}
+	if _, err := j.stackInputs(); err == nil {
+		t.Error("shape-mismatched batch must be rejected")
 	}
 }
 

@@ -244,3 +244,30 @@ func TestDefaultConfigMatchesPaper(t *testing.T) {
 		t.Errorf("default config N=%d sigma=%v, paper uses N=10 sigma=0.1", cfg.N, cfg.Sigma)
 	}
 }
+
+// TestServerComputeWithMatchesServerCompute pins the scratch-backed serial
+// server pass against the goroutine fan-out form, bit for bit, and asserts
+// its warmed steady state allocates nothing.
+func TestServerComputeWithMatchesServerCompute(t *testing.T) {
+	e := New(tinyConfig(91))
+	x := tensor.New(2, e.Cfg.Arch.HeadC, e.Cfg.Arch.H, e.Cfg.Arch.W)
+	rng.New(92).FillNormal(x.Data, 0, 1)
+
+	want := e.ServerCompute(x)
+	bs := e.NewBodyScratch()
+	got := e.ServerComputeWith(x, bs)
+	if len(got) != len(want) {
+		t.Fatalf("scratch pass computed %d bodies, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].AllClose(want[i], 0) {
+			t.Errorf("body %d diverges between ServerCompute and ServerComputeWith", i)
+		}
+	}
+	// Results stay valid until the NEXT call, then the buffers recycle.
+	if allocs := testing.AllocsPerRun(10, func() {
+		e.ServerComputeWith(x, bs)
+	}); allocs != 0 {
+		t.Errorf("warmed ServerComputeWith allocates %v times per pass, want 0", allocs)
+	}
+}

@@ -326,6 +326,39 @@ func (e *Ensembler) ServerCompute(features *tensor.Tensor) []*tensor.Tensor {
 	return out
 }
 
+// BodyScratch is the reusable per-body inference storage for
+// ServerComputeWith: one nn.Scratch per ensemble body plus the output list,
+// owned by one goroutine. The audit engine's replay loop and other
+// steady-state callers hold one and reuse it across calls, so repeated
+// server-side passes stop allocating per layer.
+type BodyScratch struct {
+	per []*nn.Scratch
+	out []*tensor.Tensor
+}
+
+// NewBodyScratch builds an empty scratch set for the ensemble's N bodies;
+// the first ServerComputeWith pass sizes it.
+func (e *Ensembler) NewBodyScratch() *BodyScratch {
+	bs := &BodyScratch{per: make([]*nn.Scratch, len(e.Members)), out: make([]*tensor.Tensor, len(e.Members))}
+	for i := range bs.per {
+		bs.per[i] = nn.NewScratch()
+	}
+	return bs
+}
+
+// ServerComputeWith is ServerCompute over caller-owned scratch storage: the
+// N body passes run serially in inference mode (no goroutine fan-out — the
+// caller decides where parallelism lives, exactly as the comm serving
+// workers do), and every returned tensor lives in bs until the next call.
+// Callers that retain a result across calls must copy it.
+func (e *Ensembler) ServerComputeWith(features *tensor.Tensor, bs *BodyScratch) []*tensor.Tensor {
+	for i, m := range e.Members {
+		bs.per[i].Reset()
+		bs.out[i] = m.Body.ForwardInfer(features, bs.per[i])
+	}
+	return bs.out
+}
+
 // Predict runs the full collaborative pipeline (client → all N server bodies
 // → secret selector → client tail) and returns logits.
 func (e *Ensembler) Predict(x *tensor.Tensor) *tensor.Tensor {

@@ -66,7 +66,10 @@ func EstimateServingAudited(sc ServingScenario, rot Rotation, a Audit) ServingEs
 	mirror := a.MirrorOverheadSeconds()
 	request += mirror
 	service += mirror
-	capacity := float64(sc.Workers)*(1-rot.OverheadFraction()) - a.ReplayOverheadFraction()
+	// A pool larger than the host's usable cores serves at the cores' rate:
+	// the extra workers only queue (see ServingScenario.EffectiveParallel).
+	workers := sc.effectiveWorkers()
+	capacity := float64(workers)*(1-rot.OverheadFraction()) - a.ReplayOverheadFraction()
 	if capacity < 0 {
 		capacity = 0
 	}
@@ -88,7 +91,7 @@ func EstimateServingAudited(sc ServingScenario, rot Rotation, a Audit) ServingEs
 		RequestSeconds: request,
 		ThroughputRPS:  x,
 		ThroughputIPS:  x * float64(sc.Batch),
-		Utilization:    x * service / float64(sc.Workers),
+		Utilization:    x * service / float64(workers),
 	}
 }
 

@@ -17,6 +17,41 @@ type ServingScenario struct {
 	Workers int      // server worker replicas computing in parallel
 	Clients int      // concurrent client connections, one request in flight each
 	Batch   int      // images per request (InferBatch size × client batch)
+
+	// EffectiveParallel caps how many workers actually compute
+	// concurrently — the host's usable cores (GOMAXPROCS on the bench
+	// host). A pool of 8 workers on 1 core serves like 1 worker; the
+	// measured-vs-modeled gap of BENCH_2026-07-30 (0.94× measured against
+	// 4.5× predicted) was exactly this clamp going unmodeled. 0 means
+	// Workers (the historical, unclamped behavior).
+	EffectiveParallel int
+
+	// WireFactor scales transferred bytes relative to the float32 payload
+	// the Table III link model assumes: the legacy float64 gob wire is
+	// ≈ WireFactorGob, the binary codec WireFactorBinary (f64) or
+	// WireFactorBinaryF32. 0 means 1 (float32-equivalent bytes).
+	WireFactor float64
+}
+
+// Wire factors for the serving model, relative to raw float32 payloads.
+const (
+	// WireFactorGob: float64 values, gob type headers and per-message
+	// self-description on top.
+	WireFactorGob = 2.2
+	// WireFactorBinary: the length-prefixed binary codec with float64
+	// payloads — twice the float32 bytes, negligible framing.
+	WireFactorBinary = 2.0
+	// WireFactorBinaryF32: the binary codec shipping float32 — the link
+	// model's native operating point.
+	WireFactorBinaryF32 = 1.0
+)
+
+// effectiveWorkers applies the host-parallelism clamp.
+func (sc ServingScenario) effectiveWorkers() int {
+	if sc.EffectiveParallel > 0 && sc.EffectiveParallel < sc.Workers {
+		return sc.EffectiveParallel
+	}
+	return sc.Workers
 }
 
 // ServingEstimate is the model's prediction for one serving scenario.
@@ -40,6 +75,7 @@ func (e ServingEstimate) String() string {
 
 // servingTimes evaluates the base scenario at the serving operating point,
 // returning the unloaded round-trip time and the per-request server time.
+// The wire factor scales only the communication component.
 func servingTimes(sc *ServingScenario) (request, service float64) {
 	base := sc.Base
 	if sc.Batch <= 0 {
@@ -51,9 +87,13 @@ func servingTimes(sc *ServingScenario) (request, service float64) {
 	if sc.Clients <= 0 {
 		sc.Clients = 1
 	}
+	wire := sc.WireFactor
+	if wire <= 0 {
+		wire = 1
+	}
 	base.Batch = sc.Batch
 	b := Run(base)
-	return b.Total(), b.Server
+	return b.Client + b.Server + wire*b.Communication, b.Server
 }
 
 // EstimateServing evaluates the closed-system model: throughput is bounded
@@ -105,6 +145,9 @@ func EstimateServingRotated(sc ServingScenario, rot Rotation) ServingEstimate {
 // servingName labels one serving estimate row.
 func servingName(sc ServingScenario, rot Rotation) string {
 	name := fmt.Sprintf("c=%d w=%d b=%d", sc.Clients, sc.Workers, sc.Batch)
+	if sc.effectiveWorkers() < sc.Workers {
+		name += fmt.Sprintf(" par=%d", sc.effectiveWorkers())
+	}
 	if rot.OverheadFraction() > 0 {
 		name += fmt.Sprintf(" rot=%.0fs", rot.PeriodSeconds)
 	}
@@ -127,11 +170,15 @@ func RotationSweep(base Scenario, workers, clients, batch int, cloneSeconds floa
 // ConcurrencySweep evaluates the scenario across client counts — the model
 // behind the ">2× throughput under concurrency" serving claim: a single
 // connection is round-trip-bound, so adding clients raises throughput until
-// the worker pool saturates.
-func ConcurrencySweep(base Scenario, workers, batch int, clients []int) []ServingEstimate {
+// the worker pool saturates. maxParallel clamps the pool to the host's
+// usable cores (pass the measured GOMAXPROCS; 0 leaves the pool unclamped):
+// predictions are only comparable to a measurement when both ran at the
+// same effective parallelism.
+func ConcurrencySweep(base Scenario, workers, maxParallel, batch int, clients []int) []ServingEstimate {
 	out := make([]ServingEstimate, len(clients))
 	for i, c := range clients {
-		out[i] = EstimateServing(ServingScenario{Base: base, Workers: workers, Clients: c, Batch: batch})
+		out[i] = EstimateServing(ServingScenario{
+			Base: base, Workers: workers, Clients: c, Batch: batch, EffectiveParallel: maxParallel})
 	}
 	return out
 }
@@ -148,9 +195,14 @@ func BatchingSweep(base Scenario, workers, clients int, batches []int) []Serving
 }
 
 // ConcurrencySpeedup returns the predicted throughput ratio between clients
-// concurrent connections and a single connection at the same batch size.
-func ConcurrencySpeedup(base Scenario, workers, batch, clients int) float64 {
-	one := EstimateServing(ServingScenario{Base: base, Workers: workers, Clients: 1, Batch: batch})
-	many := EstimateServing(ServingScenario{Base: base, Workers: workers, Clients: clients, Batch: batch})
+// concurrent connections and a single connection at the same batch size,
+// with the pool clamped to maxParallel usable cores (0 = unclamped). At
+// maxParallel=1 the prediction collapses toward 1× — the regime the
+// GOMAXPROCS=1 bench of BENCH_2026-07-30 actually measured.
+func ConcurrencySpeedup(base Scenario, workers, maxParallel, batch, clients int) float64 {
+	one := EstimateServing(ServingScenario{
+		Base: base, Workers: workers, Clients: 1, Batch: batch, EffectiveParallel: maxParallel})
+	many := EstimateServing(ServingScenario{
+		Base: base, Workers: workers, Clients: clients, Batch: batch, EffectiveParallel: maxParallel})
 	return many.ThroughputRPS / one.ThroughputRPS
 }

@@ -20,7 +20,7 @@ func TestSingleClientMatchesRoundTrip(t *testing.T) {
 
 func TestConcurrencyRaisesThroughputUntilSaturation(t *testing.T) {
 	const workers = 4
-	sweep := ConcurrencySweep(servingBase(), workers, 1, []int{1, 2, 4, 8, 16, 64})
+	sweep := ConcurrencySweep(servingBase(), workers, 0, 1, []int{1, 2, 4, 8, 16, 64})
 	for i := 1; i < len(sweep); i++ {
 		if sweep[i].ThroughputRPS < sweep[i-1].ThroughputRPS-1e-12 {
 			t.Errorf("throughput decreased from %v to %v", sweep[i-1], sweep[i])
@@ -43,9 +43,47 @@ func TestConcurrencySpeedupExceedsTwo(t *testing.T) {
 	// The acceptance regime of the serving subsystem: 8 concurrent clients
 	// against a 4-worker replicated pool must be predicted at >2× a single
 	// connection.
-	s := ConcurrencySpeedup(servingBase(), 4, 1, 8)
+	s := ConcurrencySpeedup(servingBase(), 4, 0, 1, 8)
 	if s <= 2 {
 		t.Errorf("predicted concurrency speedup %.2f, want > 2", s)
+	}
+}
+
+func TestEffectiveParallelismClampsPredictions(t *testing.T) {
+	// The BENCH_2026-07-30 lesson: an 8-worker pool on a single usable core
+	// serves like one worker, so the predicted concurrency speedup must
+	// collapse toward 1×, not promise 4.5×.
+	clamped := ConcurrencySpeedup(servingBase(), 8, 1, 1, 8)
+	unclamped := ConcurrencySpeedup(servingBase(), 8, 0, 1, 8)
+	if clamped >= unclamped {
+		t.Errorf("clamp to 1 core did not reduce the prediction: %.2f vs %.2f", clamped, unclamped)
+	}
+	one := EstimateServing(ServingScenario{Base: servingBase(), Workers: 8, Clients: 64, Batch: 1, EffectiveParallel: 1})
+	wOne := EstimateServing(ServingScenario{Base: servingBase(), Workers: 1, Clients: 64, Batch: 1})
+	if math.Abs(one.ThroughputRPS-wOne.ThroughputRPS)/wOne.ThroughputRPS > 1e-12 {
+		t.Errorf("8 workers clamped to 1 core must serve like 1 worker: %.4f vs %.4f", one.ThroughputRPS, wOne.ThroughputRPS)
+	}
+	// A clamp at or above the pool size is a no-op.
+	loose := EstimateServing(ServingScenario{Base: servingBase(), Workers: 4, Clients: 64, Batch: 1, EffectiveParallel: 16})
+	plain := EstimateServing(ServingScenario{Base: servingBase(), Workers: 4, Clients: 64, Batch: 1})
+	if loose.ThroughputRPS != plain.ThroughputRPS {
+		t.Error("clamp above the pool size changed the estimate")
+	}
+}
+
+func TestWireFactorScalesCommunication(t *testing.T) {
+	slim := EstimateServing(ServingScenario{Base: servingBase(), Workers: 4, Clients: 1, Batch: 1, WireFactor: WireFactorBinaryF32})
+	fat := EstimateServing(ServingScenario{Base: servingBase(), Workers: 4, Clients: 1, Batch: 1, WireFactor: WireFactorGob})
+	if fat.RequestSeconds <= slim.RequestSeconds {
+		t.Errorf("gob wire round trip %.4fs not slower than f32 wire %.4fs", fat.RequestSeconds, slim.RequestSeconds)
+	}
+	// The delta is exactly the extra communication time.
+	base := servingBase()
+	base.Batch = 1
+	comm := Run(base).Communication
+	want := (WireFactorGob - WireFactorBinaryF32) * comm
+	if got := fat.RequestSeconds - slim.RequestSeconds; math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("wire factor delta %.6fs, want %.6fs", got, want)
 	}
 }
 

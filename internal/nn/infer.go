@@ -1,0 +1,355 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"ensembler/internal/tensor"
+)
+
+// This file is the inference-mode forward path: ForwardInfer computes
+// exactly what Forward(x, false) computes, but writes every activation into
+// a caller-owned Scratch instead of allocating per layer, caches nothing for
+// a backward pass, and never spawns goroutines inside a kernel. It exists
+// for the serving hot path, where a worker handles one request at a time and
+// the layer-cache machinery of Forward is pure overhead: after one warm-up
+// pass a ForwardInfer is allocation-free (asserted by TestForwardInferAllocs
+// and the comm serving benchmarks).
+//
+// Memory model: all tensors returned by ForwardInfer — including the final
+// output — live in the Scratch and are invalidated by Scratch.Reset. A
+// caller that retains the output (e.g. to encode it on the wire) must copy
+// it out before resetting. A Scratch belongs to one goroutine; concurrent
+// passes need one Scratch (and one network replica) each, mirroring the
+// existing one-goroutine-per-network rule.
+
+// Scratch is the reusable activation storage for inference-mode forward
+// passes. The zero value is usable; the first pass sizes it.
+type Scratch struct {
+	arena tensor.Arena
+}
+
+// NewScratch returns an empty scratch; the first ForwardInfer sizes it.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Reset reclaims the scratch for the next pass, invalidating every tensor
+// the previous pass returned.
+func (s *Scratch) Reset() { s.arena.Reset() }
+
+// Footprint reports the warmed scratch's backing memory in bytes.
+func (s *Scratch) Footprint() int { return s.arena.Footprint() }
+
+// InferenceLayer is implemented by layers with a dedicated allocation-free
+// inference path. Network.ForwardInfer uses it where available and falls
+// back to Forward(x, false) otherwise, so custom Layer implementations keep
+// working (they just allocate).
+type InferenceLayer interface {
+	Layer
+	ForwardInfer(x *tensor.Tensor, s *Scratch) *tensor.Tensor
+}
+
+// ForwardInfer runs the stack in inference mode over the scratch. The result
+// is bit-identical to Forward(x, false).
+func (n *Network) ForwardInfer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	for _, l := range n.Layers {
+		if il, ok := l.(InferenceLayer); ok {
+			x = il.ForwardInfer(x, s)
+		} else {
+			x = l.Forward(x, false)
+		}
+	}
+	return x
+}
+
+// InferScratch returns a Scratch pre-sized for inputs of the given shape by
+// running one throwaway warm-up pass — the "sizing done once per replica"
+// step of the serving memory model. Passes over inputs of this shape (or
+// smaller) then allocate nothing; a larger input grows the scratch once.
+func (n *Network) InferScratch(inputShape ...int) *Scratch {
+	s := NewScratch()
+	n.ForwardInfer(tensor.New(inputShape...), s)
+	s.Reset()
+	return s
+}
+
+// ForwardInfer computes the convolution serially per sample with the blocked
+// matmul kernel, retaining no im2col matrices.
+func (c *Conv2D) ForwardInfer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D %s expects [N,%d,H,W], got %v", c.W.Name, c.InC, x.Shape))
+	}
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh := tensor.ConvOutSize(h, c.KH, c.Stride, c.Pad)
+	ow := tensor.ConvOutSize(w, c.KW, c.Stride, c.Pad)
+	y := s.arena.NewTensor(n, c.OutC, oh, ow)
+	cols := s.arena.NewTensor(c.InC*c.KH*c.KW, oh*ow)
+	var bias *tensor.Tensor
+	if c.B != nil {
+		bias = c.B.Value
+	}
+	return tensor.ConvForwardInto(y, x, c.W.Value, bias, cols, c.KH, c.KW, c.Stride, c.Pad)
+}
+
+// ForwardInfer computes xW^T + b into the scratch.
+func (l *Linear) ForwardInfer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	if len(x.Shape) != 2 || x.Shape[1] != l.In {
+		panic(fmt.Sprintf("nn: Linear %s expects [N,%d], got %v", l.W.Name, l.In, x.Shape))
+	}
+	y := s.arena.NewTensor(x.Shape[0], l.Out)
+	tensor.MatMulTransBInto(y, x, l.W.Value)
+	n := x.Shape[0]
+	for i := 0; i < n; i++ {
+		row := y.Data[i*l.Out : (i+1)*l.Out]
+		for j := range row {
+			row[j] += l.B.Value.Data[j]
+		}
+	}
+	return y
+}
+
+// ForwardInfer normalizes with the running statistics, folding the affine
+// transform into one fused multiply-add per element and caching nothing.
+func (b *BatchNorm2D) ForwardInfer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != b.C {
+		panic(fmt.Sprintf("nn: BatchNorm2D %s expects [N,%d,H,W], got %v", b.Gamma.Name, b.C, x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	hw := h * w
+	out := s.arena.NewTensor(x.Shape...)
+	for ci := 0; ci < c; ci++ {
+		inv := 1 / math.Sqrt(b.RunVar.Data[ci]+b.Eps)
+		mean := b.RunMean.Data[ci]
+		g, bt := b.Gamma.Value.Data[ci], b.Beta.Value.Data[ci]
+		for ni := 0; ni < n; ni++ {
+			base := (ni*c + ci) * hw
+			src := x.Data[base : base+hw]
+			dst := out.Data[base : base+hw]
+			for j, v := range src {
+				// Matches Forward's eval mode bit for bit: the same
+				// (x-mean)*inv rounding, then the affine.
+				dst[j] = g*((v-mean)*inv) + bt
+			}
+		}
+	}
+	return out
+}
+
+// ForwardInfer clamps negatives to zero without caching a mask.
+func (r *ReLU) ForwardInfer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	out := s.arena.NewTensor(x.Shape...)
+	reluSlice(out.Data, x.Data)
+	return out
+}
+
+// reluSlice writes max(0, src) into dst; dst may alias src.
+func reluSlice(dst, src []float64) {
+	for i, v := range src {
+		if v > 0 {
+			dst[i] = v
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// ForwardInfer applies the leaky rectifier without caching the input.
+func (l *LeakyReLU) ForwardInfer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	out := s.arena.NewTensor(x.Shape...)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		} else {
+			out.Data[i] = l.Alpha * v
+		}
+	}
+	return out
+}
+
+// ForwardInfer squashes to (0,1) without caching the output.
+func (s *Sigmoid) ForwardInfer(x *tensor.Tensor, sc *Scratch) *tensor.Tensor {
+	out := sc.arena.NewTensor(x.Shape...)
+	for i, v := range x.Data {
+		out.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	return out
+}
+
+// ForwardInfer computes tanh without caching the output.
+func (t *Tanh) ForwardInfer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	out := s.arena.NewTensor(x.Shape...)
+	for i, v := range x.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	return out
+}
+
+// ForwardInfer pools each window to its maximum without caching argmax
+// indices.
+func (p *MaxPool2D) ForwardInfer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("nn: MaxPool2D expects NCHW, got %v", x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := tensor.ConvOutSize(h, p.K, p.Stride, 0)
+	ow := tensor.ConvOutSize(w, p.K, p.Stride, 0)
+	out := s.arena.NewTensor(n, c, oh, ow)
+	oi := 0
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			base := (ni*c + ci) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := math.Inf(-1)
+					for ky := 0; ky < p.K; ky++ {
+						iy := oy*p.Stride + ky
+						if iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.K; kx++ {
+							ix := ox*p.Stride + kx
+							if ix >= w {
+								continue
+							}
+							if v := x.Data[base+iy*w+ix]; v > best {
+								best = v
+							}
+						}
+					}
+					out.Data[oi] = best
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ForwardInfer averages the spatial dimensions without caching the input
+// shape.
+func (g *GlobalAvgPool) ForwardInfer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("nn: GlobalAvgPool expects NCHW, got %v", x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	hw := float64(h * w)
+	out := s.arena.NewTensor(n, c)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			base := (ni*c + ci) * h * w
+			sum := 0.0
+			for j := 0; j < h*w; j++ {
+				sum += x.Data[base+j]
+			}
+			out.Data[ni*c+ci] = sum / hw
+		}
+	}
+	return out
+}
+
+// ForwardInfer repeats each pixel factor×factor times.
+func (u *Upsample2D) ForwardInfer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("nn: Upsample2D expects NCHW, got %v", x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	f := u.Factor
+	out := s.arena.NewTensor(n, c, h*f, w*f)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			inBase := (ni*c + ci) * h * w
+			outBase := (ni*c + ci) * h * f * w * f
+			for iy := 0; iy < h*f; iy++ {
+				srcRow := inBase + (iy/f)*w
+				dstRow := outBase + iy*w*f
+				for ix := 0; ix < w*f; ix++ {
+					out.Data[dstRow+ix] = x.Data[srcRow+ix/f]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ForwardInfer flattens via an arena-backed view — no data copy, no heap
+// header.
+func (f *Flatten) ForwardInfer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	n := x.Shape[0]
+	return s.arena.View(x, n, x.Size()/n)
+}
+
+// ForwardInfer reshapes via an arena-backed view.
+func (r *Reshape2D4D) ForwardInfer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	return s.arena.View(x, x.Shape[0], r.C, r.H, r.W)
+}
+
+// ForwardInfer adds the fixed noise tensor to every sample. Resample mode
+// still redraws (it mutates the layer, exactly as Forward does — a layer in
+// resample mode is not usable concurrently either way).
+func (a *AdditiveNoise) ForwardInfer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("nn: AdditiveNoise expects NCHW, got %v", x.Shape))
+	}
+	per := a.Noise.Value.Size()
+	if x.Size()/x.Shape[0] != per {
+		panic(fmt.Sprintf("nn: AdditiveNoise shape %v incompatible with input %v", a.Noise.Value.Shape, x.Shape))
+	}
+	if a.Mode == NoiseResample {
+		a.r.FillNormal(a.Noise.Value.Data, 0, a.Sigma)
+	}
+	out := s.arena.NewTensor(x.Shape...)
+	noise := a.Noise.Value.Data
+	for n := 0; n < x.Shape[0]; n++ {
+		base := n * per
+		for j := 0; j < per; j++ {
+			out.Data[base+j] = x.Data[base+j] + noise[j]
+		}
+	}
+	return out
+}
+
+// ForwardInfer is the identity: dropout only acts in training mode.
+func (d *Dropout) ForwardInfer(x *tensor.Tensor, s *Scratch) *tensor.Tensor { return x }
+
+// ForwardInfer runs both branches over the scratch and fuses the residual
+// sum and final rectifier in place on the main branch's buffer (this block
+// owns it — nothing else aliases an activation the block just produced).
+func (b *BasicBlock) ForwardInfer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	main := b.Conv1.ForwardInfer(x, s)
+	main = b.BN1.ForwardInfer(main, s)
+	main = b.Relu1.ForwardInfer(main, s)
+	main = b.Conv2.ForwardInfer(main, s)
+	main = b.BN2.ForwardInfer(main, s)
+
+	short := x
+	if b.ShortConv != nil {
+		short = b.ShortConv.ForwardInfer(x, s)
+		short = b.ShortBN.ForwardInfer(short, s)
+	}
+	if !main.SameShape(short) {
+		panic(fmt.Sprintf("nn: BasicBlock branch shapes %v vs %v", main.Shape, short.Shape))
+	}
+	tensor.AddInto(main, main, short)
+	reluSlice(main.Data, main.Data)
+	return main
+}
+
+// Interface conformance: every built-in layer provides the inference path,
+// so a stack of them runs allocation-free end to end.
+var (
+	_ InferenceLayer = (*Network)(nil)
+	_ InferenceLayer = (*Conv2D)(nil)
+	_ InferenceLayer = (*Linear)(nil)
+	_ InferenceLayer = (*BatchNorm2D)(nil)
+	_ InferenceLayer = (*ReLU)(nil)
+	_ InferenceLayer = (*LeakyReLU)(nil)
+	_ InferenceLayer = (*Sigmoid)(nil)
+	_ InferenceLayer = (*Tanh)(nil)
+	_ InferenceLayer = (*MaxPool2D)(nil)
+	_ InferenceLayer = (*GlobalAvgPool)(nil)
+	_ InferenceLayer = (*Upsample2D)(nil)
+	_ InferenceLayer = (*Flatten)(nil)
+	_ InferenceLayer = (*Reshape2D4D)(nil)
+	_ InferenceLayer = (*AdditiveNoise)(nil)
+	_ InferenceLayer = (*Dropout)(nil)
+	_ InferenceLayer = (*BasicBlock)(nil)
+)

@@ -196,14 +196,18 @@ type Flatten struct {
 // NewFlatten creates a flattening layer.
 func NewFlatten() *Flatten { return &Flatten{} }
 
-// Forward flattens all trailing dimensions.
+// Forward flattens all trailing dimensions. The output deliberately ALIASES
+// x via Reshape (shared backing array): a reshape must not copy activations,
+// and downstream layers only read their input. A consumer that mutated its
+// input in place would corrupt x — none of the built-in layers do.
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	f.inShape = append([]int(nil), x.Shape...)
 	n := x.Shape[0]
 	return x.Reshape(n, x.Size()/n)
 }
 
-// Backward restores the cached input shape.
+// Backward restores the cached input shape (aliasing grad, same contract as
+// Forward).
 func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return grad.Reshape(f.inShape...)
 }
@@ -220,13 +224,14 @@ type Reshape2D4D struct {
 // NewReshape2D4D creates the vector→map reshape layer.
 func NewReshape2D4D(c, h, w int) *Reshape2D4D { return &Reshape2D4D{C: c, H: h, W: w} }
 
-// Forward reshapes to NCHW.
+// Forward reshapes to NCHW, aliasing x's backing array (see Flatten.Forward
+// for the contract that makes the aliasing safe).
 func (r *Reshape2D4D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Shape[0]
 	return x.Reshape(n, r.C, r.H, r.W)
 }
 
-// Backward flattens the gradient back to [N, D].
+// Backward flattens the gradient back to [N, D], aliasing grad.
 func (r *Reshape2D4D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := grad.Shape[0]
 	return grad.Reshape(n, r.C*r.H*r.W)

@@ -3,7 +3,6 @@ package shard_test
 import (
 	"bytes"
 	"context"
-	"encoding/gob"
 	"io"
 	"net"
 	"sync"
@@ -87,19 +86,20 @@ func (l *lockedWriter) Write(p []byte) (int, error) {
 }
 
 // capturedFeatures decodes every request the tap recorded and returns the
-// transmitted feature tensors, across all connections.
+// transmitted feature tensors, across all connections. DecodeWireStream
+// handles either protocol a client may have spoken — the framing is public;
+// only the selection is secret.
 func (w *wiretap) capturedFeatures(t *testing.T) []*tensor.Tensor {
 	t.Helper()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	var out []*tensor.Tensor
 	for _, buf := range w.conns {
-		dec := gob.NewDecoder(bytes.NewReader(buf.Bytes()))
-		for {
-			var req comm.Request
-			if err := dec.Decode(&req); err != nil {
-				break
-			}
+		reqs, err := comm.DecodeWireStream(buf.Bytes())
+		if err != nil {
+			t.Fatalf("decoding tapped stream: %v", err)
+		}
+		for _, req := range reqs {
 			if req.Features != nil {
 				out = append(out, req.Features)
 			}

@@ -1,0 +1,273 @@
+package tensor
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// This file holds the allocation-free serving kernels: cache-blocked matrix
+// multiplication writing into caller-owned buffers, the *Into variants of
+// the elementwise and im2col transforms, and the process-wide kernel
+// parallelism knob. The legacy allocating kernels (MatMul, Im2Col, …) remain
+// for the training and attack paths; the *Into family is what the inference
+// hot path (nn.ForwardInfer, comm serving workers) runs on. All *Into
+// kernels are strictly serial — a serving process parallelizes at exactly
+// one level, its worker pool, never inside a kernel.
+
+// kernelWorkers caps how many goroutines parallelFor may use; 0 means
+// GOMAXPROCS (the historical behavior).
+var kernelWorkers atomic.Int32
+
+// SetKernelParallelism bounds the goroutines the allocating kernels (MatMul,
+// ConvForward, …) may fan out across; n <= 0 restores the GOMAXPROCS
+// default. Serving processes whose comm worker pool already saturates the
+// cores set this to 1 so kernels never nest a second level of parallelism
+// under the pool — the oversubscription behind the measured 0.94× concurrent
+// "speedup" of BENCH_2026-07-30. The *Into kernels are always serial and
+// ignore this knob.
+func SetKernelParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	kernelWorkers.Store(int32(n))
+}
+
+// KernelParallelism reports the current cap (0 = GOMAXPROCS).
+func KernelParallelism() int { return int(kernelWorkers.Load()) }
+
+// Blocking factors for the tiled matmul: the [blockK × blockJ] panel of b
+// (64 KiB of float64) stays cache-resident while every output row of the
+// row-block consumes it.
+const (
+	matmulBlockK = 64
+	matmulBlockJ = 128
+)
+
+// matmulRows computes out[i0:i1) += a[i0:i1)×b for row-major a:[m,k],
+// b:[k,n], out:[m,n], tiled over (k, j). Output rows are zeroed first.
+// Accumulation order per output element is ascending p, matching the naive
+// kernel bit for bit — parallel and serial callers agree exactly.
+func matmulRows(out, a, b []float64, i0, i1, k, n int) {
+	for i := i0; i < i1; i++ {
+		row := out[i*n : (i+1)*n]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	for kb := 0; kb < k; kb += matmulBlockK {
+		kend := min(kb+matmulBlockK, k)
+		for jb := 0; jb < n; jb += matmulBlockJ {
+			jend := min(jb+matmulBlockJ, n)
+			for i := i0; i < i1; i++ {
+				arow := a[i*k : (i+1)*k]
+				orow := out[i*n+jb : i*n+jend]
+				for p := kb; p < kend; p++ {
+					av := arow[p]
+					if av == 0 {
+						continue
+					}
+					brow := b[p*n+jb : p*n+jend]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkMatMulShapes validates a 2-D matmul triple and returns (m, k, n).
+func checkMatMulShapes(dst, a, b *Tensor, op string) (m, k, n int) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: %s requires 2-D tensors", op))
+	}
+	m, k = a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: %s inner dims %d vs %d", op, k, k2))
+	}
+	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s dst shape %v, want [%d %d]", op, dst.Shape, m, n))
+	}
+	return m, k, n
+}
+
+// MatMulInto computes dst = a×b for 2-D tensors [m,k]·[k,n] → [m,n] into the
+// caller-owned dst, serially, with the cache-blocked kernel. dst must not
+// alias a or b. Results are bit-identical to MatMul.
+func MatMulInto(dst, a, b *Tensor) *Tensor {
+	m, k, n := checkMatMulShapes(dst, a, b, "MatMulInto")
+	_ = m
+	matmulRows(dst.Data, a.Data, b.Data, 0, a.Shape[0], k, n)
+	return dst
+}
+
+// MatMulTransBInto computes dst = a×bᵀ for a:[m,k], b:[n,k] → [m,n] into the
+// caller-owned dst, serially.
+func MatMulTransBInto(dst, a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic("tensor: MatMulTransBInto requires 2-D tensors")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto inner dims %d vs %d", k, k2))
+	}
+	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto dst shape %v, want [%d %d]", dst.Shape, m, n))
+	}
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := dst.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+	return dst
+}
+
+// MatMulTransAInto computes dst = aᵀ×b for a:[k,m], b:[k,n] → [m,n] into the
+// caller-owned dst, serially.
+func MatMulTransAInto(dst, a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic("tensor: MatMulTransAInto requires 2-D tensors")
+	}
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto inner dims %d vs %d", k, k2))
+	}
+	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto dst shape %v, want [%d %d]", dst.Shape, m, n))
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for p := 0; p < k; p++ {
+		brow := b.Data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := a.Data[p*m+i]
+			if av == 0 {
+				continue
+			}
+			orow := dst.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
+// AddInto computes dst = a + b elementwise into the caller-owned dst. dst
+// may alias a or b.
+func AddInto(dst, a, b *Tensor) *Tensor {
+	dst.checkSame(a, "AddInto")
+	dst.checkSame(b, "AddInto")
+	for i, v := range a.Data {
+		dst.Data[i] = v + b.Data[i]
+	}
+	return dst
+}
+
+// ScaleInto computes dst = s*a elementwise into the caller-owned dst.
+func ScaleInto(dst, a *Tensor, s float64) *Tensor {
+	dst.checkSame(a, "ScaleInto")
+	for i, v := range a.Data {
+		dst.Data[i] = s * v
+	}
+	return dst
+}
+
+// Im2ColInto expands one [C,H,W] image into the caller-owned patch matrix
+// dst of shape [C*KH*KW, OH*OW] (see Im2Col). dst is fully overwritten,
+// zero-padding included.
+func Im2ColInto(dst, x *Tensor, kh, kw, stride, pad int) *Tensor {
+	if len(x.Shape) != 3 {
+		panic("tensor: Im2ColInto expects [C,H,W]")
+	}
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(w, kw, stride, pad)
+	if len(dst.Shape) != 2 || dst.Shape[0] != c*kh*kw || dst.Shape[1] != oh*ow {
+		panic(fmt.Sprintf("tensor: Im2ColInto dst shape %v, want [%d %d]", dst.Shape, c*kh*kw, oh*ow))
+	}
+	im2colSlice(dst.Data, x.Data, c, h, w, kh, kw, stride, pad, oh, ow)
+	return dst
+}
+
+// im2colSlice is the raw-slice im2col used by the serving conv kernel; dst
+// is fully overwritten.
+func im2colSlice(dst, src []float64, c, h, w, kh, kw, stride, pad, oh, ow int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	colStride := oh * ow
+	for ci := 0; ci < c; ci++ {
+		chanBase := ci * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				rowBase := ((ci*kh+ky)*kw + kx) * colStride
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					srcRow := chanBase + iy*w
+					dstRow := rowBase + oy*ow
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= w {
+							continue
+						}
+						dst[dstRow+ox] = src[srcRow+ix]
+					}
+				}
+			}
+		}
+	}
+}
+
+// ConvForwardInto computes the batched convolution of ConvForward into the
+// caller-owned output y:[N,OC,OH,OW], using cols (shape [C*KH*KW, OH*OW]) as
+// the per-sample im2col scratch. Samples run serially — the serving path's
+// one-level-of-parallelism rule — and no im2col matrices are retained, so
+// the kernel performs zero allocations. Results are bit-identical to
+// ConvForward.
+func ConvForwardInto(y, x, weight, bias, cols *Tensor, kh, kw, stride, pad int) *Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oc := weight.Shape[0]
+	if weight.Shape[1] != c*kh*kw {
+		panic(fmt.Sprintf("tensor: ConvForwardInto weight %v vs c*kh*kw=%d", weight.Shape, c*kh*kw))
+	}
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(w, kw, stride, pad)
+	if len(y.Shape) != 4 || y.Shape[0] != n || y.Shape[1] != oc || y.Shape[2] != oh || y.Shape[3] != ow {
+		panic(fmt.Sprintf("tensor: ConvForwardInto y shape %v, want [%d %d %d %d]", y.Shape, n, oc, oh, ow))
+	}
+	if len(cols.Shape) != 2 || cols.Shape[0] != c*kh*kw || cols.Shape[1] != oh*ow {
+		panic(fmt.Sprintf("tensor: ConvForwardInto cols shape %v, want [%d %d]", cols.Shape, c*kh*kw, oh*ow))
+	}
+	hw := oh * ow
+	per := c * h * w
+	for i := 0; i < n; i++ {
+		im2colSlice(cols.Data, x.Data[i*per:(i+1)*per], c, h, w, kh, kw, stride, pad, oh, ow)
+		dst := y.Data[i*oc*hw : (i+1)*oc*hw]
+		matmulRows(dst, weight.Data, cols.Data, 0, oc, c*kh*kw, hw)
+		if bias != nil {
+			for o := 0; o < oc; o++ {
+				b := bias.Data[o]
+				row := dst[o*hw : (o+1)*hw]
+				for j := range row {
+					row[j] += b
+				}
+			}
+		}
+	}
+	return y
+}

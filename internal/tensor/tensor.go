@@ -105,7 +105,12 @@ func (t *Tensor) At(idx ...int) float64 { return t.Data[t.offset(idx)] }
 // Set stores v at the given multi-index.
 func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.offset(idx)] = v }
 
-// Reshape returns a view-copy of t with a new shape of equal size.
+// Reshape returns a view of t with a new shape of equal size. The returned
+// tensor ALIASES t: both share one backing Data array, so a write through
+// either is visible in the other. Only the header and shape are fresh.
+// Callers that need an independent copy must Clone first; the layers that
+// deliberately rely on the aliasing (nn.Flatten, nn.Reshape2D4D — a reshape
+// in a forward pass must not copy activations) annotate it at the call site.
 func (t *Tensor) Reshape(shape ...int) *Tensor {
 	if numElems(shape) != len(t.Data) {
 		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.Shape, shape))
@@ -292,16 +297,32 @@ func (t *Tensor) Row(i int) *Tensor {
 }
 
 // parallelFor runs body(i) for i in [0, n), splitting the range across
-// GOMAXPROCS workers in fixed chunks. For small n it runs inline to avoid
-// goroutine overhead.
+// workers in fixed chunks. For small n it runs inline to avoid goroutine
+// overhead. The worker count defaults to GOMAXPROCS, capped by
+// SetKernelParallelism — serving processes set the cap to 1 so kernels never
+// nest a second level of parallelism under the comm worker pool.
 func parallelFor(n int, body func(i int)) {
+	parallelForChunks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// parallelForChunks runs body(lo, hi) over a fixed-order partition of
+// [0, n) — the chunked form lets blocked kernels keep cache tiles hot across
+// a whole chunk instead of re-entering per index.
+func parallelForChunks(n int, body func(lo, hi int)) {
 	workers := runtime.GOMAXPROCS(0)
+	if limit := int(kernelWorkers.Load()); limit > 0 && limit < workers {
+		workers = limit
+	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 || n < 4 {
-		for i := 0; i < n; i++ {
-			body(i)
+		if n > 0 {
+			body(0, n)
 		}
 		return
 	}
@@ -319,16 +340,16 @@ func parallelFor(n int, body func(i int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				body(i)
-			}
+			body(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
 }
 
 // MatMul returns the matrix product a×b for 2-D tensors [m,k]·[k,n] → [m,n].
-// Rows of the output are computed in parallel.
+// Row blocks of the output are computed in parallel with the cache-blocked
+// kernel (see matmulRows); results are bit-identical to the serial
+// MatMulInto because accumulation order per output element is fixed.
 func MatMul(a, b *Tensor) *Tensor {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 {
 		panic("tensor: MatMul requires 2-D tensors")
@@ -339,18 +360,8 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
 	}
 	out := New(m, n)
-	parallelFor(m, func(i int) {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
-		for p, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*n : (p+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
+	parallelForChunks(m, func(lo, hi int) {
+		matmulRows(out.Data, a.Data, b.Data, lo, hi, k, n)
 	})
 	return out
 }
