@@ -12,12 +12,15 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,7 +62,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	jsonPath := fs.String("json", "", "write machine-readable -serving results to this path (the BENCH_*.json perf trajectory)")
 	wireName := fs.String("wire", "binary", "client wire protocol for -serving: binary, f32 (half the bytes, ~1e-7 relative feature rounding), or gob (legacy)")
 	comparePath := fs.String("compare", "", "compare the -serving run against this baseline BENCH_*.json and fail on regression")
-	tolerance := fs.Float64("tolerance", 0.2, "relative regression band for -compare (0.2 = fail beyond 20%)")
+	tolerance := fs.Float64("tolerance", 0.2, "relative regression band for -compare and the queueing-model p99 gate (0.2 = fail beyond 20%)")
+	batchWindow := fs.Duration("batch-window", 0, "also measure a continuous-batching regime with this dispatcher window, gated against the queueing model's p99 (0 skips)")
+	maxQueue := fs.Int("max-queue", 0, "intake-queue bound for the -batch-window regime (0 = server default)")
+	arrivalRate := fs.Float64("arrival-rate", 0, "open-loop Poisson arrivals/sec for the -batch-window regime (0 = closed loop)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,7 +91,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		default:
 			return fmt.Errorf("unknown -wire %q (want binary, f32, or gob)", *wireName)
 		}
-		report, err := runServingBench(stdout, stderr, *n, *clients, *workers, *reqBatch, *duration, wire, *jsonPath)
+		report, err := runServingBench(stdout, stderr, *n, *clients, *workers, *reqBatch, *duration, wire, *jsonPath,
+			*batchWindow, *maxQueue, *arrivalRate, *tolerance)
 		if err != nil {
 			return err
 		}
@@ -171,6 +178,11 @@ type BenchConfig struct {
 	WindowSeconds        float64 `json:"window_seconds"`
 	EffectiveParallelism int     `json:"effective_parallelism"`
 	Wire                 string  `json:"wire"`
+	// BatchWindowSeconds/MaxQueue/ArrivalRPS record the continuous-batching
+	// regime, when one was measured (-batch-window); all zero otherwise.
+	BatchWindowSeconds float64 `json:"batch_window_seconds,omitempty"`
+	MaxQueue           int     `json:"max_queue,omitempty"`
+	ArrivalRPS         float64 `json:"arrival_rps,omitempty"`
 }
 
 // BenchResult is one measured (or model-predicted) regime.
@@ -207,7 +219,8 @@ type measured struct {
 // the analytic model's prediction for the same regimes — clamped to the
 // parallelism this host can actually deliver. jsonPath, when set,
 // additionally writes the measurements as a BenchReport.
-func runServingBench(stdout, stderr io.Writer, n, clients, workers, reqBatch int, window time.Duration, wire comm.WireFormat, jsonPath string) (*BenchReport, error) {
+func runServingBench(stdout, stderr io.Writer, n, clients, workers, reqBatch int, window time.Duration, wire comm.WireFormat, jsonPath string,
+	batchWindow time.Duration, maxQueue int, arrivalRate, tolerance float64) (*BenchReport, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("listen: %w", err)
@@ -268,6 +281,18 @@ func runServingBench(stdout, stderr io.Writer, n, clients, workers, reqBatch int
 		fmt.Fprintf(stdout, "  %s\n", est)
 	}
 
+	// The continuous-batching regime runs on its own dispatcher-enabled
+	// server, calibrated against the unbatched measurement above and gated
+	// against the queueing model.
+	var batched *batchedRun
+	if batchWindow > 0 {
+		batched, err = runBatchedRegime(stdout, stderr, n, clients, workers, reqBatch,
+			window, wire, batchWindow, maxQueue, arrivalRate, effective, many.reqPerSec)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	report := &BenchReport{
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
@@ -276,6 +301,7 @@ func runServingBench(stdout, stderr io.Writer, n, clients, workers, reqBatch int
 			Bodies: n, Clients: clients, Workers: srv.Workers(),
 			ReqBatch: reqBatch, WindowSeconds: window.Seconds(),
 			EffectiveParallelism: effective, Wire: wire.String(),
+			BatchWindowSeconds: batchWindow.Seconds(), MaxQueue: maxQueue, ArrivalRPS: arrivalRate,
 		},
 		Results: []BenchResult{
 			throughputResult("serve_single_connection", single.reqPerSec, reqBatch),
@@ -294,6 +320,16 @@ func runServingBench(stdout, stderr io.Writer, n, clients, workers, reqBatch int
 		BenchResult{Name: "gc_pause_total_ms", Value: many.gcPauseMs},
 		BenchResult{Name: "gc_pause_max_ms", Value: many.gcMaxMs},
 	)
+	if batched != nil {
+		report.Results = append(report.Results,
+			throughputResult("serve_batched", batched.m.reqPerSec, reqBatch),
+			BenchResult{Name: "serve_batched_p50_ms", Value: 1e3 * batched.p50.Seconds()},
+			BenchResult{Name: "serve_batched_p99_ms", Value: 1e3 * batched.p99.Seconds()},
+			BenchResult{Name: "queueing_predicted_p99_ms", Value: 1e3 * batched.pred.P99Seconds},
+			BenchResult{Name: "batch_occupancy_max", Value: float64(batched.stats.MaxCoalesced)},
+			BenchResult{Name: "shed_total", Value: float64(batched.stats.Sheds)},
+		)
+	}
 	if jsonPath != "" {
 		if err := writeBenchReport(jsonPath, *report); err != nil {
 			return nil, err
@@ -303,7 +339,150 @@ func runServingBench(stdout, stderr io.Writer, n, clients, workers, reqBatch int
 
 	cancel()
 	<-served
+	if batched != nil && batched.p99 > 0 {
+		ratio := batched.pred.P99Seconds / batched.p99.Seconds()
+		if ratio < 1-tolerance || ratio > 1+tolerance {
+			return report, fmt.Errorf("queueing model gate: predicted p99 %.1fms vs measured %.1fms (ratio %.2f) outside ±%.0f%%",
+				1e3*batched.pred.P99Seconds, 1e3*batched.p99.Seconds(), ratio, 100*tolerance)
+		}
+	}
 	return report, nil
+}
+
+// batchedRun is the continuous-batching regime's measurement plus the
+// queueing model's matching prediction.
+type batchedRun struct {
+	m        measured
+	p50, p99 time.Duration
+	stats    comm.DispatcherStats
+	pred     latency.QueueingEstimate
+}
+
+// runBatchedRegime measures throughput and latency quantiles against a
+// dispatcher-enabled server, prints the queueing model's planning sweep, and
+// returns the measurement alongside the model's prediction for the measured
+// operating point. unbatchedRPS — the saturated throughput of the plain
+// server — calibrates the per-request service time the model runs on, so the
+// prediction shares this host's hardware reality.
+func runBatchedRegime(stdout, stderr io.Writer, n, clients, workers, reqBatch int,
+	window time.Duration, wire comm.WireFormat, batchWindow time.Duration, maxQueue int,
+	arrivalRate float64, effective int, unbatchedRPS float64) (*batchedRun, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("listen: %w", err)
+	}
+	defer ln.Close()
+	opts := []comm.ServerOption{
+		comm.WithWorkers(workers),
+		comm.WithReplicas(func() []*nn.Network { return commtest.Bodies(benchArch(), n) }),
+		comm.WithBatchWindow(batchWindow),
+	}
+	if maxQueue > 0 {
+		opts = append(opts, comm.WithMaxQueue(maxQueue))
+	}
+	srv := comm.NewServer(commtest.Bodies(benchArch(), n), opts...)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, ln) }()
+
+	mode := "closed loop"
+	if arrivalRate > 0 {
+		mode = fmt.Sprintf("open loop, Poisson λ=%.0f/s", arrivalRate)
+	}
+	fmt.Fprintf(stdout, "\ncontinuous batching: window %v, %d connections (%s)\n", batchWindow, clients, mode)
+	m, lats := measureLatencies(stderr, ln.Addr().String(), n, clients, reqBatch, window, wire, arrivalRate)
+	stats := srv.DispatcherStats()
+	cancel()
+	<-served
+	if len(lats) == 0 {
+		return nil, fmt.Errorf("continuous-batching regime completed no requests")
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p50 := lats[len(lats)/2]
+	p99 := lats[(len(lats)*99)/100]
+	fmt.Fprintf(stdout, "  batched:        %7.2f req/s  (p50 %.1fms, p99 %.1fms, max batch %d, %d sheds, queue peak %d/%d)\n",
+		m.reqPerSec, 1e3*p50.Seconds(), 1e3*p99.Seconds(), stats.MaxCoalesced, stats.Sheds, stats.PeakDepth, stats.MaxQueue)
+
+	// Calibrated service time: the saturated unbatched pool completes
+	// unbatchedRPS requests/sec over `effective` parallel workers.
+	serviceSec := 0.0
+	if unbatchedRPS > 0 {
+		serviceSec = float64(effective) / unbatchedRPS
+	}
+	base := latency.QueueingScenario{
+		Workers: workers, EffectiveParallel: effective, ServiceSeconds: serviceSec,
+	}
+	pt := base
+	pt.ArrivalRPS = m.reqPerSec
+	pt.WindowSeconds = batchWindow.Seconds()
+	pred := latency.EstimateContinuousBatching(pt)
+	fmt.Fprintf(stdout, "  queueing model: predicted p99 %.1fms (mean batch %.1f, util %.0f%%) vs measured %.1fms\n",
+		1e3*pred.P99Seconds, pred.MeanBatch, 100*pred.Utilization, 1e3*p99.Seconds())
+
+	fmt.Fprintf(stdout, "\nqueueing sweep (calibrated service %.2fms/request):\n", 1e3*serviceSec)
+	rates := []float64{m.reqPerSec / 2, m.reqPerSec, 2 * m.reqPerSec}
+	windows := []float64{0, batchWindow.Seconds() / 2, batchWindow.Seconds(), 2 * batchWindow.Seconds()}
+	for _, row := range latency.QueueingSweep(base, rates, windows) {
+		fmt.Fprintf(stdout, "  %s\n", row)
+	}
+	return &batchedRun{m: m, p50: p50, p99: p99, stats: stats, pred: pred}, nil
+}
+
+// measureLatencies drives the measurement loop like measureThroughput while
+// recording every per-request latency. arrivalRate > 0 switches each
+// connection from closed-loop hammering to an open-loop Poisson process of
+// rate arrivalRate/conns (independent Poisson streams superpose to the
+// aggregate rate).
+func measureLatencies(stderr io.Writer, addr string, nBodies, conns, reqBatch int,
+	window time.Duration, wire comm.WireFormat, arrivalRate float64) (measured, []time.Duration) {
+	var completed atomic.Int64
+	var mu sync.Mutex
+	var lats []time.Duration
+	deadline := time.Now().Add(window)
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client, err := comm.Dial(addr, comm.WithWire(wire))
+			if err != nil {
+				fmt.Fprintf(stderr, "dial: %v\n", err)
+				return
+			}
+			defer client.Close()
+			commtest.Wire(client, benchArch(), nBodies)
+			x := commtest.Input(benchArch(), 7, reqBatch)
+			ctx := context.Background()
+			rng := rand.New(rand.NewSource(int64(1000 + c)))
+			mine := make([]time.Duration, 0, 1024)
+			for time.Now().Before(deadline) {
+				if arrivalRate > 0 {
+					gap := time.Duration(rng.ExpFloat64() / (arrivalRate / float64(conns)) * float64(time.Second))
+					time.Sleep(gap)
+					if !time.Now().Before(deadline) {
+						break
+					}
+				}
+				t0 := time.Now()
+				_, _, err := client.Infer(ctx, x)
+				if err != nil {
+					if errors.Is(err, comm.ErrOverloaded) {
+						continue // shed: admission control working as designed
+					}
+					fmt.Fprintf(stderr, "infer: %v\n", err)
+					return
+				}
+				mine = append(mine, time.Since(t0))
+				completed.Add(1)
+			}
+			mu.Lock()
+			lats = append(lats, mine...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	return measured{reqPerSec: float64(completed.Load()) / window.Seconds()}, lats
 }
 
 // writeBenchReport writes one report as indented JSON.
@@ -440,7 +619,10 @@ func compareReports(stdout io.Writer, baselinePath string, current *BenchReport,
 			}
 		}
 	}
-	for _, name := range []string{"serve_single_connection", fmt.Sprintf("serve_concurrent_%d", current.Config.Clients)} {
+	// serve_batched only exists in reports measured with -batch-window;
+	// baselines predating the dispatcher (or runs without the flag) simply
+	// skip the series rather than failing the gate.
+	for _, name := range []string{"serve_single_connection", fmt.Sprintf("serve_concurrent_%d", current.Config.Clients), "serve_batched"} {
 		base, ok := find(&baseline, name)
 		cur, ok2 := find(current, name)
 		if !ok || !ok2 {

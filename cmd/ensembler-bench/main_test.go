@@ -192,3 +192,92 @@ func TestCompareReports(t *testing.T) {
 		t.Error("missing baseline accepted")
 	}
 }
+
+// TestServingBenchBatchedRegime smokes the continuous-batching regime: the
+// dispatcher measurement, the queueing-model gate, the planning sweep, and
+// the new JSON series the perf trajectory records.
+func TestServingBenchBatchedRegime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving bench smoke test")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-serving", "-n", "2", "-clients", "4", "-workers", "1",
+		"-duration", "400ms", "-batch-window", "20ms", "-max-queue", "32",
+		"-tolerance", "0.5", "-json", path,
+	}, &out, io.Discard)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	for _, want := range []string{"continuous batching", "queueing model", "queueing sweep"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("batched bench output missing %q:\n%s", want, out.String())
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report BenchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, raw)
+	}
+	if report.Config.BatchWindowSeconds != 0.02 || report.Config.MaxQueue != 32 {
+		t.Errorf("report config missing batching fields: %+v", report.Config)
+	}
+	byName := map[string]BenchResult{}
+	for _, r := range report.Results {
+		byName[r.Name] = r
+	}
+	if b, ok := byName["serve_batched"]; !ok || b.ReqPerSec <= 0 {
+		t.Errorf("missing or empty serve_batched series: %+v", report.Results)
+	}
+	for _, name := range []string{"serve_batched_p50_ms", "serve_batched_p99_ms", "queueing_predicted_p99_ms", "batch_occupancy_max"} {
+		if r, ok := byName[name]; !ok || r.Value <= 0 {
+			t.Errorf("missing or empty %s series: %+v", name, byName[name])
+		}
+	}
+	if _, ok := byName["shed_total"]; !ok {
+		t.Errorf("missing shed_total series: %+v", report.Results)
+	}
+}
+
+// TestCompareReportsBatchedSeries pins the gate's treatment of the batched
+// throughput series: gated when both reports carry it, skipped (not failed)
+// against a baseline predating the dispatcher.
+func TestCompareReportsBatchedSeries(t *testing.T) {
+	mk := func(batchedRPS float64) *BenchReport {
+		r := &BenchReport{
+			Config: BenchConfig{Clients: 8, EffectiveParallelism: 1},
+			Results: []BenchResult{
+				{Name: "serve_single_connection", ReqPerSec: 1000},
+				{Name: "serve_concurrent_8", ReqPerSec: 1000},
+				{Name: "allocs_per_req", Value: 40},
+			},
+		}
+		if batchedRPS > 0 {
+			r.Results = append(r.Results, BenchResult{Name: "serve_batched", ReqPerSec: batchedRPS})
+		}
+		return r
+	}
+	write := func(r *BenchReport) string {
+		path := filepath.Join(t.TempDir(), "base.json")
+		if err := writeBenchReport(path, *r); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// Pre-dispatcher baseline: the new series must be skipped silently.
+	if err := compareReports(io.Discard, write(mk(0)), mk(900), 0.2); err != nil {
+		t.Errorf("baseline without serve_batched failed the gate: %v", err)
+	}
+	// Both sides carry it: a collapse must fail.
+	if err := compareReports(io.Discard, write(mk(1000)), mk(100), 0.2); err == nil {
+		t.Error("10x batched-throughput regression passed the gate")
+	}
+	if err := compareReports(io.Discard, write(mk(1000)), mk(950), 0.2); err != nil {
+		t.Errorf("within-band batched run failed the gate: %v", err)
+	}
+}

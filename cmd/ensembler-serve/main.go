@@ -29,6 +29,16 @@
 // shutdown: in-flight requests finish, their responses flush, and Serve
 // returns.
 //
+// -batch-window turns on cross-connection continuous batching: single-tensor
+// requests arriving within the window are coalesced into one stacked forward
+// pass per body, trading up to one window of added latency for per-request
+// dispatch overhead amortized across connections. -max-queue bounds the
+// intake queue; when it fills, admission control sheds the newest request of
+// the longest per-connection backlog with an honest 429-style overload error
+// (retryable — comm.Pool backs off and retries automatically), so polite
+// clients are never starved by a firehose. Dispatcher depth, sheds, and
+// batch occupancy are exported on /metrics.
+//
 // -admin-addr opens the operational control plane on a second listener:
 // /healthz (liveness + live epoch), /metrics (Prometheus exposition of QPS,
 // latency, batch sizes, epoch version, rotations, worker utilization, and
@@ -97,6 +107,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	addr := fs.String("addr", "127.0.0.1:7946", "listen address (use :0 to pick a free port)")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "compute worker pool size (each worker holds body replicas)")
 	maxBatch := fs.Int("max-batch", comm.DefaultMaxBatch, "max inputs per batched request")
+	batchWindow := fs.Duration("batch-window", 0, "continuous-batching window: hold the first request this long to coalesce co-arrivals from other connections (0 disables unless -max-queue is set)")
+	maxQueue := fs.Int("max-queue", 0, "bound on the continuous-batching intake queue before admission control sheds (0 = default when batching is on)")
 	rotateEvery := fs.Duration("rotate-every", 0, "selector rotation cadence (registry mode; 0 disables)")
 	rotateSeed := fs.Int64("rotate-seed", 1, "seed stream for selector rotations")
 	keepVersions := fs.Int("keep-versions", 64, "on-disk versions kept per model when rotating (0 keeps everything)")
@@ -119,6 +131,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if *maxBatch <= 0 {
 		*maxBatch = comm.DefaultMaxBatch // mirror the server's clamping in the banner
+	}
+	if *batchWindow < 0 {
+		return fmt.Errorf("-batch-window must be >= 0, got %v", *batchWindow)
+	}
+	if *maxQueue < 0 {
+		return fmt.Errorf("-max-queue must be >= 0 (0 = default when batching is on), got %d", *maxQueue)
 	}
 	if *shardSpec != "" && *rotateEvery > 0 {
 		return fmt.Errorf("-rotate-every and -shard are mutually exclusive: in a fleet the selector is rotated client-side (publish the rotated pipeline and SIGHUP the shards)")
@@ -220,6 +238,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	serverOpts := []comm.ServerOption{
 		comm.WithWorkers(*workers),
 		comm.WithMaxBatch(*maxBatch),
+	}
+	if *batchWindow > 0 {
+		serverOpts = append(serverOpts, comm.WithBatchWindow(*batchWindow))
+	}
+	if *maxQueue > 0 {
+		serverOpts = append(serverOpts, comm.WithMaxQueue(*maxQueue))
 	}
 	var sm *comm.ServerMetrics
 	if *adminAddr != "" {
@@ -346,6 +370,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		nil, func() float64 { return float64(reg.RotationCount(defaultModel)) })
 	treg.GaugeFunc("ensembler_workers", "Size of the compute worker pool.",
 		nil, func() float64 { return float64(srv.Workers()) })
+	if srv.DispatcherStats().Enabled {
+		treg.GaugeFunc("ensembler_dispatch_queue_depth", "Requests currently held in the continuous-batching intake queue.",
+			nil, func() float64 { return float64(srv.DispatcherStats().Depth) })
+		treg.GaugeFunc("ensembler_dispatch_queue_peak", "High-water mark of the intake queue since start.",
+			nil, func() float64 { return float64(srv.DispatcherStats().PeakDepth) })
+		treg.GaugeFunc("ensembler_dispatch_max_coalesced", "Largest cross-connection batch coalesced since start.",
+			nil, func() float64 { return float64(srv.DispatcherStats().MaxCoalesced) })
+		treg.CounterFunc("ensembler_dispatch_shed_total", "Requests shed by admission control (intake queue full).",
+			nil, func() float64 { return float64(srv.DispatcherStats().Sheds) })
+		treg.CounterFunc("ensembler_dispatch_batches_total", "Batches dispatched to the worker pool.",
+			nil, func() float64 { return float64(srv.DispatcherStats().Batches) })
+		treg.CounterFunc("ensembler_dispatch_coalesced_jobs_total", "Requests that rode a multi-request coalesced batch.",
+			nil, func() float64 { return float64(srv.DispatcherStats().CoalescedJobs) })
+	}
 	if sm != nil {
 		treg.GaugeFunc("ensembler_worker_utilization", "Fraction of worker-pool capacity spent serving since start.",
 			nil, func() float64 {
@@ -382,8 +420,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 		auditBanner = fmt.Sprintf("; audit mirrors 1/%d of requests (threshold SSIM %.2f, %s)", *auditSample, *auditThreshold, mode)
 	}
-	fmt.Fprintf(stdout, "%sserving %s v%d (%d bodies) as default — %d models total, %d workers, max batch %d; selector stays client-side%s\n",
-		shardBanner, defaultModel, cur.Version(), cur.Pipeline().Cfg.N, len(reg.Models()), srv.Workers(), *maxBatch, auditBanner)
+	dispatchBanner := ""
+	if ds := srv.DispatcherStats(); ds.Enabled {
+		dispatchBanner = fmt.Sprintf("; continuous batching window %v, intake queue %d", ds.Window, ds.MaxQueue)
+	}
+	fmt.Fprintf(stdout, "%sserving %s v%d (%d bodies) as default — %d models total, %d workers, max batch %d; selector stays client-side%s%s\n",
+		shardBanner, defaultModel, cur.Version(), cur.Pipeline().Cfg.N, len(reg.Models()), srv.Workers(), *maxBatch, auditBanner, dispatchBanner)
 	var fatalMu sync.Mutex
 	var fatalErr error
 	failServe := func(err error) {

@@ -45,6 +45,11 @@ type Client struct {
 	// the last successful round trip.
 	servedModel   string
 	servedVersion int
+	// serverWindow is the continuous-batching window the server advertised
+	// in its hello ack (zero on v1 servers, gob connections, and servers
+	// without a dispatcher). Retry loops use it to floor their backoff: a
+	// retry sooner than the window lands in the same congested batch cycle.
+	serverWindow time.Duration
 
 	// Model and Version route requests on a multi-model server. The zero
 	// values ("", 0) mean the server's default model at its current version
@@ -139,12 +144,25 @@ func newClientConn(ctx context.Context, conn net.Conn, wire WireFormat) (*Client
 		defer cc.SetDeadline(time.Time{})
 	}
 	br := bufio.NewReaderSize(cc, 1<<16)
-	f32OK, err := negotiateClient(cc, br, wire == WireBinaryF32)
+	ver, f32OK, window, err := negotiateClient(cc, br, wire == WireBinaryF32)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: cc, codec: &binClientCodec{binFramer{w: cc, r: br, f32: wire == WireBinaryF32 && f32OK}}}, nil
+	// The server is untrusted: a hostile ack advertising an absurd window
+	// must not stretch retry backoff, so clamp to the ceiling honest
+	// servers are themselves held to.
+	if window > maxBatchWindow {
+		window = maxBatchWindow
+	}
+	codec := &binClientCodec{binFramer{w: cc, r: br, f32: wire == WireBinaryF32 && f32OK, code: ver >= 2}}
+	return &Client{conn: cc, codec: codec, serverWindow: window}, nil
 }
+
+// ServerBatchWindow reports the continuous-batching window the server
+// advertised during the wire handshake — zero when the server runs no
+// dispatcher or the connection predates version 2 of the binary protocol.
+// Pool retry backoff is floored by this value.
+func (c *Client) ServerBatchWindow() time.Duration { return c.serverWindow }
 
 // NewLocalClient wraps an existing connection in a gob-protocol client —
 // the legacy wire format, kept for tests over net.Pipe and for hand-rolled
@@ -214,8 +232,13 @@ func (c *Client) roundTrip(ctx context.Context, req *Request) (*Response, error)
 		return nil, c.fail(ctx, fmt.Errorf("comm: receiving features: %w", err))
 	}
 	// A server-reported error leaves the stream synchronized; the
-	// connection stays usable.
+	// connection stays usable. A load-shed verdict surfaces as
+	// ErrOverloaded so callers (and Pool's retry loop) can distinguish
+	// "back off and retry" from a terminal request failure.
 	if resp.Err != "" {
+		if resp.Code == CodeOverloaded {
+			return nil, fmt.Errorf("comm: %w: %s", ErrOverloaded, resp.Err)
+		}
 		return nil, fmt.Errorf("comm: server error: %s", resp.Err)
 	}
 	c.servedModel, c.servedVersion = resp.Model, resp.Version

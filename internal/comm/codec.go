@@ -10,20 +10,27 @@ package comm
 // Framing (all integers little-endian):
 //
 //	hello     = magic[4] version(u8) flags(u8) reserved(u16)   client→server
-//	hello-ack = same 8 bytes                                   server→client
+//	hello-ack = magic[4] version(u8) flags(u8) windowMs(u16)   server→client
 //	frame     = length(u32) body
 //	request   = 0x01 modelLen(u16) model version(u32) kind(u8) count(u16) tensor*
-//	response  = 0x02 modelLen(u16) model version(u32) errLen(u16) err kind(u8)
+//	response  = 0x02 modelLen(u16) model version(u32) errLen(u16) err
+//	            [v2+: code(u16)] kind(u8)
 //	            features: count(u16) tensor*
 //	            outputs:  outer(u16) inner(u16) tensor*(outer×inner, row-major)
 //	tensor    = rank(u8) dtype(u8) dims(u32)*rank payload(f64|f32 ×n)
 //
 // Version negotiation: the client's hello names the highest version it
-// speaks; the server acks the version the connection will use (currently 1)
-// and echoes the subset of requested flags it accepts. A server that
-// receives bytes that are not the hello magic treats the connection as a
-// legacy gob client — the magic's first byte (0xE5) is not a byte a gob
-// stream can start with, so sniffing is unambiguous.
+// speaks; the server acks the version the connection will use —
+// min(client, server), so a v2 client interoperates with a v1 server and
+// vice versa — and echoes the subset of requested flags it accepts.
+// Version 2 adds the response code field (the 429-style ErrOverloaded
+// admission-control verdict) and puts the server's continuous-batching
+// window, in milliseconds, in the ack's formerly-reserved u16 — advice a
+// client's overload backoff can key off (0 = no batching window; v1 acks
+// carry 0 there by construction). A server that receives bytes that are
+// not the hello magic treats the connection as a legacy gob client — the
+// magic's first byte (0xE5) is not a byte a gob stream can start with, so
+// sniffing is unambiguous.
 //
 // Trust boundary: decoders validate every length against the remaining
 // frame before allocating, so a hostile frame claiming 2^30 elements over a
@@ -38,6 +45,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"ensembler/internal/tensor"
 )
@@ -73,7 +81,7 @@ func (f WireFormat) String() string {
 }
 
 const (
-	wireVersion = 1
+	wireVersion = 2
 	wireFlagF32 = 0x01
 
 	wireMsgRequest  = 0x01
@@ -100,6 +108,28 @@ var wireMagic = [4]byte{0xE5, 'N', 'S', 'B'}
 // helloBytes builds the 8-byte hello/ack for a version and flag set.
 func helloBytes(version, flags byte) [8]byte {
 	return [8]byte{wireMagic[0], wireMagic[1], wireMagic[2], wireMagic[3], version, flags, 0, 0}
+}
+
+// helloAckBytes builds the server's 8-byte ack, carrying the batching
+// window advice (milliseconds, saturated at u16) in the trailing u16.
+func helloAckBytes(version, flags byte, windowMs uint16) [8]byte {
+	ack := helloBytes(version, flags)
+	binary.LittleEndian.PutUint16(ack[6:8], windowMs)
+	return ack
+}
+
+// windowAdviceMs converts a batch window to its wire form: whole
+// milliseconds, saturated at the u16 ceiling, with sub-millisecond windows
+// rounded up so a nonzero window is never advertised as "no batching".
+func windowAdviceMs(window time.Duration) uint16 {
+	if window <= 0 {
+		return 0
+	}
+	ms := (window + time.Millisecond - 1) / time.Millisecond
+	if ms > math.MaxUint16 {
+		return math.MaxUint16
+	}
+	return uint16(ms)
 }
 
 // tensorAlloc abstracts where decoded tensors land: the serving path hands
@@ -180,13 +210,18 @@ func appendRequest(buf []byte, req *Request, f32 bool) ([]byte, error) {
 	return appendTensor(buf, req.Features, f32), nil
 }
 
-// appendResponse encodes a response body (no length prefix).
-func appendResponse(buf []byte, resp *Response, f32 bool) ([]byte, error) {
+// appendResponse encodes a response body (no length prefix). withCode emits
+// the version-2 code field; a v1 connection omits it and the peer sees only
+// the error text.
+func appendResponse(buf []byte, resp *Response, f32, withCode bool) ([]byte, error) {
 	if len(resp.Model) > maxWireModel {
 		return buf, fmt.Errorf("comm: model name of %d bytes exceeds wire limit %d", len(resp.Model), maxWireModel)
 	}
 	if len(resp.Err) > math.MaxUint16 {
 		return buf, fmt.Errorf("comm: error string of %d bytes exceeds wire limit", len(resp.Err))
+	}
+	if resp.Code < 0 || resp.Code > math.MaxUint16 {
+		return buf, fmt.Errorf("comm: response code %d out of wire range", resp.Code)
 	}
 	buf = append(buf, wireMsgResponse)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(resp.Model)))
@@ -194,6 +229,9 @@ func appendResponse(buf []byte, resp *Response, f32 bool) ([]byte, error) {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(resp.Version))
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(resp.Err)))
 	buf = append(buf, resp.Err...)
+	if withCode {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(resp.Code))
+	}
 	if resp.Outputs != nil {
 		outer := len(resp.Outputs)
 		inner := 0
@@ -424,8 +462,10 @@ func parseRequestInto(body []byte, req *Request, alloc tensorAlloc, j *job) erro
 }
 
 // parseResponseInto decodes a response frame body into resp, allocating from
-// the heap (the client hands decoded tensors to its caller).
-func parseResponseInto(body []byte, resp *Response) error {
+// the heap (the client hands decoded tensors to its caller). hasCode selects
+// the version-2 layout, which carries the response code after the error
+// text.
+func parseResponseInto(body []byte, resp *Response, hasCode bool) error {
 	r := wireReader{b: body}
 	msg, err := r.u8()
 	if err != nil {
@@ -458,6 +498,11 @@ func parseResponseInto(body []byte, resp *Response) error {
 	}
 	if resp.Err, err = r.str(elen); err != nil {
 		return err
+	}
+	if hasCode {
+		if resp.Code, err = r.u16(); err != nil {
+			return err
+		}
 	}
 	kind, err := r.u8()
 	if err != nil {
@@ -562,9 +607,12 @@ type clientCodec interface {
 // bodies stay direct calls (no encode closures) so the server's per-request
 // path performs no allocations.
 type binFramer struct {
-	w      io.Writer
-	r      *bufio.Reader
-	f32    bool
+	w   io.Writer
+	r   *bufio.Reader
+	f32 bool
+	// code marks a version-2 connection: response frames carry the code
+	// field (ErrOverloaded et al). A v1 peer negotiated it away.
+	code   bool
 	encBuf []byte
 	decBuf []byte
 }
@@ -598,31 +646,38 @@ func (c *binClientCodec) readResponse(resp *Response) error {
 		return err
 	}
 	*resp = Response{}
-	return parseResponseInto(body, resp)
+	return parseResponseInto(body, resp, c.code)
 }
 
 // negotiateClient performs the hello exchange on a fresh connection,
-// returning whether the server accepted the float32 payload flag.
-func negotiateClient(conn io.Writer, r *bufio.Reader, f32 bool) (f32OK bool, err error) {
+// returning the negotiated wire version, whether the server accepted the
+// float32 payload flag, and the server's advertised continuous-batching
+// window (0 when the server does not batch across connections, and on v1
+// servers, whose acks carry zero in those bytes by construction).
+func negotiateClient(conn io.Writer, r *bufio.Reader, f32 bool) (version byte, f32OK bool, window time.Duration, err error) {
 	var flags byte
 	if f32 {
 		flags |= wireFlagF32
 	}
 	hello := helloBytes(wireVersion, flags)
 	if _, err := conn.Write(hello[:]); err != nil {
-		return false, fmt.Errorf("comm: sending wire hello: %w", err)
+		return 0, false, 0, fmt.Errorf("comm: sending wire hello: %w", err)
 	}
 	var ack [8]byte
 	if _, err := io.ReadFull(r, ack[:]); err != nil {
-		return false, fmt.Errorf("comm: reading wire hello ack (a server predating the binary codec closes here; dial with WithWire(WireGob)): %w", err)
+		return 0, false, 0, fmt.Errorf("comm: reading wire hello ack (a server predating the binary codec closes here; dial with WithWire(WireGob)): %w", err)
 	}
 	if [4]byte{ack[0], ack[1], ack[2], ack[3]} != wireMagic {
-		return false, fmt.Errorf("comm: server is not speaking the binary wire protocol; dial with WithWire(WireGob)")
+		return 0, false, 0, fmt.Errorf("comm: server is not speaking the binary wire protocol; dial with WithWire(WireGob)")
 	}
-	if ack[4] != wireVersion {
-		return false, fmt.Errorf("comm: server negotiated unsupported wire version %d", ack[4])
+	// The connection speaks min(client, server): a hostile or buggy ack
+	// naming a version above what we offered is a protocol violation, and
+	// version 0 predates the codec entirely.
+	if ack[4] < 1 || ack[4] > wireVersion {
+		return 0, false, 0, fmt.Errorf("comm: server negotiated unsupported wire version %d", ack[4])
 	}
-	return ack[5]&wireFlagF32 != 0, nil
+	window = time.Duration(binary.LittleEndian.Uint16(ack[6:8])) * time.Millisecond
+	return ack[4], ack[5]&wireFlagF32 != 0, window, nil
 }
 
 // decodeGobStream decodes a captured legacy gob request stream.

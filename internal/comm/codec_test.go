@@ -101,12 +101,12 @@ func TestBinaryResponseRoundTrip(t *testing.T) {
 		}},
 	}
 	for i, resp := range resps {
-		body, err := appendResponse(nil, resp, false)
+		body, err := appendResponse(nil, resp, false, false)
 		if err != nil {
 			t.Fatalf("response %d: %v", i, err)
 		}
 		var got Response
-		if err := parseResponseInto(body, &got); err != nil {
+		if err := parseResponseInto(body, &got, false); err != nil {
 			t.Fatalf("response %d decode: %v", i, err)
 		}
 		if got.Model != resp.Model || got.Version != resp.Version || got.Err != resp.Err {
@@ -186,7 +186,7 @@ func TestHostileFramesRejected(t *testing.T) {
 			t.Errorf("%s: hostile request frame accepted", name)
 		}
 		var resp Response
-		if err := parseResponseInto(body, &resp); err == nil {
+		if err := parseResponseInto(body, &resp, false); err == nil {
 			t.Errorf("%s: hostile response frame accepted", name)
 		}
 	}
@@ -209,7 +209,7 @@ func TestCodecSteadyStateZeroAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	j.reset()
-	if encBuf, err = appendResponse(encBuf[:0], resp, false); err != nil {
+	if encBuf, err = appendResponse(encBuf[:0], resp, false, false); err != nil {
 		t.Fatal(err)
 	}
 	if cap(encBuf) < len(encBuf) {
@@ -222,7 +222,7 @@ func TestCodecSteadyStateZeroAllocs(t *testing.T) {
 		}
 		j.reset()
 		var e error
-		encBuf, e = appendResponse(encBuf[:0], resp, false)
+		encBuf, e = appendResponse(encBuf[:0], resp, false, false)
 		if e != nil {
 			t.Fatal(e)
 		}
@@ -377,7 +377,7 @@ func TestServerComputeLoopZeroAllocs(t *testing.T) {
 			t.Fatal(resp.Err)
 		}
 		var e error
-		encBuf, e = appendResponse(append(encBuf[:0], 0, 0, 0, 0), resp, false)
+		encBuf, e = appendResponse(append(encBuf[:0], 0, 0, 0, 0), resp, false, true)
 		if e != nil {
 			t.Fatal(e)
 		}
@@ -440,7 +440,7 @@ func BenchmarkServeRequestLoop(b *testing.B) {
 			b.Fatal(resp.Err)
 		}
 		var e error
-		encBuf, e = appendResponse(append(encBuf[:0], 0, 0, 0, 0), resp, false)
+		encBuf, e = appendResponse(append(encBuf[:0], 0, 0, 0, 0), resp, false, true)
 		if e != nil {
 			b.Fatal(e)
 		}

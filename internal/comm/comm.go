@@ -38,12 +38,25 @@
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"time"
 
 	"ensembler/internal/tensor"
 )
+
+// ErrOverloaded is the 429 of the wire protocol: the server's intake queue
+// was full and the request was shed by admission control instead of queued
+// without bound. The connection stays synchronized — the response frame is
+// well-formed — so the client may retry after backing off (Pool does this
+// automatically; see RetryPolicy). Detect with errors.Is.
+var ErrOverloaded = errors.New("server overloaded")
+
+// CodeOverloaded is Response.Code for a load-shed request — 429 by analogy,
+// carried natively by the gob codec and as the code field of a version-2
+// binary response frame (a v1 binary peer sees only the error text).
+const CodeOverloaded = 429
 
 // Request is the client→server message. Exactly one of the two payload
 // fields is set: Features carries the intermediate activations
@@ -74,6 +87,11 @@ type Response struct {
 	Features []*tensor.Tensor
 	Outputs  [][]*tensor.Tensor
 	Err      string
+	// Code classifies a non-empty Err so clients can react mechanically:
+	// 0 is an ordinary request failure (terminal for that request),
+	// CodeOverloaded marks a load-shed request that is safe to retry.
+	// Legacy gob decoders predating the field simply ignore it.
+	Code int
 }
 
 // Timing breaks down one remote inference round trip as measured at the

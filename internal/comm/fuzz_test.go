@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"bufio"
 	"bytes"
 	"testing"
 
@@ -46,27 +47,55 @@ func FuzzWireRequestFrame(f *testing.F) {
 
 // FuzzWireResponseFrame covers the client's half of the trust boundary: the
 // server is the adversary of the threat model, so its frames deserve the
-// same hostility testing as requests.
+// same hostility testing as requests. Both frame layouts run — the v1 form
+// and the v2 form carrying the response code — and a frame that decodes in
+// v2 must round-trip its code (the overload verdict must survive the wire
+// exactly, or a shed would be mistaken for a terminal failure).
 func FuzzWireResponseFrame(f *testing.F) {
 	seed, err := appendResponse(nil, &Response{Model: "m", Version: 1,
-		Features: []*tensor.Tensor{wireTensor(43, 2, 8)}}, false)
+		Features: []*tensor.Tensor{wireTensor(43, 2, 8)}}, false, false)
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Add(seed)
-	errFrame, err := appendResponse(nil, &Response{Err: "x"}, false)
+	errFrame, err := appendResponse(nil, &Response{Err: "x"}, false, false)
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Add(errFrame)
+	// The admission-control shed frame, exactly as the dispatcher emits it
+	// on a v2 connection.
+	shed, err := appendResponse(nil, &Response{Err: overloadedMsg, Code: CodeOverloaded}, false, true)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(shed)
 	f.Fuzz(func(t *testing.T, body []byte) {
+		var v1 Response
+		_ = parseResponseInto(body, &v1, false)
 		var resp Response
-		_ = parseResponseInto(body, &resp)
+		if err := parseResponseInto(body, &resp, true); err != nil {
+			return
+		}
+		re, err := appendResponse(nil, &resp, false, true)
+		if err != nil {
+			t.Fatalf("decoded response does not re-encode: %v", err)
+		}
+		var resp2 Response
+		if err := parseResponseInto(re, &resp2, true); err != nil {
+			t.Fatalf("re-encoded response does not parse: %v", err)
+		}
+		if resp2.Code != resp.Code || resp2.Err != resp.Err {
+			t.Fatalf("response code/err does not round-trip: (%d,%q) vs (%d,%q)",
+				resp.Code, resp.Err, resp2.Code, resp2.Err)
+		}
 	})
 }
 
 // FuzzWireStream covers the wiretap/stream parser over both protocols,
-// hello negotiation included.
+// hello negotiation included — seeds now cover the v2 hello with the
+// window-advice bytes set, which the request-stream parser must skip like
+// any other hello.
 func FuzzWireStream(f *testing.F) {
 	var bin bytes.Buffer
 	hello := helloBytes(wireVersion, 0)
@@ -76,9 +105,48 @@ func FuzzWireStream(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(bin.Bytes())
+	// A v2-negotiated stream: hello-ack bytes carrying a 25ms batch-window
+	// advice followed by a frame (what a wiretap of the server→client
+	// direction of a batching server opens with).
+	var ackStream bytes.Buffer
+	ack := helloAckBytes(wireVersion, wireFlagF32, 25)
+	ackStream.Write(ack[:])
+	ackStream.Write(bin.Bytes()[8:])
+	f.Add(ackStream.Bytes())
 	f.Add([]byte{0xE5, 'N', 'S', 'B'})
+	f.Add([]byte{0xE5, 'N', 'S', 'B', 2, 0, 0xFF, 0xFF})
 	f.Add([]byte{3, 0xFF})
 	f.Fuzz(func(t *testing.T, stream []byte) {
 		_, _ = DecodeWireStream(stream)
+	})
+}
+
+// FuzzWireHelloAck runs arbitrary bytes through the client's half of the
+// hello exchange — the window-negotiation surface a hostile server controls.
+// The client must never panic, never accept a version above what it offered,
+// and any window it does accept must be what the ack's u16 encodes.
+func FuzzWireHelloAck(f *testing.F) {
+	good := helloAckBytes(wireVersion, 0, 0)
+	f.Add(good[:])
+	v1 := helloAckBytes(1, wireFlagF32, 0)
+	f.Add(v1[:])
+	windowed := helloAckBytes(2, 0, 25)
+	f.Add(windowed[:])
+	tooNew := helloAckBytes(99, 0, 0)
+	f.Add(tooNew[:])
+	f.Add([]byte("notmagic"))
+	f.Add([]byte{0xE5, 'N', 'S', 'B', 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, ack []byte) {
+		var sink bytes.Buffer
+		ver, _, window, err := negotiateClient(&sink, bufio.NewReader(bytes.NewReader(ack)), true)
+		if err != nil {
+			return
+		}
+		if ver < 1 || ver > wireVersion {
+			t.Fatalf("accepted wire version %d outside [1,%d]", ver, wireVersion)
+		}
+		if window < 0 || window > 65535*1_000_000 {
+			t.Fatalf("accepted window %v outside the u16-milliseconds range", window)
+		}
 	})
 }

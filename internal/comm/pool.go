@@ -18,6 +18,13 @@ type Pool struct {
 	addr     string
 	dialOpts []DialOption
 
+	// Retry governs how Infer/InferBatch/Exchange respond to a load-shed
+	// (ErrOverloaded) response: jittered exponential backoff, bounded
+	// attempts (see RetryPolicy). Set before the pool takes traffic;
+	// NewPool installs DefaultRetryPolicy, and RetryPolicy{} disables
+	// retries entirely.
+	Retry RetryPolicy
+
 	mu        sync.Mutex
 	configure func(*Client) error
 	cfgEpoch  uint64 // bumped by Reconfigure; stale clients are discarded on release
@@ -43,6 +50,7 @@ func NewPool(addr string, size int, configure func(*Client) error, opts ...DialO
 	return &Pool{
 		addr:      addr,
 		dialOpts:  opts,
+		Retry:     DefaultRetryPolicy(),
 		configure: configure,
 		size:      size,
 		idle:      make(chan *Client, size),
@@ -172,39 +180,43 @@ func (p *Pool) Reconfigure(configure func(*Client) error) {
 // Infer runs one single-input round trip on a pooled connection. Benign
 // failures (server-side rejections, pre-flight context errors) leave the
 // stream synchronized, so the connection returns to the pool; only a
-// transport failure discards it.
+// transport failure discards it. A load-shed response (ErrOverloaded)
+// retries under the pool's RetryPolicy before surfacing.
 func (p *Pool) Infer(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, Timing, error) {
-	c, err := p.get(ctx)
-	if err != nil {
-		return nil, Timing{}, err
-	}
-	logits, t, err := c.Infer(ctx, x)
-	p.put(c)
+	var logits *tensor.Tensor
+	var t Timing
+	err := p.retryOverload(ctx, func(c *Client) error {
+		var opErr error
+		logits, t, opErr = c.Infer(ctx, x)
+		return opErr
+	})
 	return logits, t, err
 }
 
 // InferBatch runs one batched round trip on a pooled connection, with the
-// same benign-vs-transport release policy as Infer.
+// same benign-vs-transport release policy and overload retries as Infer.
 func (p *Pool) InferBatch(ctx context.Context, xs []*tensor.Tensor) ([]*tensor.Tensor, Timing, error) {
-	c, err := p.get(ctx)
-	if err != nil {
-		return nil, Timing{}, err
-	}
-	logits, t, err := c.InferBatch(ctx, xs)
-	p.put(c)
+	var logits []*tensor.Tensor
+	var t Timing
+	err := p.retryOverload(ctx, func(c *Client) error {
+		var opErr error
+		logits, t, opErr = c.InferBatch(ctx, xs)
+		return opErr
+	})
 	return logits, t, err
 }
 
 // Exchange runs one raw feature round trip on a pooled connection (see
-// Client.Exchange), with the same benign-vs-transport release policy as
-// Infer.
+// Client.Exchange), with the same benign-vs-transport release policy and
+// overload retries as Infer.
 func (p *Pool) Exchange(ctx context.Context, features *tensor.Tensor) (*Exchanged, Timing, error) {
-	c, err := p.get(ctx)
-	if err != nil {
-		return nil, Timing{}, err
-	}
-	ex, t, err := c.Exchange(ctx, features)
-	p.put(c)
+	var ex *Exchanged
+	var t Timing
+	err := p.retryOverload(ctx, func(c *Client) error {
+		var opErr error
+		ex, t, opErr = c.Exchange(ctx, features)
+		return opErr
+	})
 	return ex, t, err
 }
 

@@ -1,0 +1,112 @@
+package comm
+
+// Overload retry: the client-side half of admission control. A shed request
+// (ErrOverloaded) is explicitly safe to retry — the server did no work and
+// the stream stayed synchronized — but retrying immediately re-joins the
+// same congested batch cycle. RetryPolicy spaces the attempts with capped
+// exponential backoff plus jitter (decorrelating the retry storm a shed
+// burst would otherwise synchronize), floored by the batch window the
+// server advertised in its hello ack. Every other error remains terminal:
+// before this policy existed, Pool treated a shed exactly like a real
+// failure, surfacing transient overload to callers as hard errors.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy governs how Pool operations respond to ErrOverloaded. The
+// zero value disables retries (one attempt, no backoff); DefaultRetryPolicy
+// is what NewPool installs.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries, the first included. Values below 1
+	// behave as 1 — the request is never retried.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further retry
+	// doubles it, capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth. Zero means no cap.
+	MaxDelay time.Duration
+	// Jitter in [0,1] scales each delay by a uniform factor from
+	// [1-Jitter, 1]: 0 is a deterministic schedule, 1 lets a delay shrink
+	// to anywhere above zero. Backoff without jitter synchronizes the very
+	// retry storm it is meant to disperse.
+	Jitter float64
+}
+
+// DefaultRetryPolicy is the Pool default: four attempts spaced 2ms → 4ms →
+// 8ms (pre-jitter, and floored by the server's advertised batch window),
+// absorbing a transient shed burst without stretching a genuinely
+// overloaded call past ~15ms of waiting.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 2 * time.Millisecond, MaxDelay: 250 * time.Millisecond, Jitter: 0.5}
+}
+
+// Delay returns the pause before the next try after `failures` shed
+// attempts (1-based: the first retry passes 1), with u — uniform in [0,1)
+// — supplying the jitter draw. Pure function of its arguments so backoff
+// schedules are unit-testable without sleeping or seeding.
+func (p RetryPolicy) Delay(failures int, u float64) time.Duration {
+	if failures < 1 || p.BaseDelay <= 0 {
+		return 0
+	}
+	d := p.BaseDelay
+	for i := 1; i < failures; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			d = p.MaxDelay
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 {
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		d = time.Duration(float64(d) * (1 - j*u))
+	}
+	return d
+}
+
+// retryOverload runs op on pooled clients until it succeeds, fails
+// terminally, exhausts the policy's attempts, or ctx fires. Only
+// ErrOverloaded re-tries; the backoff before each retry is the policy delay
+// floored by the server's advertised batch window (retrying inside the
+// window would land in the same congested cycle the shed came from).
+func (p *Pool) retryOverload(ctx context.Context, op func(*Client) error) error {
+	attempts := p.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		c, err := p.get(ctx)
+		if err != nil {
+			return err
+		}
+		err = op(c)
+		window := c.ServerBatchWindow()
+		p.put(c)
+		if err == nil || attempt >= attempts || !errors.Is(err, ErrOverloaded) {
+			return err
+		}
+		delay := p.Retry.Delay(attempt, rand.Float64())
+		if delay < window {
+			delay = window
+		}
+		if delay > 0 {
+			timer := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return fmt.Errorf("comm: backing off after overloaded server: %w", ctx.Err())
+			case <-timer.C:
+			}
+		}
+	}
+}

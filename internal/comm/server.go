@@ -56,6 +56,13 @@ type serverOptions struct {
 	replicate func() []*nn.Network
 	metrics   *ServerMetrics  // nil: no telemetry, zero hot-path cost
 	observer  FeatureObserver // nil: no feature mirroring, zero hot-path cost
+
+	// Continuous batching (see dispatch.go). dispatch gates the whole
+	// subsystem: WithBatchWindow or WithMaxQueue turns it on.
+	dispatch    bool
+	window      time.Duration
+	maxQueue    int
+	maxCoalesce int
 }
 
 // WithWorkers bounds the compute worker pool. For a single-model server
@@ -108,6 +115,52 @@ func WithDrainTimeout(d time.Duration) ServerOption {
 	}
 }
 
+// WithBatchWindow enables the continuous-batching dispatcher with the given
+// batch window: after the dispatcher sees a batch's first request it waits d
+// before closing the batch, so requests arriving on other connections within
+// the window share one stacked forward pass. Zero keeps the dispatcher (and
+// its admission control) but coalesces only what is already queued — no
+// added latency. Windows are clamped to one second; a longer window is a
+// latency bug, and the graceful-shutdown drain must be able to out-wait it.
+func WithBatchWindow(d time.Duration) ServerOption {
+	return func(o *serverOptions) {
+		if d < 0 {
+			d = 0
+		}
+		if d > maxBatchWindow {
+			d = maxBatchWindow
+		}
+		o.dispatch = true
+		o.window = d
+	}
+}
+
+// WithMaxQueue bounds the continuous-batching intake queue (enabling the
+// dispatcher if WithBatchWindow has not): once n requests are queued across
+// all connections, admission control sheds — the newest request of the
+// longest per-connection queue — with an ErrOverloaded response instead of
+// queueing without bound. Defaults to DefaultMaxQueue when the dispatcher is
+// on.
+func WithMaxQueue(n int) ServerOption {
+	return func(o *serverOptions) {
+		if n > 0 {
+			o.dispatch = true
+			o.maxQueue = n
+		}
+	}
+}
+
+// WithMaxCoalesce caps how many queued requests the dispatcher stacks into
+// one forward pass. Defaults to the WithMaxBatch cap, keeping a coalesced
+// batch no larger than what a single client-batched request may carry.
+func WithMaxCoalesce(n int) ServerOption {
+	return func(o *serverOptions) {
+		if n > 0 {
+			o.maxCoalesce = n
+		}
+	}
+}
+
 // WithReplicas supplies a factory producing an independent replica of the N
 // hosted bodies (identical weights, private forward caches) for a
 // single-model server. Each worker beyond the first owns one replica set,
@@ -126,6 +179,12 @@ type Server struct {
 	opts     serverOptions
 
 	jobs chan *job
+
+	// Continuous batching (nil / nil channel when not enabled): handlers
+	// submit decoded jobs to the dispatcher instead of s.jobs, and workers
+	// drain coalesced batches from batches alongside direct jobs.
+	dispatcher *dispatcher
+	batches    chan *dispatchBatch
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -249,13 +308,24 @@ func NewModelServer(p ModelProvider, opts ...ServerOption) *Server {
 }
 
 func newServer(p ModelProvider, o serverOptions) *Server {
-	return &Server{
+	s := &Server{
 		provider:     p,
 		opts:         o,
 		jobs:         make(chan *job),
 		conns:        map[net.Conn]struct{}{},
 		syncReplicas: newReplicaCache(),
 	}
+	if o.dispatch {
+		if s.opts.maxQueue <= 0 {
+			s.opts.maxQueue = DefaultMaxQueue
+		}
+		if s.opts.maxCoalesce <= 0 || s.opts.maxCoalesce > s.opts.maxBatch {
+			s.opts.maxCoalesce = s.opts.maxBatch
+		}
+		s.dispatcher = newDispatcher(s.opts.window, s.opts.maxQueue, s.opts.maxCoalesce, s.opts.metrics)
+		s.batches = make(chan *dispatchBatch)
+	}
+	return s
 }
 
 // Workers reports the effective size of the compute pool.
@@ -275,6 +345,15 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		go func() {
 			defer workers.Done()
 			s.worker(stop)
+		}()
+	}
+	dispatchStop := make(chan struct{})
+	var batcher sync.WaitGroup
+	if s.dispatcher != nil {
+		batcher.Add(1)
+		go func() {
+			defer batcher.Done()
+			s.dispatcher.run(s.batches, dispatchStop)
 		}()
 	}
 
@@ -321,6 +400,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		s.forceCloseConns()
 		<-drained
 	}
+	// Handlers have drained: every submitted job was replied, so the
+	// dispatcher intake is provably empty and the batcher can stop before
+	// the workers it feeds.
+	close(dispatchStop)
+	batcher.Wait()
 	close(stop)
 	workers.Wait()
 
@@ -402,7 +486,7 @@ func (c *binServerCodec) readRequest(j *job) error {
 }
 
 func (c *binServerCodec) writeResponse(resp *Response) error {
-	buf, err := appendResponse(c.frameStart(), resp, c.f32)
+	buf, err := appendResponse(c.frameStart(), resp, c.f32, c.code)
 	c.encBuf = buf
 	if err != nil {
 		return err
@@ -411,10 +495,11 @@ func (c *binServerCodec) writeResponse(resp *Response) error {
 }
 
 // negotiate sniffs the first bytes of a fresh connection: the binary hello
-// magic selects the binary codec (and acks version + accepted flags);
-// anything else is a legacy gob client, served by the gob codec over
-// byte-identical framing.
-func negotiate(conn net.Conn, br *bufio.Reader) (serverCodec, error) {
+// magic selects the binary codec (and acks min(client, server) version,
+// accepted flags, and the continuous-batching window advice); anything else
+// is a legacy gob client, served by the gob codec over byte-identical
+// framing.
+func (s *Server) negotiate(conn net.Conn, br *bufio.Reader) (serverCodec, error) {
 	peek, err := br.Peek(4)
 	if err != nil {
 		return nil, err
@@ -429,12 +514,13 @@ func negotiate(conn net.Conn, br *bufio.Reader) (serverCodec, error) {
 	if hello[4] < 1 {
 		return nil, fmt.Errorf("comm: client hello names unsupported wire version %d", hello[4])
 	}
+	version := min(hello[4], byte(wireVersion))
 	flags := hello[5] & wireFlagF32
-	ack := helloBytes(wireVersion, flags)
+	ack := helloAckBytes(version, flags, windowAdviceMs(s.opts.window))
 	if _, err := conn.Write(ack[:]); err != nil {
 		return nil, err
 	}
-	return &binServerCodec{binFramer{w: conn, r: br, f32: flags&wireFlagF32 != 0}}, nil
+	return &binServerCodec{binFramer{w: conn, r: br, f32: flags&wireFlagF32 != 0, code: version >= 2}}, nil
 }
 
 // handle processes one client connection until it closes or the server
@@ -446,9 +532,19 @@ func negotiate(conn net.Conn, br *bufio.Reader) (serverCodec, error) {
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 1<<16)
-	codec, err := negotiate(conn, br)
+	codec, err := s.negotiate(conn, br)
 	if err != nil {
 		return
+	}
+
+	// With continuous batching on, this connection owns one dispatcher
+	// queue. It unregisters only after the writer has drained every reply
+	// (the deferred call runs after writer.Wait()), at which point the queue
+	// is empty by construction.
+	var cq *connQueue
+	if s.dispatcher != nil {
+		cq = s.dispatcher.register()
+		defer s.dispatcher.unregister(cq)
 	}
 
 	// pending preserves request order across the concurrent pool: the writer
@@ -490,12 +586,17 @@ func (s *Server) handle(conn net.Conn) {
 			break // client closed, protocol error, or shutdown deadline
 		}
 		pending <- j
-		// The pool outlives every handler (Serve joins handlers before
-		// stopping workers), so an unconditional send cannot deadlock and a
-		// request that was decoded always computes — even mid-shutdown,
-		// honoring the drain guarantee without racing ctx.Done against a
-		// free worker.
-		s.jobs <- j
+		// The pool (and, when batching, the dispatcher) outlives every
+		// handler: Serve joins handlers before stopping either, so an
+		// unconditional hand-off cannot deadlock and a request that was
+		// decoded always gets an answer — computed or honestly shed — even
+		// mid-shutdown, honoring the drain guarantee without racing
+		// ctx.Done against a free worker.
+		if cq != nil {
+			s.dispatcher.submit(cq, j)
+		} else {
+			s.jobs <- j
+		}
 	}
 	close(pending)
 	writer.Wait()
@@ -582,6 +683,9 @@ func (s *Server) worker(stop <-chan struct{}) {
 		select {
 		case j := <-s.jobs:
 			j.reply <- s.serve(j, replicas)
+		case b := <-s.batches: // nil channel (never ready) without a dispatcher
+			s.serveBatch(b, replicas)
+			s.dispatcher.putBatch(b)
 		case <-stop:
 			return
 		}
@@ -678,7 +782,7 @@ func (s *Server) processUnguarded(j *job, wr *workerReplica) *Response {
 		if err != nil {
 			return &Response{Err: err.Error()}
 		}
-		perBody := s.forwardBodies(j, wr, stacked)
+		perBody := s.forwardBodies(&j.outs, wr, stacked)
 		// Transpose [body][input] into the wire layout [input][body],
 		// copying each part out of its body's scratch into the job arena.
 		nb := len(wr.bodies)
@@ -710,7 +814,7 @@ func (s *Server) processUnguarded(j *job, wr *workerReplica) *Response {
 		if err := validateFeatures(req.Features); err != nil {
 			return &Response{Err: err.Error()}
 		}
-		perBody := s.forwardBodies(j, wr, req.Features)
+		perBody := s.forwardBodies(&j.outs, wr, req.Features)
 		feats := j.feats[:0]
 		for _, out := range perBody {
 			feats = append(feats, j.arena.Clone(out))
@@ -765,32 +869,36 @@ func (j *job) stackInputs() (*tensor.Tensor, error) {
 // goroutines. A single-worker server keeps the historical per-body fan-out
 // (it is the only parallelism available), with a panic in any body's
 // goroutine re-raised on the calling goroutine for processWith to absorb.
-func (s *Server) forwardBodies(j *job, wr *workerReplica, x *tensor.Tensor) []*tensor.Tensor {
+//
+// slot supplies (and receives back) the reusable output slice — a job's
+// j.outs or a dispatchBatch's b.outs — keeping both callers on the
+// zero-allocation steady state.
+func (s *Server) forwardBodies(slot *[]*tensor.Tensor, wr *workerReplica, x *tensor.Tensor) []*tensor.Tensor {
 	// The serial path must not share a local with the goroutine-spawning
 	// branch: a closure-captured slice header is heap-moved on every call,
 	// which is exactly the allocation this loop exists to avoid.
 	if s.opts.workers > 1 || len(wr.bodies) == 1 {
-		outs := j.outs[:0]
+		outs := (*slot)[:0]
 		for i, b := range wr.bodies {
 			sc := wr.scratches[i]
 			sc.Reset()
 			outs = append(outs, b.ForwardInfer(x, sc))
 		}
-		j.outs = outs
+		*slot = outs
 		return outs
 	}
-	return forwardBodiesParallel(j, wr, x)
+	return forwardBodiesParallel(slot, wr, x)
 }
 
 // forwardBodiesParallel is the single-worker server's per-body fan-out. A
 // panic in any body's goroutine is re-raised on the calling goroutine for
 // processWith to absorb.
-func forwardBodiesParallel(j *job, wr *workerReplica, x *tensor.Tensor) []*tensor.Tensor {
-	outs := j.outs[:0]
+func forwardBodiesParallel(slot *[]*tensor.Tensor, wr *workerReplica, x *tensor.Tensor) []*tensor.Tensor {
+	outs := (*slot)[:0]
 	for range wr.bodies {
 		outs = append(outs, nil)
 	}
-	j.outs = outs
+	*slot = outs
 	panics := make(chan any, len(wr.bodies))
 	var wg sync.WaitGroup
 	for i, b := range wr.bodies {

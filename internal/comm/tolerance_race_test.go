@@ -1,0 +1,9 @@
+//go:build race
+
+package comm_test
+
+// p99Tolerance under the race detector: -race inflates and jitters compute
+// by 5-10×, which moves the measured service time between the calibration
+// run and the gated run, so the predicted-vs-measured p99 gate runs with a
+// wider band than the ±20% of an instrumented-free build.
+const p99Tolerance = 0.35
