@@ -33,6 +33,7 @@ import (
 	"ensembler/internal/nn"
 	"ensembler/internal/split"
 	"ensembler/internal/tensor"
+	"ensembler/internal/trace"
 )
 
 func main() {
@@ -226,9 +227,16 @@ func runServingBench(stdout, stderr io.Writer, n, clients, workers, reqBatch int
 		return nil, fmt.Errorf("listen: %w", err)
 	}
 	defer ln.Close()
+	// The tracer feeds per-stage latency histograms on every request; tail
+	// retention is fully off (negative rate AND negative slowest-N — zero
+	// values would mean the defaults) so retention can't perturb the
+	// measurement. Shared with the batched regime's server so its queue and
+	// batch-window stages land in the same attribution table.
+	tracer := trace.New(trace.Config{SampleRate: -1, SlowestN: -1})
 	srv := comm.NewServer(commtest.Bodies(benchArch(), n),
 		comm.WithWorkers(workers),
 		comm.WithReplicas(func() []*nn.Network { return commtest.Bodies(benchArch(), n) }),
+		comm.WithTracer(tracer),
 	)
 	comm.PinKernelParallelism(srv.Workers())
 	defer tensor.SetKernelParallelism(0)
@@ -287,9 +295,22 @@ func runServingBench(stdout, stderr io.Writer, n, clients, workers, reqBatch int
 	var batched *batchedRun
 	if batchWindow > 0 {
 		batched, err = runBatchedRegime(stdout, stderr, n, clients, workers, reqBatch,
-			window, wire, batchWindow, maxQueue, arrivalRate, effective, many.reqPerSec)
+			window, wire, batchWindow, maxQueue, arrivalRate, effective, many.reqPerSec, tracer)
 		if err != nil {
 			return nil, err
+		}
+	}
+
+	// Per-stage latency attribution: where server-side time actually went,
+	// from the tracer's histograms (every request observes; the gob regime
+	// lacks decode/encode stages because its codec predates the timing hooks).
+	stageStats := tracer.StageStats()
+	if len(stageStats) > 0 {
+		fmt.Fprintf(stdout, "\nstage attribution (all regimes):\n")
+		fmt.Fprintf(stdout, "  %-12s %10s %12s %12s\n", "stage", "count", "mean", "p99")
+		for _, s := range stageStats {
+			fmt.Fprintf(stdout, "  %-12s %10d %12s %12s\n", s.Stage, s.Count,
+				s.Mean.Round(time.Microsecond), s.P99.Round(time.Microsecond))
 		}
 	}
 
@@ -330,6 +351,12 @@ func runServingBench(stdout, stderr io.Writer, n, clients, workers, reqBatch int
 			BenchResult{Name: "shed_total", Value: float64(batched.stats.Sheds)},
 		)
 	}
+	for _, s := range stageStats {
+		report.Results = append(report.Results,
+			BenchResult{Name: "stage_" + s.Stage + "_mean_ms", Value: 1e3 * s.Mean.Seconds()},
+			BenchResult{Name: "stage_" + s.Stage + "_p99_ms", Value: 1e3 * s.P99.Seconds()},
+		)
+	}
 	if jsonPath != "" {
 		if err := writeBenchReport(jsonPath, *report); err != nil {
 			return nil, err
@@ -366,7 +393,7 @@ type batchedRun struct {
 // prediction shares this host's hardware reality.
 func runBatchedRegime(stdout, stderr io.Writer, n, clients, workers, reqBatch int,
 	window time.Duration, wire comm.WireFormat, batchWindow time.Duration, maxQueue int,
-	arrivalRate float64, effective int, unbatchedRPS float64) (*batchedRun, error) {
+	arrivalRate float64, effective int, unbatchedRPS float64, tracer *trace.Tracer) (*batchedRun, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("listen: %w", err)
@@ -376,6 +403,7 @@ func runBatchedRegime(stdout, stderr io.Writer, n, clients, workers, reqBatch in
 		comm.WithWorkers(workers),
 		comm.WithReplicas(func() []*nn.Network { return commtest.Bodies(benchArch(), n) }),
 		comm.WithBatchWindow(batchWindow),
+		comm.WithTracer(tracer),
 	}
 	if maxQueue > 0 {
 		opts = append(opts, comm.WithMaxQueue(maxQueue))

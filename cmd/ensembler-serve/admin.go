@@ -19,11 +19,15 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"ensembler/internal/audit"
 	"ensembler/internal/registry"
 	"ensembler/internal/telemetry"
+	"ensembler/internal/trace"
 )
 
 // adminPlane bundles what the admin endpoints read and do.
@@ -33,6 +37,8 @@ type adminPlane struct {
 	treg    *telemetry.Registry
 	auditor *audit.Auditor                              // nil: audit disabled
 	rotate  func(cause string) (*registry.Epoch, error) // nil: rotation not possible here (shard mode)
+	tracer  *trace.Tracer                               // nil: tracing disabled
+	pprof   bool                                        // expose net/http/pprof under /debug/pprof/
 	workers int
 	shard   string // "k/K" in fleet mode, "" otherwise
 	start   time.Time
@@ -45,7 +51,101 @@ func (a *adminPlane) mux() *http.ServeMux {
 	m.Handle("/metrics", a.treg.Handler())
 	m.HandleFunc("/leakage", a.handleLeakage)
 	m.HandleFunc("/rotate", a.handleRotate)
+	m.HandleFunc("/traces", a.handleTraces)
+	m.HandleFunc("/traces/", a.handleTraceByID)
+	if a.pprof {
+		// Registered explicitly instead of importing for the DefaultServeMux
+		// side effect: the admin plane never serves DefaultServeMux, and the
+		// profiler should exist only when the operator asked for it.
+		m.HandleFunc("/debug/pprof/", pprof.Index)
+		m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		m.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		m.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		m.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return m
+}
+
+// handleTraces lists the tail-sampled traces currently retained in the
+// tracer's ring, newest first, plus the per-stage latency attribution the
+// histograms have accumulated — the "what is slow" summary an operator reads
+// before pulling a full timeline.
+func (a *adminPlane) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if a.tracer == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	recs := a.tracer.Snapshot()
+	finished, retained := a.tracer.Counts()
+	type summary struct {
+		ID    string  `json:"id"`
+		Start string  `json:"start"`
+		Ms    float64 `json:"duration_ms"`
+		Spans int     `json:"spans"`
+		Err   bool    `json:"err,omitempty"`
+		Shed  bool    `json:"shed,omitempty"`
+	}
+	sums := make([]summary, 0, len(recs))
+	for i := len(recs) - 1; i >= 0; i-- {
+		rec := recs[i]
+		sums = append(sums, summary{
+			ID:    fmt.Sprintf("%016x", rec.ID),
+			Start: time.Unix(0, rec.Start).UTC().Format(time.RFC3339Nano),
+			Ms:    float64(rec.Dur) / 1e6,
+			Spans: rec.N,
+			Err:   rec.Err,
+			Shed:  rec.Shed,
+		})
+	}
+	stages := a.tracer.StageStats()
+	type stageRow struct {
+		Stage  string  `json:"stage"`
+		Count  uint64  `json:"count"`
+		MeanMs float64 `json:"mean_ms"`
+		P99Ms  float64 `json:"p99_ms"`
+	}
+	rows := make([]stageRow, 0, len(stages))
+	for _, s := range stages {
+		rows = append(rows, stageRow{
+			Stage: s.Stage, Count: s.Count,
+			MeanMs: float64(s.Mean) / float64(time.Millisecond),
+			P99Ms:  float64(s.P99) / float64(time.Millisecond),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled":  true,
+		"finished": finished,
+		"retained": retained,
+		"traces":   sums,
+		"stages":   rows,
+	})
+}
+
+// handleTraceByID serves one stitched trace — every retained leg sharing the
+// requested ID — as Chrome trace-event JSON, loadable directly in Perfetto
+// (ui.perfetto.dev) or chrome://tracing.
+func (a *adminPlane) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	if a.tracer == nil {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "tracing disabled"})
+		return
+	}
+	idStr := strings.TrimPrefix(r.URL.Path, "/traces/")
+	id, err := strconv.ParseUint(idStr, 16, 64)
+	if err != nil || id == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": fmt.Sprintf("trace id must be the hex id from /traces, got %q", idStr),
+		})
+		return
+	}
+	recs := a.tracer.TraceByID(id)
+	if len(recs) == 0 {
+		writeJSON(w, http.StatusNotFound, map[string]any{
+			"error": "trace not retained (evicted from the ring, or never sampled)",
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = trace.WriteChrome(w, recs)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

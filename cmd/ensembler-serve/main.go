@@ -84,6 +84,7 @@ import (
 	"ensembler/internal/registry"
 	"ensembler/internal/shard"
 	"ensembler/internal/telemetry"
+	"ensembler/internal/trace"
 )
 
 func main() {
@@ -113,7 +114,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	rotateSeed := fs.Int64("rotate-seed", 1, "seed stream for selector rotations")
 	keepVersions := fs.Int("keep-versions", 64, "on-disk versions kept per model when rotating (0 keeps everything)")
 	shardSpec := fs.String("shard", "", `host shard k of a K-shard fleet ("k/K"): only that shard's body subset`)
-	adminAddr := fs.String("admin-addr", "", "admin plane listen address (/healthz, /metrics, /leakage, /rotate); empty disables")
+	adminAddr := fs.String("admin-addr", "", "admin plane listen address (/healthz, /metrics, /leakage, /rotate, /traces); empty disables")
+	traceSample := fs.Float64("trace-sample", trace.DefaultSampleRate, "probability a healthy request's full span timeline is retained (errors, sheds, and the slowest are always kept); negative disables tail sampling")
+	traceSlowest := fs.Int("trace-slowest", 0, "always retain this many slowest requests seen (0 = default)")
+	traceCapacity := fs.Int("trace-capacity", 0, "retained-trace ring capacity, rounded up to a power of two (0 = default)")
+	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the admin plane (requires -admin-addr)")
 	auditSample := fs.Int("audit-sample", 0, "mirror every Nth request's features into the privacy audit (0 disables the audit)")
 	auditReservoir := fs.Int("audit-reservoir", 64, "bound on mirrored feature tensors held for the audit")
 	auditEvery := fs.Duration("audit-every", time.Minute, "leakage audit cadence")
@@ -146,6 +151,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if *auditSample > 0 && *auditThreshold <= 0 {
 		return fmt.Errorf("-audit-threshold must be positive when the audit is enabled, got %v", *auditThreshold)
+	}
+	if *pprofFlag && *adminAddr == "" {
+		return fmt.Errorf("-pprof serves on the admin plane; set -admin-addr")
+	}
+	if *traceSample > 1 {
+		return fmt.Errorf("-trace-sample is a probability; got %v", *traceSample)
+	}
+	if *traceSlowest < 0 || *traceCapacity < 0 {
+		return fmt.Errorf("-trace-slowest and -trace-capacity must be >= 0")
 	}
 
 	reg, err := openRegistry(*modelPath, *modelDir, *modelName)
@@ -245,10 +259,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *maxQueue > 0 {
 		serverOpts = append(serverOpts, comm.WithMaxQueue(*maxQueue))
 	}
+	telemetry.RegisterRuntimeMetrics(treg)
 	var sm *comm.ServerMetrics
+	var tracer *trace.Tracer
 	if *adminAddr != "" {
 		sm = comm.NewServerMetrics(treg)
 		serverOpts = append(serverOpts, comm.WithMetrics(sm))
+		// Tracing rides the admin plane: the per-stage histograms land on
+		// /metrics and the retained timelines on /traces. Without an admin
+		// listener there is nowhere to scrape either, so the hot path keeps
+		// its nil tracer.
+		tracer = trace.New(trace.Config{
+			SampleRate: *traceSample,
+			SlowestN:   *traceSlowest,
+			Capacity:   *traceCapacity,
+			Registry:   treg,
+		})
+		serverOpts = append(serverOpts, comm.WithTracer(tracer))
 	}
 	var sampler *audit.Sampler
 	if *auditSample > 0 {
@@ -403,7 +430,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *adminAddr != "" {
 		plane := &adminPlane{
 			reg: reg, model: defaultModel, treg: treg, auditor: auditor,
-			rotate: rotateNow, workers: srv.Workers(), shard: *shardSpec, start: startTime,
+			rotate: rotateNow, tracer: tracer, pprof: *pprofFlag,
+			workers: srv.Workers(), shard: *shardSpec, start: startTime,
 		}
 		adminWait, err = serveAdmin(serveCtx, *adminAddr, plane, func(format string, args ...any) {
 			fmt.Fprintf(stdout, format, args...)

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"os"
@@ -301,6 +302,160 @@ func TestAdminEndpoints(t *testing.T) {
 		t.Errorf("metrics after rotation = %d %q", code, b)
 	}
 
+	cancel()
+	if err := <-done; err != nil {
+		t.Errorf("graceful shutdown: %v", err)
+	}
+}
+
+// TestAdminTracesEndpoints serves one traced request (sample rate 1 forces
+// retention) and walks the trace surface: /traces must list it with stage
+// attribution, /traces/{id} must serve Chrome trace-event JSON that actually
+// parses as such, bad IDs must 400/404, and the profiler must exist exactly
+// when -pprof asked for it.
+func TestAdminTracesEndpoints(t *testing.T) {
+	dir, reg := publishTiny(t, 0)
+	e, err := reg.Current("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeline := e.Pipeline()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sc, done := runAsync(ctx, t, []string{
+		"-model-dir", dir, "-addr", "127.0.0.1:0", "-admin-addr", "127.0.0.1:0",
+		"-trace-sample", "1", "-pprof",
+	})
+	addr := scrapeAddr(t, sc, done)
+	admin := "http://" + scrapeAdminAddr(t, sc, done)
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	client, err := comm.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	rt := pipeline.NewClientRuntime()
+	client.ComputeFeatures = rt.Features
+	client.Select = rt.Select
+	client.Tail = rt.Tail
+	arch := commtest.TinyArch()
+	x := tensor.New(1, arch.InC, arch.H, arch.W)
+	rng.New(9).FillNormal(x.Data, 0, 1)
+	if _, _, err := client.Infer(ctx, x); err != nil {
+		t.Fatal(err)
+	}
+
+	// The server leg finishes on the connection writer after the response
+	// flushed; poll until it lands in the ring.
+	var listing struct {
+		Enabled bool `json:"enabled"`
+		Traces  []struct {
+			ID string `json:"id"`
+		} `json:"traces"`
+		Stages []struct {
+			Stage string `json:"stage"`
+		} `json:"stages"`
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		code, body := adminGet(t, admin+"/traces")
+		if code != 200 {
+			t.Fatalf("/traces = %d %q", code, body)
+		}
+		if err := json.Unmarshal([]byte(body), &listing); err != nil {
+			t.Fatalf("/traces is not JSON: %v\n%s", err, body)
+		}
+		if listing.Enabled && len(listing.Traces) > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !listing.Enabled || len(listing.Traces) == 0 {
+		t.Fatal("/traces never listed the retained trace")
+	}
+	stages := map[string]bool{}
+	for _, s := range listing.Stages {
+		stages[s.Stage] = true
+	}
+	for _, want := range []string{"decode", "forward", "encode"} {
+		if !stages[want] {
+			t.Errorf("/traces stage attribution is missing %q (have %v)", want, listing.Stages)
+		}
+	}
+
+	// The full timeline must be valid Chrome trace-event JSON: a
+	// traceEvents array of "X" complete events with µs timestamps.
+	code, body := adminGet(t, admin+"/traces/"+listing.Traces[0].ID)
+	if code != 200 {
+		t.Fatalf("/traces/{id} = %d %q", code, body)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &chrome); err != nil {
+		t.Fatalf("/traces/{id} is not Chrome trace-event JSON: %v\n%s", err, body)
+	}
+	var complete int
+	for _, ev := range chrome.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			if ev.Name == "" || ev.Ts <= 0 || ev.Pid != 1 || ev.Tid < 1 {
+				t.Errorf("malformed complete event: %+v", ev)
+			}
+		case "M":
+		default:
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if complete == 0 {
+		t.Fatal("trace timeline has no complete events")
+	}
+
+	if code, _ := adminGet(t, admin+"/traces/nothex"); code != 400 {
+		t.Errorf("/traces/nothex = %d, want 400", code)
+	}
+	if code, _ := adminGet(t, admin+"/traces/ffffffffffffffff"); code != 404 {
+		t.Errorf("/traces/<unknown id> = %d, want 404", code)
+	}
+	if code, _ := adminGet(t, admin+"/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline with -pprof = %d, want 200", code)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Errorf("graceful shutdown: %v", err)
+	}
+}
+
+// Without -pprof the profiler must not exist on the admin plane.
+func TestAdminPprofAbsentByDefault(t *testing.T) {
+	dir, _ := publishTiny(t, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sc, done := runAsync(ctx, t, []string{
+		"-model-dir", dir, "-addr", "127.0.0.1:0", "-admin-addr", "127.0.0.1:0",
+	})
+	scrapeAddr(t, sc, done)
+	admin := "http://" + scrapeAdminAddr(t, sc, done)
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	if code, _ := adminGet(t, admin+"/debug/pprof/cmdline"); code != 404 {
+		t.Errorf("/debug/pprof/cmdline without -pprof = %d, want 404", code)
+	}
 	cancel()
 	if err := <-done; err != nil {
 		t.Errorf("graceful shutdown: %v", err)

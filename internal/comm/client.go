@@ -10,6 +10,7 @@ import (
 
 	"ensembler/internal/nn"
 	"ensembler/internal/tensor"
+	"ensembler/internal/trace"
 )
 
 // DialOption configures how a client connection is established.
@@ -51,12 +52,24 @@ type Client struct {
 	// retry sooner than the window lands in the same congested batch cycle.
 	serverWindow time.Duration
 
+	// lastTraceID is the trace ID the server echoed on the last successful
+	// round trip (0 when the request was untraced or the connection predates
+	// wire v3).
+	lastTraceID uint64
+
 	// Model and Version route requests on a multi-model server. The zero
 	// values ("", 0) mean the server's default model at its current version
 	// — byte-identical on the wire to a pre-registry client's request — and
 	// a positive Version pins one published version.
 	Model   string
 	Version int
+
+	// Trace, when nonzero, rides each request as its wire trace context
+	// (v3+ connections only; dropped silently on older and gob connections,
+	// so it is always safe to set). The server stitches its leg of the
+	// request under the same trace ID — see internal/trace. Like Model and
+	// Version, it tags every subsequent request until changed.
+	Trace trace.Context
 
 	// ComputeFeatures produces the transmitted features for an image batch
 	// (head + noise).
@@ -154,9 +167,18 @@ func newClientConn(ctx context.Context, conn net.Conn, wire WireFormat) (*Client
 	if window > maxBatchWindow {
 		window = maxBatchWindow
 	}
-	codec := &binClientCodec{binFramer{w: cc, r: br, f32: wire == WireBinaryF32 && f32OK, code: ver >= 2}}
+	codec := &binClientCodec{
+		binFramer: binFramer{w: cc, r: br, f32: wire == WireBinaryF32 && f32OK, code: ver >= 2},
+		traceOK:   ver >= 3,
+	}
 	return &Client{conn: cc, codec: codec, serverWindow: window}, nil
 }
+
+// LastTraceID reports the trace ID the server echoed on the client's last
+// successful round trip — the caller's proof that the server joined its leg
+// to the trace. Zero when the request was untraced or the connection
+// predates wire version 3.
+func (c *Client) LastTraceID() uint64 { return c.lastTraceID }
 
 // ServerBatchWindow reports the continuous-batching window the server
 // advertised during the wire handshake — zero when the server runs no
@@ -178,10 +200,14 @@ type gobClientCodec struct {
 	dec *gob.Decoder
 }
 
-func (c *gobClientCodec) writeRequest(req *Request) error { return c.enc.Encode(req) }
-func (c *gobClientCodec) readResponse(resp *Response) error {
+// writeRequest ignores the trace context: gob has no place to carry it, and
+// adding a Request field would change the type descriptor every legacy
+// client and server exchange — the byte-compatibility the trace extension
+// is designed never to touch.
+func (c *gobClientCodec) writeRequest(req *Request, _ trace.Context) error { return c.enc.Encode(req) }
+func (c *gobClientCodec) readResponse(resp *Response) (uint64, error) {
 	*resp = Response{}
-	return c.dec.Decode(resp)
+	return 0, c.dec.Decode(resp)
 }
 
 // Close tears down the connection.
@@ -224,13 +250,15 @@ func (c *Client) roundTrip(ctx context.Context, req *Request) (*Response, error)
 			c.conn.SetDeadline(time.Time{})
 		}()
 	}
-	if err := c.codec.writeRequest(req); err != nil {
+	if err := c.codec.writeRequest(req, c.Trace); err != nil {
 		return nil, c.fail(ctx, fmt.Errorf("comm: sending features: %w", err))
 	}
 	var resp Response
-	if err := c.codec.readResponse(&resp); err != nil {
+	echo, err := c.codec.readResponse(&resp)
+	if err != nil {
 		return nil, c.fail(ctx, fmt.Errorf("comm: receiving features: %w", err))
 	}
+	c.lastTraceID = echo
 	// A server-reported error leaves the stream synchronized; the
 	// connection stays usable. A load-shed verdict surfaces as
 	// ErrOverloaded so callers (and Pool's retry loop) can distinguish

@@ -13,10 +13,12 @@ package comm
 //	hello-ack = magic[4] version(u8) flags(u8) windowMs(u16)   server→client
 //	frame     = length(u32) body
 //	request   = 0x01 modelLen(u16) model version(u32) kind(u8) count(u16) tensor*
+//	          | 0x03 traceID(u64) tflags(u8) modelLen(u16) model ...   (v3+)
 //	response  = 0x02 modelLen(u16) model version(u32) errLen(u16) err
 //	            [v2+: code(u16)] kind(u8)
 //	            features: count(u16) tensor*
 //	            outputs:  outer(u16) inner(u16) tensor*(outer×inner, row-major)
+//	          | 0x04 traceID(u64) modelLen(u16) model ...              (v3+)
 //	tensor    = rank(u8) dtype(u8) dims(u32)*rank payload(f64|f32 ×n)
 //
 // Version negotiation: the client's hello names the highest version it
@@ -27,10 +29,19 @@ package comm
 // admission-control verdict) and puts the server's continuous-batching
 // window, in milliseconds, in the ack's formerly-reserved u16 — advice a
 // client's overload backoff can key off (0 = no batching window; v1 acks
-// carry 0 there by construction). A server that receives bytes that are
-// not the hello magic treats the connection as a legacy gob client — the
-// magic's first byte (0xE5) is not a byte a gob stream can start with, so
-// sniffing is unambiguous.
+// carry 0 there by construction). Version 3 adds the traced frame types
+// 0x03/0x04: identical to 0x01/0x02 except that a trace context (u64 trace
+// ID; on requests also a flags byte whose bit0 forces tail-sampling
+// retention downstream) rides between the message byte and the model name,
+// which is how one logical request's legs stitch into a single trace across
+// connections and shards (see internal/trace). Traced frames are
+// self-describing: a v3 client only sends 0x03 when it has a trace context,
+// a v3 server only echoes 0x04 on a request that arrived as 0x03, and a
+// connection negotiated below v3 never sees either type — legacy-gob and
+// v1/v2 binary clients are byte-for-byte unaffected. A server that receives
+// bytes that are not the hello magic treats the connection as a legacy gob
+// client — the magic's first byte (0xE5) is not a byte a gob stream can
+// start with, so sniffing is unambiguous.
 //
 // Trust boundary: decoders validate every length against the remaining
 // frame before allocating, so a hostile frame claiming 2^30 elements over a
@@ -48,6 +59,7 @@ import (
 	"time"
 
 	"ensembler/internal/tensor"
+	"ensembler/internal/trace"
 )
 
 // WireFormat selects a client's wire protocol.
@@ -81,11 +93,20 @@ func (f WireFormat) String() string {
 }
 
 const (
-	wireVersion = 2
+	wireVersion = 3
 	wireFlagF32 = 0x01
 
 	wireMsgRequest  = 0x01
 	wireMsgResponse = 0x02
+	// Traced variants (v3+): the body carries a trace context between the
+	// message byte and the model name. Self-describing, so untraced requests
+	// on a v3 connection still use the cheaper 0x01/0x02 layouts.
+	wireMsgRequestTraced  = 0x03
+	wireMsgResponseTraced = 0x04
+
+	// wireTraceSampled in a traced request's flags byte forces tail-sampling
+	// retention of this leg (the root leg won the coin, or was an error).
+	wireTraceSampled = 0x01
 
 	wireKindFeatures = 0x00
 	wireKindBatched  = 0x01
@@ -179,12 +200,24 @@ func appendTensor(buf []byte, t *tensor.Tensor, f32 bool) []byte {
 	return buf
 }
 
-// appendRequest encodes a request body (no length prefix).
-func appendRequest(buf []byte, req *Request, f32 bool) ([]byte, error) {
+// appendRequest encodes a request body (no length prefix). A nonzero trace
+// context selects the v3 traced layout (0x03); callers must only pass one on
+// connections that negotiated version ≥ 3.
+func appendRequest(buf []byte, req *Request, f32 bool, tc trace.Context) ([]byte, error) {
 	if len(req.Model) > maxWireModel {
 		return buf, fmt.Errorf("comm: model name of %d bytes exceeds wire limit %d", len(req.Model), maxWireModel)
 	}
-	buf = append(buf, wireMsgRequest)
+	if tc.ID != 0 {
+		buf = append(buf, wireMsgRequestTraced)
+		buf = binary.LittleEndian.AppendUint64(buf, tc.ID)
+		var tflags byte
+		if tc.Sampled {
+			tflags |= wireTraceSampled
+		}
+		buf = append(buf, tflags)
+	} else {
+		buf = append(buf, wireMsgRequest)
+	}
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(req.Model)))
 	buf = append(buf, req.Model...)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(req.Version))
@@ -212,8 +245,10 @@ func appendRequest(buf []byte, req *Request, f32 bool) ([]byte, error) {
 
 // appendResponse encodes a response body (no length prefix). withCode emits
 // the version-2 code field; a v1 connection omits it and the peer sees only
-// the error text.
-func appendResponse(buf []byte, resp *Response, f32, withCode bool) ([]byte, error) {
+// the error text. A nonzero traceID echoes the request's trace context in
+// the v3 traced layout (0x04); callers must only pass one for requests that
+// arrived traced on a version ≥ 3 connection.
+func appendResponse(buf []byte, resp *Response, f32, withCode bool, traceID uint64) ([]byte, error) {
 	if len(resp.Model) > maxWireModel {
 		return buf, fmt.Errorf("comm: model name of %d bytes exceeds wire limit %d", len(resp.Model), maxWireModel)
 	}
@@ -223,7 +258,12 @@ func appendResponse(buf []byte, resp *Response, f32, withCode bool) ([]byte, err
 	if resp.Code < 0 || resp.Code > math.MaxUint16 {
 		return buf, fmt.Errorf("comm: response code %d out of wire range", resp.Code)
 	}
-	buf = append(buf, wireMsgResponse)
+	if traceID != 0 {
+		buf = append(buf, wireMsgResponseTraced)
+		buf = binary.LittleEndian.AppendUint64(buf, traceID)
+	} else {
+		buf = append(buf, wireMsgResponse)
+	}
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(resp.Model)))
 	buf = append(buf, resp.Model...)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(resp.Version))
@@ -308,6 +348,15 @@ func (r *wireReader) u32() (uint32, error) {
 	return v, nil
 }
 
+func (r *wireReader) u64() (uint64, error) {
+	if r.remaining() < 8 {
+		return 0, fmt.Errorf("comm: truncated frame")
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
 func (r *wireReader) str(n int) (string, error) {
 	if r.remaining() < n {
 		return "", fmt.Errorf("comm: truncated frame")
@@ -379,14 +428,34 @@ func (r *wireReader) tensor(alloc tensorAlloc, shapeBuf []int) (*tensor.Tensor, 
 
 // parseRequestInto decodes a request frame body into req. alloc places the
 // tensor data; j (optional) donates its reusable Inputs slice so the serving
-// path's steady state allocates nothing.
-func parseRequestInto(body []byte, req *Request, alloc tensorAlloc, j *job) error {
+// path's steady state allocates nothing. tc (optional) receives the trace
+// context when the frame uses the v3 traced layout; a traced frame with a
+// nil tc is decoded and its trace header discarded (the wiretap path).
+func parseRequestInto(body []byte, req *Request, alloc tensorAlloc, j *job, tc *trace.Context) error {
 	r := wireReader{b: body}
 	msg, err := r.u8()
 	if err != nil {
 		return err
 	}
-	if msg != wireMsgRequest {
+	switch msg {
+	case wireMsgRequest:
+	case wireMsgRequestTraced:
+		id, err := r.u64()
+		if err != nil {
+			return err
+		}
+		tflags, err := r.u8()
+		if err != nil {
+			return err
+		}
+		if id == 0 {
+			return fmt.Errorf("comm: traced request frame carries zero trace ID")
+		}
+		if tc != nil {
+			tc.ID = id
+			tc.Sampled = tflags&wireTraceSampled != 0
+		}
+	default:
 		return fmt.Errorf("comm: expected request frame, got message type %d", msg)
 	}
 	mlen, err := r.u16()
@@ -464,14 +533,28 @@ func parseRequestInto(body []byte, req *Request, alloc tensorAlloc, j *job) erro
 // parseResponseInto decodes a response frame body into resp, allocating from
 // the heap (the client hands decoded tensors to its caller). hasCode selects
 // the version-2 layout, which carries the response code after the error
-// text.
-func parseResponseInto(body []byte, resp *Response, hasCode bool) error {
+// text. echo (optional) receives the trace ID when the frame uses the v3
+// traced layout.
+func parseResponseInto(body []byte, resp *Response, hasCode bool, echo *uint64) error {
 	r := wireReader{b: body}
 	msg, err := r.u8()
 	if err != nil {
 		return err
 	}
-	if msg != wireMsgResponse {
+	switch msg {
+	case wireMsgResponse:
+	case wireMsgResponseTraced:
+		id, err := r.u64()
+		if err != nil {
+			return err
+		}
+		if id == 0 {
+			return fmt.Errorf("comm: traced response frame carries zero trace ID")
+		}
+		if echo != nil {
+			*echo = id
+		}
+	default:
 		return fmt.Errorf("comm: expected response frame, got message type %d", msg)
 	}
 	mlen, err := r.u16()
@@ -595,10 +678,14 @@ func readFrame(r io.Reader, buf []byte) ([]byte, []byte, error) {
 
 // --- client codec ---
 
-// clientCodec is one connection's wire protocol from the client side.
+// clientCodec is one connection's wire protocol from the client side. The
+// trace context rides alongside the request (not inside it) so the Request
+// struct — and with it the legacy gob type descriptor — never changes;
+// readResponse returns the server's echoed trace ID (0 when untraced or on
+// codecs that predate tracing).
 type clientCodec interface {
-	writeRequest(*Request) error
-	readResponse(*Response) error
+	writeRequest(*Request, trace.Context) error
+	readResponse(*Response) (uint64, error)
 }
 
 // binFramer is the framing state both ends of the binary codec share: the
@@ -629,10 +716,17 @@ func (c *binFramer) readBody() ([]byte, error) {
 
 type binClientCodec struct {
 	binFramer
+	// traceOK marks a version-3 connection: traced frames may be sent. On
+	// older connections the context is dropped here, so callers can set a
+	// trace context unconditionally.
+	traceOK bool
 }
 
-func (c *binClientCodec) writeRequest(req *Request) error {
-	buf, err := appendRequest(c.frameStart(), req, c.f32)
+func (c *binClientCodec) writeRequest(req *Request, tc trace.Context) error {
+	if !c.traceOK {
+		tc = trace.Context{}
+	}
+	buf, err := appendRequest(c.frameStart(), req, c.f32, tc)
 	c.encBuf = buf
 	if err != nil {
 		return err
@@ -640,13 +734,17 @@ func (c *binClientCodec) writeRequest(req *Request) error {
 	return writeFrame(c.w, buf)
 }
 
-func (c *binClientCodec) readResponse(resp *Response) error {
+func (c *binClientCodec) readResponse(resp *Response) (uint64, error) {
 	body, err := c.readBody()
 	if err != nil {
-		return err
+		return 0, err
 	}
 	*resp = Response{}
-	return parseResponseInto(body, resp, c.code)
+	var echo uint64
+	if err := parseResponseInto(body, resp, c.code, &echo); err != nil {
+		return 0, err
+	}
+	return echo, nil
 }
 
 // negotiateClient performs the hello exchange on a fresh connection,
@@ -722,7 +820,7 @@ func DecodeWireStream(stream []byte) ([]*Request, error) {
 				return out, fmt.Errorf("comm: truncated frame body")
 			}
 			req := &Request{}
-			if err := parseRequestInto(rest[4:4+int(n)], req, heapAlloc{}, nil); err != nil {
+			if err := parseRequestInto(rest[4:4+int(n)], req, heapAlloc{}, nil, nil); err != nil {
 				return out, err
 			}
 			out = append(out, req)

@@ -12,6 +12,7 @@ import (
 	"ensembler/internal/nn"
 	"ensembler/internal/rng"
 	"ensembler/internal/tensor"
+	"ensembler/internal/trace"
 )
 
 func wireTensor(seed int64, shape ...int) *tensor.Tensor {
@@ -58,16 +59,16 @@ func TestBinaryRequestRoundTrip(t *testing.T) {
 		{Model: "batch", Inputs: []*tensor.Tensor{wireTensor(3, 2, 3, 4, 4), wireTensor(4, 1, 3, 4, 4)}},
 	}
 	for i, req := range reqs {
-		body, err := appendRequest(nil, req, false)
+		body, err := appendRequest(nil, req, false, trace.Context{})
 		if err != nil {
 			t.Fatalf("request %d: %v", i, err)
 		}
 		var heap Request
-		if err := parseRequestInto(body, &heap, heapAlloc{}, nil); err != nil {
+		if err := parseRequestInto(body, &heap, heapAlloc{}, nil, nil); err != nil {
 			t.Fatalf("request %d heap decode: %v", i, err)
 		}
 		j := newJob()
-		if err := parseRequestInto(body, &j.req, (*arenaAlloc)(&j.arena), j); err != nil {
+		if err := parseRequestInto(body, &j.req, (*arenaAlloc)(&j.arena), j, nil); err != nil {
 			t.Fatalf("request %d arena decode: %v", i, err)
 		}
 		for _, got := range []*Request{&heap, &j.req} {
@@ -101,12 +102,12 @@ func TestBinaryResponseRoundTrip(t *testing.T) {
 		}},
 	}
 	for i, resp := range resps {
-		body, err := appendResponse(nil, resp, false, false)
+		body, err := appendResponse(nil, resp, false, false, 0)
 		if err != nil {
 			t.Fatalf("response %d: %v", i, err)
 		}
 		var got Response
-		if err := parseResponseInto(body, &got, false); err != nil {
+		if err := parseResponseInto(body, &got, false, nil); err != nil {
 			t.Fatalf("response %d decode: %v", i, err)
 		}
 		if got.Model != resp.Model || got.Version != resp.Version || got.Err != resp.Err {
@@ -138,12 +139,12 @@ func TestBinaryResponseRoundTrip(t *testing.T) {
 // epsilon, not exactly.
 func TestFloat32WireRounding(t *testing.T) {
 	req := &Request{Features: wireTensor(11, 1, 2, 8, 8)}
-	body, err := appendRequest(nil, req, true)
+	body, err := appendRequest(nil, req, true, trace.Context{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var got Request
-	if err := parseRequestInto(body, &got, heapAlloc{}, nil); err != nil {
+	if err := parseRequestInto(body, &got, heapAlloc{}, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	for i, v := range req.Features.Data {
@@ -156,7 +157,7 @@ func TestFloat32WireRounding(t *testing.T) {
 		}
 	}
 	// f32 payload is about half the f64 payload.
-	body64, _ := appendRequest(nil, req, false)
+	body64, _ := appendRequest(nil, req, false, trace.Context{})
 	if len(body) >= len(body64) {
 		t.Errorf("f32 frame (%d bytes) not smaller than f64 frame (%d bytes)", len(body), len(body64))
 	}
@@ -166,7 +167,7 @@ func TestFloat32WireRounding(t *testing.T) {
 // truncations and lying lengths must error without huge allocations or
 // panics.
 func TestHostileFramesRejected(t *testing.T) {
-	good, err := appendRequest(nil, &Request{Features: wireTensor(12, 1, 2, 4, 4)}, false)
+	good, err := appendRequest(nil, &Request{Features: wireTensor(12, 1, 2, 4, 4)}, false, trace.Context{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,11 +183,11 @@ func TestHostileFramesRejected(t *testing.T) {
 	}
 	for name, body := range cases {
 		var req Request
-		if err := parseRequestInto(body, &req, heapAlloc{}, nil); err == nil {
+		if err := parseRequestInto(body, &req, heapAlloc{}, nil, nil); err == nil {
 			t.Errorf("%s: hostile request frame accepted", name)
 		}
 		var resp Response
-		if err := parseResponseInto(body, &resp, false); err == nil {
+		if err := parseResponseInto(body, &resp, false, nil); err == nil {
 			t.Errorf("%s: hostile response frame accepted", name)
 		}
 	}
@@ -196,7 +197,7 @@ func TestHostileFramesRejected(t *testing.T) {
 // request decode (arena path) and response encode reuse every buffer.
 func TestCodecSteadyStateZeroAllocs(t *testing.T) {
 	req := &Request{Features: wireTensor(13, 2, 4, 8, 8)}
-	body, err := appendRequest(nil, req, false)
+	body, err := appendRequest(nil, req, false, trace.Context{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,11 +206,11 @@ func TestCodecSteadyStateZeroAllocs(t *testing.T) {
 	encBuf := make([]byte, 0, 4096)
 
 	// Warm-up: size the arena and the encode buffer.
-	if err := parseRequestInto(body, &j.req, (*arenaAlloc)(&j.arena), j); err != nil {
+	if err := parseRequestInto(body, &j.req, (*arenaAlloc)(&j.arena), j, nil); err != nil {
 		t.Fatal(err)
 	}
 	j.reset()
-	if encBuf, err = appendResponse(encBuf[:0], resp, false, false); err != nil {
+	if encBuf, err = appendResponse(encBuf[:0], resp, false, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	if cap(encBuf) < len(encBuf) {
@@ -217,12 +218,12 @@ func TestCodecSteadyStateZeroAllocs(t *testing.T) {
 	}
 
 	allocs := testing.AllocsPerRun(50, func() {
-		if err := parseRequestInto(body, &j.req, (*arenaAlloc)(&j.arena), j); err != nil {
+		if err := parseRequestInto(body, &j.req, (*arenaAlloc)(&j.arena), j, nil); err != nil {
 			t.Fatal(err)
 		}
 		j.reset()
 		var e error
-		encBuf, e = appendResponse(encBuf[:0], resp, false, false)
+		encBuf, e = appendResponse(encBuf[:0], resp, false, false, 0)
 		if e != nil {
 			t.Fatal(e)
 		}
@@ -315,11 +316,11 @@ func TestDecodeWireStreamBothProtocols(t *testing.T) {
 	var bin bytes.Buffer
 	hello := helloBytes(wireVersion, 0)
 	bin.Write(hello[:])
-	codec := &binClientCodec{binFramer{w: &bin}}
-	if err := codec.writeRequest(req); err != nil {
+	codec := &binClientCodec{binFramer: binFramer{w: &bin}}
+	if err := codec.writeRequest(req, trace.Context{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := codec.writeRequest(req); err != nil {
+	if err := codec.writeRequest(req, trace.Context{}); err != nil {
 		t.Fatal(err)
 	}
 	got, err := DecodeWireStream(bin.Bytes())
@@ -361,7 +362,7 @@ func TestServerComputeLoopZeroAllocs(t *testing.T) {
 	// a multi-core server.
 	srv := NewServer(codecBodies(nBodies), WithWorkers(2),
 		WithReplicas(func() []*nn.Network { return codecBodies(nBodies) }))
-	body, err := appendRequest(nil, &Request{Features: wireTensor(19, 2, 4, 8, 8)}, false)
+	body, err := appendRequest(nil, &Request{Features: wireTensor(19, 2, 4, 8, 8)}, false, trace.Context{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +370,7 @@ func TestServerComputeLoopZeroAllocs(t *testing.T) {
 	replicas := newReplicaCache()
 	encBuf := make([]byte, 0, 1<<16)
 	cycle := func() {
-		if err := parseRequestInto(body, &j.req, (*arenaAlloc)(&j.arena), j); err != nil {
+		if err := parseRequestInto(body, &j.req, (*arenaAlloc)(&j.arena), j, nil); err != nil {
 			t.Fatal(err)
 		}
 		resp := srv.serve(j, replicas)
@@ -377,7 +378,7 @@ func TestServerComputeLoopZeroAllocs(t *testing.T) {
 			t.Fatal(resp.Err)
 		}
 		var e error
-		encBuf, e = appendResponse(append(encBuf[:0], 0, 0, 0, 0), resp, false, true)
+		encBuf, e = appendResponse(append(encBuf[:0], 0, 0, 0, 0), resp, false, true, 0)
 		if e != nil {
 			t.Fatal(e)
 		}
@@ -391,7 +392,7 @@ func TestServerComputeLoopZeroAllocs(t *testing.T) {
 
 	// The batched form reaches steady state too (after its own warm-up).
 	batched, err := appendRequest(nil, &Request{Inputs: []*tensor.Tensor{
-		wireTensor(20, 1, 4, 8, 8), wireTensor(21, 2, 4, 8, 8)}}, false)
+		wireTensor(20, 1, 4, 8, 8), wireTensor(21, 2, 4, 8, 8)}}, false, trace.Context{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -411,7 +412,7 @@ func BenchmarkServeRequestLoop(b *testing.B) {
 	const nBodies = 4
 	srv := NewServer(codecBodies(nBodies), WithWorkers(2),
 		WithReplicas(func() []*nn.Network { return codecBodies(nBodies) }))
-	body, err := appendRequest(nil, &Request{Features: wireTensor(22, 4, 4, 8, 8)}, false)
+	body, err := appendRequest(nil, &Request{Features: wireTensor(22, 4, 4, 8, 8)}, false, trace.Context{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -421,7 +422,7 @@ func BenchmarkServeRequestLoop(b *testing.B) {
 	// Warm-up: clone replicas, size arenas and buffers, so the timed loop
 	// is pure steady state.
 	for i := 0; i < 2; i++ {
-		if err := parseRequestInto(body, &j.req, (*arenaAlloc)(&j.arena), j); err != nil {
+		if err := parseRequestInto(body, &j.req, (*arenaAlloc)(&j.arena), j, nil); err != nil {
 			b.Fatal(err)
 		}
 		if resp := srv.serve(j, replicas); resp.Err != "" {
@@ -432,7 +433,7 @@ func BenchmarkServeRequestLoop(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := parseRequestInto(body, &j.req, (*arenaAlloc)(&j.arena), j); err != nil {
+		if err := parseRequestInto(body, &j.req, (*arenaAlloc)(&j.arena), j, nil); err != nil {
 			b.Fatal(err)
 		}
 		resp := srv.serve(j, replicas)
@@ -440,7 +441,7 @@ func BenchmarkServeRequestLoop(b *testing.B) {
 			b.Fatal(resp.Err)
 		}
 		var e error
-		encBuf, e = appendResponse(append(encBuf[:0], 0, 0, 0, 0), resp, false, true)
+		encBuf, e = appendResponse(append(encBuf[:0], 0, 0, 0, 0), resp, false, true, 0)
 		if e != nil {
 			b.Fatal(e)
 		}

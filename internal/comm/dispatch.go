@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"ensembler/internal/tensor"
+	"ensembler/internal/trace"
 )
 
 // DefaultMaxQueue bounds the dispatcher intake when WithBatchWindow enables
@@ -145,6 +146,7 @@ type dispatcher struct {
 	maxQueue    int
 	maxCoalesce int
 	metrics     *ServerMetrics // nil: stats only, no telemetry
+	tracer      *trace.Tracer  // nil: no per-stage attribution
 
 	mu     sync.Mutex
 	queues []*connQueue
@@ -162,12 +164,13 @@ type dispatcher struct {
 	maxCoalesced atomic.Uint64
 }
 
-func newDispatcher(window time.Duration, maxQueue, maxCoalesce int, m *ServerMetrics) *dispatcher {
+func newDispatcher(window time.Duration, maxQueue, maxCoalesce int, m *ServerMetrics, tr *trace.Tracer) *dispatcher {
 	return &dispatcher{
 		window:      window,
 		maxQueue:    maxQueue,
 		maxCoalesce: maxCoalesce,
 		metrics:     m,
+		tracer:      tr,
 		wake:        make(chan struct{}, 1),
 		free:        make(chan *dispatchBatch, 16),
 	}
@@ -253,6 +256,22 @@ func (d *dispatcher) shed(j *job) {
 		m.Errors.Inc()
 		m.Shed.Inc()
 	}
+	// The terminal shed span: its duration is the time the request sat
+	// queued before admission control picked it as the victim. MarkShed
+	// makes tail-sampling retention unconditional, so every shed is
+	// explainable after the fact. Like the response itself, the span costs
+	// no allocation — overload is the regime where allocating is most
+	// dangerous.
+	if tr := d.tracer; tr != nil {
+		j.tr.MarkShed()
+		now := time.Now()
+		var wait time.Duration
+		if !j.queuedAt.IsZero() {
+			wait = now.Sub(j.queuedAt)
+			j.queuedAt = time.Time{}
+		}
+		tr.Span(&j.tr, trace.StageShed, now.Add(-wait), wait)
+	}
 	j.resp = Response{Err: overloadedMsg, Code: CodeOverloaded}
 	j.reply <- &j.resp
 }
@@ -281,10 +300,14 @@ func (d *dispatcher) run(batches chan<- *dispatchBatch, stop <-chan struct{}) {
 		// The window opens when the batcher first sees work and closes
 		// unconditionally: a fixed, predictable latency cost that the
 		// queueing model (latency.EstimateContinuousBatching) prices.
+		var windowOpen time.Time
+		if d.tracer != nil {
+			windowOpen = time.Now()
+		}
 		if d.window > 0 && d.queued() < d.maxCoalesce {
 			time.Sleep(d.window)
 		}
-		b := d.takeBatch()
+		b := d.takeBatch(windowOpen)
 		if b == nil {
 			continue
 		}
@@ -305,8 +328,12 @@ func (d *dispatcher) run(batches chan<- *dispatchBatch, stop <-chan struct{}) {
 // queue at the round-robin cursor seeds it, then passes over all queues —
 // one job per queue per pass, fairness before fullness — take every queued
 // job matching the seed's coalesce key, up to maxCoalesce. Non-coalescible
-// seeds (client-batched requests, odd shapes) dispatch alone.
-func (d *dispatcher) takeBatch() *dispatchBatch {
+// seeds (client-batched requests, odd shapes) dispatch alone. windowOpen,
+// when nonzero, is the instant the batcher first saw work this round — the
+// boundary that splits each popped job's wait into intake-queue time
+// (before the window opened) and batch-window time (the deliberate
+// coalescing delay).
+func (d *dispatcher) takeBatch(windowOpen time.Time) *dispatchBatch {
 	b := d.getBatch()
 	d.mu.Lock()
 	n := len(d.queues)
@@ -350,6 +377,41 @@ func (d *dispatcher) takeBatch() *dispatchBatch {
 		}
 	}
 	d.mu.Unlock()
+	// Attribute each popped job's wait outside the lock (the jobs now belong
+	// to this batch; nothing races their Active until the reply). The time
+	// since the job queued splits at windowOpen: before it, intake-queue
+	// wait; after it, the deliberate batch-window delay. queuedAt is zeroed
+	// so serve() does not double-count the queue leg for singleton batches.
+	if tr := d.tracer; tr != nil {
+		now := time.Now()
+		for _, j := range b.jobs {
+			if j.queuedAt.IsZero() {
+				continue
+			}
+			total := now.Sub(j.queuedAt)
+			if total < 0 {
+				total = 0
+			}
+			var windowShare time.Duration
+			if !windowOpen.IsZero() && windowOpen.After(j.queuedAt) {
+				windowShare = now.Sub(windowOpen)
+			} else if !windowOpen.IsZero() {
+				windowShare = total
+			}
+			if windowShare > total {
+				windowShare = total
+			}
+			if windowShare < 0 {
+				windowShare = 0
+			}
+			queueShare := total - windowShare
+			tr.Span(&j.tr, trace.StageQueue, j.queuedAt, queueShare)
+			if windowShare > 0 {
+				tr.Span(&j.tr, trace.StageBatchWait, j.queuedAt.Add(queueShare), windowShare)
+			}
+			j.queuedAt = time.Time{}
+		}
+	}
 	return b
 }
 
@@ -428,15 +490,21 @@ func (s *Server) serveBatch(b *dispatchBatch, replicas *replicaCache) {
 	if m := s.opts.metrics; m != nil {
 		m.CoalescedBatch.Observe(float64(len(b.jobs)))
 	}
+	tr := s.opts.tracer
 	var start time.Time
-	if s.opts.metrics != nil {
+	if s.opts.metrics != nil || tr != nil {
 		start = time.Now()
 	}
 	s.serveCoalesced(b, replicas)
-	if m := s.opts.metrics; m != nil {
+	if s.opts.metrics != nil || tr != nil {
 		dur := time.Since(start)
 		for _, j := range b.jobs {
-			m.record(&j.req, &j.resp, dur)
+			if m := s.opts.metrics; m != nil {
+				m.record(&j.req, &j.resp, dur)
+			}
+			// Every member is attributed the shared pass; Arg records how
+			// many requests bought it together.
+			tr.SpanArg(&j.tr, trace.StageForward, int32(len(b.jobs)), start, dur)
 		}
 	}
 	for _, j := range b.jobs {

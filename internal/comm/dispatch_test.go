@@ -18,6 +18,7 @@ import (
 	"ensembler/internal/nn"
 	"ensembler/internal/telemetry"
 	"ensembler/internal/tensor"
+	"ensembler/internal/trace"
 )
 
 // startBatchingServer boots a dispatcher-enabled server on loopback and
@@ -215,7 +216,7 @@ func TestDispatcherFairnessAndShedding(t *testing.T) {
 	if _, err := io.ReadFull(conn, ack); err != nil {
 		t.Fatal(err)
 	}
-	frame, err := appendRequest([]byte{0, 0, 0, 0}, &Request{Features: wireTensor(300, 1, 4, 8, 8)}, false)
+	frame, err := appendRequest([]byte{0, 0, 0, 0}, &Request{Features: wireTensor(300, 1, 4, 8, 8)}, false, trace.Context{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestDispatcherFairnessAndShedding(t *testing.T) {
 				return
 			}
 			var resp Response
-			if err := parseResponseInto(body, &resp, true); err != nil {
+			if err := parseResponseInto(body, &resp, true, nil); err != nil {
 				fireDone <- fmt.Errorf("response %d: %w", i, err)
 				return
 			}
@@ -312,7 +313,7 @@ func TestDispatchCoalescedZeroAllocs(t *testing.T) {
 	)
 	srv := NewServer(codecBodies(nBodies), WithWorkers(2),
 		WithReplicas(func() []*nn.Network { return codecBodies(nBodies) }))
-	body, err := appendRequest(nil, &Request{Features: wireTensor(310, 2, 4, 8, 8)}, false)
+	body, err := appendRequest(nil, &Request{Features: wireTensor(310, 2, 4, 8, 8)}, false, trace.Context{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +326,7 @@ func TestDispatchCoalescedZeroAllocs(t *testing.T) {
 	encBuf := make([]byte, 0, 1<<16)
 	cycle := func() {
 		for _, j := range jobs {
-			if err := parseRequestInto(body, &j.req, (*arenaAlloc)(&j.arena), j); err != nil {
+			if err := parseRequestInto(body, &j.req, (*arenaAlloc)(&j.arena), j, nil); err != nil {
 				t.Fatal(err)
 			}
 			b.jobs = append(b.jobs, j)
@@ -337,7 +338,7 @@ func TestDispatchCoalescedZeroAllocs(t *testing.T) {
 				t.Fatal(resp.Err)
 			}
 			var e error
-			encBuf, e = appendResponse(append(encBuf[:0], 0, 0, 0, 0), resp, false, true)
+			encBuf, e = appendResponse(append(encBuf[:0], 0, 0, 0, 0), resp, false, true, 0)
 			if e != nil {
 				t.Fatal(e)
 			}
@@ -423,7 +424,7 @@ func BenchmarkServeRequestLoopBatched(b *testing.B) {
 	)
 	srv := NewServer(codecBodies(nBodies), WithWorkers(2),
 		WithReplicas(func() []*nn.Network { return codecBodies(nBodies) }))
-	body, err := appendRequest(nil, &Request{Features: wireTensor(330, 1, 4, 8, 8)}, false)
+	body, err := appendRequest(nil, &Request{Features: wireTensor(330, 1, 4, 8, 8)}, false, trace.Context{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -436,7 +437,7 @@ func BenchmarkServeRequestLoopBatched(b *testing.B) {
 	encBuf := make([]byte, 0, 1<<20)
 	cycle := func() {
 		for _, j := range jobs {
-			if err := parseRequestInto(body, &j.req, (*arenaAlloc)(&j.arena), j); err != nil {
+			if err := parseRequestInto(body, &j.req, (*arenaAlloc)(&j.arena), j, nil); err != nil {
 				b.Fatal(err)
 			}
 			batch.jobs = append(batch.jobs, j)
@@ -448,7 +449,7 @@ func BenchmarkServeRequestLoopBatched(b *testing.B) {
 				b.Fatal(resp.Err)
 			}
 			var e error
-			encBuf, e = appendResponse(append(encBuf[:0], 0, 0, 0, 0), resp, false, true)
+			encBuf, e = appendResponse(append(encBuf[:0], 0, 0, 0, 0), resp, false, true, 0)
 			if e != nil {
 				b.Fatal(e)
 			}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ensembler/internal/tensor"
+	"ensembler/internal/trace"
 )
 
 // FuzzWireRequestFrame runs arbitrary bytes through the binary request
@@ -14,29 +15,44 @@ import (
 // frame's actual byte count supports (the lying-dims guard); round-tripping
 // whatever decodes must reproduce the frame's semantics.
 func FuzzWireRequestFrame(f *testing.F) {
-	seed, err := appendRequest(nil, &Request{Model: "m", Version: 2, Features: wireTensor(41, 1, 2, 4, 4)}, false)
+	seed, err := appendRequest(nil, &Request{Model: "m", Version: 2, Features: wireTensor(41, 1, 2, 4, 4)}, false, trace.Context{})
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Add(seed)
-	batched, err := appendRequest(nil, &Request{Inputs: []*tensor.Tensor{wireTensor(42, 1, 2, 4, 4)}}, true)
+	batched, err := appendRequest(nil, &Request{Inputs: []*tensor.Tensor{wireTensor(42, 1, 2, 4, 4)}}, true, trace.Context{})
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Add(batched)
 	f.Add([]byte{wireMsgRequest, 0, 0, 0, 0, 0, 0, wireKindFeatures, 1, 0, 1, wireDtypeF64, 1, 0, 0, 0})
+	// The v3 traced frame: same payload behind the trace header. A corrupted
+	// variant (trace ID zeroed, which the parser must reject) seeds the
+	// invalid branch.
+	traced, err := appendRequest(nil, &Request{Model: "m", Version: 2, Features: wireTensor(41, 1, 2, 4, 4)},
+		false, trace.Context{ID: 0x0123456789ABCDEF, Sampled: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(traced)
+	zeroID := append([]byte(nil), traced...)
+	for i := 1; i <= 8; i++ {
+		zeroID[i] = 0
+	}
+	f.Add(zeroID)
+	f.Add([]byte{wireMsgRequestTraced, 1, 2, 3}) // truncated trace header
 	f.Fuzz(func(t *testing.T, body []byte) {
 		var req Request
-		if err := parseRequestInto(body, &req, heapAlloc{}, nil); err != nil {
+		if err := parseRequestInto(body, &req, heapAlloc{}, nil, nil); err != nil {
 			return
 		}
 		// Whatever parsed must re-encode and re-parse to the same header.
-		re, err := appendRequest(nil, &req, false)
+		re, err := appendRequest(nil, &req, false, trace.Context{})
 		if err != nil {
 			t.Fatalf("decoded request does not re-encode: %v", err)
 		}
 		var req2 Request
-		if err := parseRequestInto(re, &req2, heapAlloc{}, nil); err != nil {
+		if err := parseRequestInto(re, &req2, heapAlloc{}, nil, nil); err != nil {
 			t.Fatalf("re-encoded request does not parse: %v", err)
 		}
 		if req2.Model != req.Model || req2.Version != req.Version {
@@ -53,36 +69,45 @@ func FuzzWireRequestFrame(f *testing.F) {
 // exactly, or a shed would be mistaken for a terminal failure).
 func FuzzWireResponseFrame(f *testing.F) {
 	seed, err := appendResponse(nil, &Response{Model: "m", Version: 1,
-		Features: []*tensor.Tensor{wireTensor(43, 2, 8)}}, false, false)
+		Features: []*tensor.Tensor{wireTensor(43, 2, 8)}}, false, false, 0)
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Add(seed)
-	errFrame, err := appendResponse(nil, &Response{Err: "x"}, false, false)
+	errFrame, err := appendResponse(nil, &Response{Err: "x"}, false, false, 0)
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Add(errFrame)
 	// The admission-control shed frame, exactly as the dispatcher emits it
 	// on a v2 connection.
-	shed, err := appendResponse(nil, &Response{Err: overloadedMsg, Code: CodeOverloaded}, false, true)
+	shed, err := appendResponse(nil, &Response{Err: overloadedMsg, Code: CodeOverloaded}, false, true, 0)
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Add(shed)
+	// The v3 traced response: trace-ID echo ahead of the v2 payload, plus a
+	// truncated-echo corruption.
+	echoed, err := appendResponse(nil, &Response{Model: "m", Version: 1,
+		Features: []*tensor.Tensor{wireTensor(43, 2, 8)}}, false, true, 0xFEEDFACECAFEBEEF)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(echoed)
+	f.Add([]byte{wireMsgResponseTraced, 0xEF, 0xBE})
 	f.Fuzz(func(t *testing.T, body []byte) {
 		var v1 Response
-		_ = parseResponseInto(body, &v1, false)
+		_ = parseResponseInto(body, &v1, false, nil)
 		var resp Response
-		if err := parseResponseInto(body, &resp, true); err != nil {
+		if err := parseResponseInto(body, &resp, true, nil); err != nil {
 			return
 		}
-		re, err := appendResponse(nil, &resp, false, true)
+		re, err := appendResponse(nil, &resp, false, true, 0)
 		if err != nil {
 			t.Fatalf("decoded response does not re-encode: %v", err)
 		}
 		var resp2 Response
-		if err := parseResponseInto(re, &resp2, true); err != nil {
+		if err := parseResponseInto(re, &resp2, true, nil); err != nil {
 			t.Fatalf("re-encoded response does not parse: %v", err)
 		}
 		if resp2.Code != resp.Code || resp2.Err != resp.Err {
@@ -100,8 +125,8 @@ func FuzzWireStream(f *testing.F) {
 	var bin bytes.Buffer
 	hello := helloBytes(wireVersion, 0)
 	bin.Write(hello[:])
-	c := &binClientCodec{binFramer{w: &bin}}
-	if err := c.writeRequest(&Request{Features: wireTensor(44, 1, 1, 2, 2)}); err != nil {
+	c := &binClientCodec{binFramer: binFramer{w: &bin}}
+	if err := c.writeRequest(&Request{Features: wireTensor(44, 1, 1, 2, 2)}, trace.Context{}); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(bin.Bytes())
@@ -116,8 +141,64 @@ func FuzzWireStream(f *testing.F) {
 	f.Add([]byte{0xE5, 'N', 'S', 'B'})
 	f.Add([]byte{0xE5, 'N', 'S', 'B', 2, 0, 0xFF, 0xFF})
 	f.Add([]byte{3, 0xFF})
+	// A v3 stream whose request frame carries the trace header.
+	var tracedStream bytes.Buffer
+	h3 := helloBytes(wireVersion, 0)
+	tracedStream.Write(h3[:])
+	c3 := &binClientCodec{binFramer: binFramer{w: &tracedStream}, traceOK: true}
+	if err := c3.writeRequest(&Request{Features: wireTensor(44, 1, 1, 2, 2)},
+		trace.Context{ID: 7, Sampled: true}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(tracedStream.Bytes())
 	f.Fuzz(func(t *testing.T, stream []byte) {
 		_, _ = DecodeWireStream(stream)
+	})
+}
+
+// FuzzWireTracedFrames is the trace-extension trust boundary: arbitrary
+// bytes through the traced request parser must never panic, anything that
+// parses must carry a nonzero trace ID (the zero ID is the reserved
+// "untraced" value and the parser rejects it), and the trace context must
+// round-trip exactly — a sampled flag or ID that mutates in flight would
+// stitch legs onto the wrong trace.
+func FuzzWireTracedFrames(f *testing.F) {
+	for _, tc := range []trace.Context{
+		{ID: 1},
+		{ID: ^uint64(0), Sampled: true},
+		{ID: 0x0123456789ABCDEF, Sampled: true},
+	} {
+		seed, err := appendRequest(nil, &Request{Model: "m", Features: wireTensor(41, 1, 2, 4, 4)}, false, tc)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seed)
+	}
+	f.Add([]byte{wireMsgRequestTraced, 0, 0, 0, 0, 0, 0, 0, 0, 0})    // zero ID: must be rejected
+	f.Add([]byte{wireMsgRequestTraced, 1, 0, 0, 0, 0, 0, 0, 0, 0xFF}) // unknown tflags bits
+	f.Add([]byte{wireMsgRequestTraced, 1, 2, 3, 4})                   // truncated ID
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var req Request
+		var tc trace.Context
+		j := newJob()
+		if err := parseRequestInto(body, &req, (*arenaAlloc)(&j.arena), j, &tc); err != nil {
+			return
+		}
+		if len(body) > 0 && body[0] == wireMsgRequestTraced && tc.ID == 0 {
+			t.Fatal("traced frame parsed with the reserved zero trace ID")
+		}
+		re, err := appendRequest(nil, &req, false, tc)
+		if err != nil {
+			t.Fatalf("decoded traced request does not re-encode: %v", err)
+		}
+		var req2 Request
+		var tc2 trace.Context
+		if err := parseRequestInto(re, &req2, heapAlloc{}, nil, &tc2); err != nil {
+			t.Fatalf("re-encoded traced request does not parse: %v", err)
+		}
+		if tc2 != tc {
+			t.Fatalf("trace context does not round-trip: %+v vs %+v", tc, tc2)
+		}
 	})
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"ensembler/internal/telemetry"
 	"ensembler/internal/tensor"
+	"ensembler/internal/trace"
 )
 
 // FeatureObserver receives the intermediate feature tensors clients
@@ -38,6 +39,18 @@ func WithObserver(o FeatureObserver) ServerOption {
 // bundle (the default) leaves the hot path untouched.
 func WithMetrics(m *ServerMetrics) ServerOption {
 	return func(opts *serverOptions) { opts.metrics = m }
+}
+
+// WithTracer attaches a request tracer: every request's decode, queue,
+// batch-window, forward, and encode legs feed the tracer's per-stage
+// histograms, and tail-sampled requests (errors, sheds, the slowest seen,
+// plus a probabilistic sample) retain full span timelines in the tracer's
+// ring — scrapeable via the admin plane's /traces endpoints. A nil tracer
+// (the default) leaves the hot path untouched; with one attached, the span
+// storage recycles with the server's jobs, so tracing performs no
+// steady-state allocation either.
+func WithTracer(t *trace.Tracer) ServerOption {
+	return func(opts *serverOptions) { opts.tracer = t }
 }
 
 // ServerMetrics is the per-request telemetry the serving path maintains.

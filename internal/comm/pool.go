@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"ensembler/internal/tensor"
+	"ensembler/internal/trace"
 )
 
 // Pool is a fixed-capacity pool of client connections to one server, safe
@@ -215,6 +216,24 @@ func (p *Pool) Exchange(ctx context.Context, features *tensor.Tensor) (*Exchange
 	err := p.retryOverload(ctx, func(c *Client) error {
 		var opErr error
 		ex, t, opErr = c.Exchange(ctx, features)
+		return opErr
+	})
+	return ex, t, err
+}
+
+// ExchangeTraced is Exchange with a trace context attached to the round
+// trip, so the server's leg of the request joins the caller's trace (wire
+// v3+; silently untraced on older servers). The context is cleared from the
+// pooled client before release — a recycled connection must never tag a
+// stranger's request with a stale trace ID.
+func (p *Pool) ExchangeTraced(ctx context.Context, features *tensor.Tensor, tc trace.Context) (*Exchanged, Timing, error) {
+	var ex *Exchanged
+	var t Timing
+	err := p.retryOverload(ctx, func(c *Client) error {
+		c.Trace = tc
+		var opErr error
+		ex, t, opErr = c.Exchange(ctx, features)
+		c.Trace = trace.Context{}
 		return opErr
 	})
 	return ex, t, err

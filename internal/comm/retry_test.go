@@ -216,7 +216,7 @@ func shedOnceBinary(t *testing.T, windowMs uint16) string {
 						return
 					}
 					var req Request
-					if err := parseRequestInto(body, &req, heapAlloc{}, nil); err != nil {
+					if err := parseRequestInto(body, &req, heapAlloc{}, nil, nil); err != nil {
 						return
 					}
 					resp := &Response{Features: []*tensor.Tensor{feature}}
@@ -224,7 +224,7 @@ func shedOnceBinary(t *testing.T, windowMs uint16) string {
 						shed = true
 						resp = &Response{Err: overloadedMsg, Code: CodeOverloaded}
 					}
-					buf, err := appendResponse([]byte{0, 0, 0, 0}, resp, false, true)
+					buf, err := appendResponse([]byte{0, 0, 0, 0}, resp, false, true, 0)
 					if err != nil {
 						return
 					}

@@ -14,6 +14,7 @@ import (
 
 	"ensembler/internal/nn"
 	"ensembler/internal/tensor"
+	"ensembler/internal/trace"
 )
 
 // DefaultMaxBatch caps how many inputs one batched request may carry unless
@@ -56,6 +57,7 @@ type serverOptions struct {
 	replicate func() []*nn.Network
 	metrics   *ServerMetrics  // nil: no telemetry, zero hot-path cost
 	observer  FeatureObserver // nil: no feature mirroring, zero hot-path cost
+	tracer    *trace.Tracer   // nil: no tracing, zero hot-path cost
 
 	// Continuous batching (see dispatch.go). dispatch gates the whole
 	// subsystem: WithBatchWindow or WithMaxQueue turns it on.
@@ -217,6 +219,19 @@ type job struct {
 	outputs [][]*tensor.Tensor // reusable Response.Outputs grid
 	rows    []int              // reusable per-input row counts
 	shape   [maxWireRank]int   // scratch for composing output shapes
+
+	// Tracing context, populated only when the server has a tracer (see
+	// internal/trace). wireTrace is the trace context the request arrived
+	// with; traced marks that it arrived on a traced frame whose response
+	// must echo the ID. decodeAt/decodeDur are the codec's parse timing,
+	// queuedAt the intake hand-off timestamp, and tr the leg's span storage
+	// — fixed-size and recycled with the job, so tracing allocates nothing.
+	wireTrace trace.Context
+	traced    bool
+	decodeAt  time.Time
+	decodeDur time.Duration
+	queuedAt  time.Time
+	tr        trace.Active
 }
 
 func newJob() *job { return &job{reply: make(chan *Response, 1)} }
@@ -232,6 +247,11 @@ func (j *job) reset() {
 	j.outputs = j.outputs[:0]
 	j.rows = j.rows[:0]
 	j.arena.Reset()
+	j.wireTrace = trace.Context{}
+	j.traced = false
+	j.decodeAt, j.queuedAt = time.Time{}, time.Time{}
+	j.decodeDur = 0
+	j.tr.Reset()
 }
 
 // staticModel adapts a fixed body slice to the ModelProvider contract: one
@@ -322,7 +342,7 @@ func newServer(p ModelProvider, o serverOptions) *Server {
 		if s.opts.maxCoalesce <= 0 || s.opts.maxCoalesce > s.opts.maxBatch {
 			s.opts.maxCoalesce = s.opts.maxBatch
 		}
-		s.dispatcher = newDispatcher(s.opts.window, s.opts.maxQueue, s.opts.maxCoalesce, s.opts.metrics)
+		s.dispatcher = newDispatcher(s.opts.window, s.opts.maxQueue, s.opts.maxCoalesce, s.opts.metrics, s.opts.tracer)
 		s.batches = make(chan *dispatchBatch)
 	}
 	return s
@@ -453,11 +473,13 @@ func (s *Server) forceCloseConns() {
 // hello magic, gob for everything else (the legacy fallback).
 type serverCodec interface {
 	// readRequest decodes the next request into j (arena-backed on the
-	// binary path).
+	// binary path), recording the job's wire trace context and decode
+	// timing where the protocol carries them.
 	readRequest(j *job) error
-	// writeResponse encodes one response; it must not retain resp or its
-	// tensors past the call (the writer recycles them immediately after).
-	writeResponse(resp *Response) error
+	// writeResponse encodes one response (echoing j's trace context where
+	// the protocol carries one); it must not retain resp or its tensors
+	// past the call (the writer recycles them immediately after).
+	writeResponse(j *job, resp *Response) error
 }
 
 type gobServerCodec struct {
@@ -470,10 +492,16 @@ func (c *gobServerCodec) readRequest(j *job) error {
 	return c.dec.Decode(&j.req)
 }
 
-func (c *gobServerCodec) writeResponse(resp *Response) error { return c.enc.Encode(resp) }
+func (c *gobServerCodec) writeResponse(j *job, resp *Response) error { return c.enc.Encode(resp) }
 
 type binServerCodec struct {
 	binFramer
+	// timing is on when the server has a tracer: readRequest records the
+	// parse timestamps the handler turns into decode spans.
+	timing bool
+	// traceOK marks a version ≥3 connection, the only kind whose responses
+	// may carry traced frames.
+	traceOK bool
 }
 
 func (c *binServerCodec) readRequest(j *job) error {
@@ -481,12 +509,34 @@ func (c *binServerCodec) readRequest(j *job) error {
 	if err != nil {
 		return err
 	}
+	var t0 time.Time
+	if c.timing {
+		t0 = time.Now()
+	}
 	j.req = Request{}
-	return parseRequestInto(body, &j.req, (*arenaAlloc)(&j.arena), j)
+	if err := parseRequestInto(body, &j.req, (*arenaAlloc)(&j.arena), j, &j.wireTrace); err != nil {
+		return err
+	}
+	if c.timing {
+		j.decodeAt = t0
+		j.decodeDur = time.Since(t0)
+	}
+	if !c.traceOK {
+		// A traced frame on a connection that never negotiated v3 is
+		// tolerated but its context is dropped, so the response stays in the
+		// negotiated dialect.
+		j.wireTrace = trace.Context{}
+	}
+	j.traced = j.wireTrace.ID != 0
+	return nil
 }
 
-func (c *binServerCodec) writeResponse(resp *Response) error {
-	buf, err := appendResponse(c.frameStart(), resp, c.f32, c.code)
+func (c *binServerCodec) writeResponse(j *job, resp *Response) error {
+	var echo uint64
+	if j != nil && j.traced {
+		echo = j.wireTrace.ID
+	}
+	buf, err := appendResponse(c.frameStart(), resp, c.f32, c.code, echo)
 	c.encBuf = buf
 	if err != nil {
 		return err
@@ -520,7 +570,11 @@ func (s *Server) negotiate(conn net.Conn, br *bufio.Reader) (serverCodec, error)
 	if _, err := conn.Write(ack[:]); err != nil {
 		return nil, err
 	}
-	return &binServerCodec{binFramer{w: conn, r: br, f32: flags&wireFlagF32 != 0, code: version >= 2}}, nil
+	return &binServerCodec{
+		binFramer: binFramer{w: conn, r: br, f32: flags&wireFlagF32 != 0, code: version >= 2},
+		timing:    s.opts.tracer != nil,
+		traceOK:   version >= 3,
+	}, nil
 }
 
 // handle processes one client connection until it closes or the server
@@ -552,6 +606,7 @@ func (s *Server) handle(conn net.Conn) {
 	// to the reader.
 	pending := make(chan *job, 32)
 	free := make(chan *job, 64)
+	tr := s.opts.tracer
 	var writer sync.WaitGroup
 	writer.Add(1)
 	go func() {
@@ -560,12 +615,23 @@ func (s *Server) handle(conn net.Conn) {
 		for j := range pending {
 			resp := <-j.reply
 			if !failed {
-				if err := codec.writeResponse(resp); err != nil {
+				var encStart time.Time
+				if tr != nil {
+					encStart = time.Now()
+				}
+				if err := codec.writeResponse(j, resp); err != nil {
 					// The client is gone; closing the conn unblocks the
 					// reader, and draining keeps submitted jobs from leaking.
 					failed = true
 					conn.Close()
+				} else if tr != nil {
+					tr.Span(&j.tr, trace.StageEncode, encStart, time.Since(encStart))
 				}
+			}
+			// The leg ends when its bytes leave (or the client is gone). A
+			// shed is not an error here — it retains via its own flag.
+			if tr != nil {
+				tr.Finish(&j.tr, failed || (resp.Err != "" && resp.Code != CodeOverloaded))
 			}
 			j.reset()
 			select {
@@ -584,6 +650,16 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		if err := codec.readRequest(j); err != nil {
 			break // client closed, protocol error, or shutdown deadline
+		}
+		if tr != nil {
+			// The leg starts when the request's bytes were in hand: decode
+			// counts against it, the blocking read before it does not. Gob
+			// requests have no parse timing and simply start now.
+			tr.BeginAt(&j.tr, j.wireTrace, j.decodeAt)
+			if j.decodeDur > 0 {
+				tr.Span(&j.tr, trace.StageDecode, j.decodeAt, j.decodeDur)
+			}
+			j.queuedAt = time.Now()
 		}
 		pending <- j
 		// The pool (and, when batching, the dispatcher) outlives every
@@ -697,13 +773,24 @@ func (s *Server) worker(stop <-chan struct{}) {
 // Both hooks cost one nil check when disabled — the serving benchmarks hold
 // this path to within measurement noise of the uninstrumented server.
 func (s *Server) serve(j *job, replicas *replicaCache) *Response {
+	tr := s.opts.tracer
 	var start time.Time
-	if s.opts.metrics != nil {
+	if s.opts.metrics != nil || tr != nil {
 		start = time.Now()
 	}
+	if tr != nil && !j.queuedAt.IsZero() {
+		// Intake wait for jobs that reached a worker directly; dispatcher
+		// jobs had their queue/batch-window split recorded at pop time.
+		tr.Span(&j.tr, trace.StageQueue, j.queuedAt, start.Sub(j.queuedAt))
+		j.queuedAt = time.Time{}
+	}
 	resp := s.serveResolved(j, replicas)
-	if s.opts.metrics != nil {
-		s.opts.metrics.record(&j.req, resp, time.Since(start))
+	if s.opts.metrics != nil || tr != nil {
+		d := time.Since(start)
+		if s.opts.metrics != nil {
+			s.opts.metrics.record(&j.req, resp, d)
+		}
+		tr.Span(&j.tr, trace.StageForward, start, d)
 	}
 	return resp
 }

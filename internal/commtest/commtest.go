@@ -107,14 +107,14 @@ type Fleet struct {
 // Serve — ports are never closed and re-bound, which is what keeps these
 // tests from flaking under -race in CI (the probe-then-rebind pattern
 // races other test processes for the port).
-func StartShards(t testing.TB, k, n, p int, seed int64) *Fleet {
+func StartShards(t testing.TB, k, n, p int, seed int64, opts ...comm.ServerOption) *Fleet {
 	t.Helper()
 	e := Pipeline(TinyArch(), n, p, seed)
 	reg := registry.New(nil)
 	if _, err := reg.Publish("fleet", e); err != nil {
 		t.Fatalf("publishing fleet pipeline: %v", err)
 	}
-	f, err := StartShardServers(reg, e, k)
+	f, err := StartShardServers(reg, e, k, opts...)
 	if err != nil {
 		t.Fatalf("starting shard fleet: %v", err)
 	}
@@ -132,7 +132,7 @@ func StartShards(t testing.TB, k, n, p int, seed int64) *Fleet {
 // a subset provider on the registry, each on its own :0 listener. The
 // caller owns teardown via StopShard; StartShards wraps this with t.Cleanup
 // for tests.
-func StartShardServers(reg *registry.Registry, e *ensemble.Ensembler, k int) (*Fleet, error) {
+func StartShardServers(reg *registry.Registry, e *ensemble.Ensembler, k int, opts ...comm.ServerOption) (*Fleet, error) {
 	ranges, err := shard.Plan(e.Cfg.N, k)
 	if err != nil {
 		return nil, err
@@ -147,7 +147,7 @@ func StartShardServers(reg *registry.Registry, e *ensemble.Ensembler, k int) (*F
 		if err != nil {
 			return nil, err
 		}
-		srv := comm.NewModelServer(provider, comm.WithWorkers(2))
+		srv := comm.NewModelServer(provider, append([]comm.ServerOption{comm.WithWorkers(2)}, opts...)...)
 		ctx, cancel := context.WithCancel(context.Background())
 		served := make(chan error, 1)
 		go func() { served <- srv.Serve(ctx, ln) }()

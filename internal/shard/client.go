@@ -10,6 +10,7 @@ import (
 	"ensembler/internal/ensemble"
 	"ensembler/internal/nn"
 	"ensembler/internal/tensor"
+	"ensembler/internal/trace"
 )
 
 // Runtime is the client-side half of the pipeline as the scatter-gather
@@ -90,6 +91,12 @@ type Config struct {
 	// immediately, but a black-holed host (partition, dropped SYNs) would
 	// otherwise stall every gather for the kernel connect timeout.
 	ProbeTimeout time.Duration
+	// Tracer, when set, makes every Infer a root trace leg: head compute,
+	// per-shard scatter round trips (hedges and retries marked), and
+	// select+tail each become spans, and the minted trace ID rides every
+	// shard exchange on the wire so the shard servers' own legs stitch
+	// under the same trace (see internal/trace).
+	Tracer *trace.Tracer
 }
 
 // Health is one shard's observed state.
@@ -163,6 +170,10 @@ type Client struct {
 	pools  []*comm.Pool
 	health []*shardHealth
 
+	// acts recycles trace span storage across requests so a traced Infer
+	// performs no per-request span allocation.
+	acts sync.Pool
+
 	mu         sync.Mutex
 	newRuntime func() (*Runtime, error)
 	rtEpoch    uint64
@@ -209,6 +220,7 @@ func NewClient(cfg Config) (*Client, error) {
 		cfg.ProbeTimeout = time.Second
 	}
 	c := &Client{cfg: cfg, newRuntime: cfg.NewRuntime}
+	c.acts.New = func() any { return new(trace.Active) }
 	for _, addr := range cfg.Addrs {
 		pool, err := comm.NewPool(addr, cfg.PoolSize, func(cc *comm.Client) error {
 			cc.Model = cfg.Model
@@ -311,8 +323,7 @@ func (c *Client) releaseRuntime(rt *taggedRuntime) {
 // locally. The round-trip component of the returned timing is the
 // wall-clock of the slowest shard (the fan-out is concurrent); byte counts
 // sum over shards.
-func (c *Client) Infer(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, comm.Timing, error) {
-	var t comm.Timing
+func (c *Client) Infer(ctx context.Context, x *tensor.Tensor) (logits *tensor.Tensor, t comm.Timing, err error) {
 	tagged, err := c.acquireRuntime()
 	if err != nil {
 		return nil, t, err
@@ -320,20 +331,39 @@ func (c *Client) Infer(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, c
 	defer c.releaseRuntime(tagged)
 	rt := tagged.rt
 
+	// This is the root leg of the trace: the ID minted here rides every
+	// shard exchange, and the retention coin is flipped once so all legs
+	// retain (or not) together. Only this goroutine touches act — the
+	// per-shard goroutines report through their results/stats slots and the
+	// scatter spans are recorded after the join.
+	tr := c.cfg.Tracer
+	var act *trace.Active
+	var tc trace.Context
+	if tr != nil {
+		act = c.acts.Get().(*trace.Active)
+		tc = tr.Root(act)
+		defer func() {
+			tr.Finish(act, err != nil)
+			c.acts.Put(act)
+		}()
+	}
+
 	start := time.Now()
 	feats := rt.Features(x)
 	t.Client = time.Since(start)
+	tr.SpanArg(act, trace.StageClient, 0, start, t.Client)
 
 	netStart := time.Now()
 	results := make([]*comm.Exchanged, len(c.pools))
 	timings := make([]comm.Timing, len(c.pools))
+	stats := make([]exchangeStats, len(c.pools))
 	errs := make([]error, len(c.pools))
 	var wg sync.WaitGroup
 	for k := range c.pools {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			results[k], timings[k], errs[k] = c.exchange(ctx, k, feats)
+			results[k], timings[k], stats[k], errs[k] = c.exchange(ctx, k, feats, tc)
 		}(k)
 	}
 	wg.Wait()
@@ -341,6 +371,21 @@ func (c *Client) Infer(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, c
 	for _, st := range timings {
 		t.BytesUp += st.BytesUp
 		t.BytesDown += st.BytesDown
+	}
+	if tr != nil {
+		// One scatter span per shard (Arg = shard index; duration is that
+		// shard's cumulative round-trip time, retries included), plus
+		// zero-length marker spans for every retry and hedge — visible in
+		// the timeline exactly where the straggler insurance fired.
+		for k := range c.pools {
+			tr.SpanArg(act, trace.StageScatter, int32(k), netStart, timings[k].RoundTrip)
+			for r := 0; r < stats[k].retries; r++ {
+				tr.SpanArg(act, trace.StageRetry, int32(k), netStart, 0)
+			}
+			if stats[k].hedged {
+				tr.SpanArg(act, trace.StageHedge, int32(k), netStart, 0)
+			}
+		}
 	}
 
 	// Every shard whose features the selection will consume must have
@@ -385,8 +430,10 @@ func (c *Client) Infer(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, c
 	}
 
 	start = time.Now()
-	logits, err := finish(rt, features)
-	t.Client += time.Since(start)
+	logits, err = finish(rt, features)
+	tail := time.Since(start)
+	t.Client += tail
+	tr.SpanArg(act, trace.StageClient, 1, start, tail)
 	return logits, t, err
 }
 
@@ -416,9 +463,19 @@ func finish(rt *Runtime, features []*tensor.Tensor) (logits *tensor.Tensor, err 
 	return rt.Tail.Forward(rt.Select(features), false), nil
 }
 
+// exchangeStats reports what straggler insurance an exchange consumed, so
+// Infer can record retry/hedge marker spans after the scatter-gather joins
+// (the per-shard goroutines must not touch the shared trace.Active).
+type exchangeStats struct {
+	retries int  // attempts beyond the first
+	hedged  bool // a hedge request was launched on some attempt
+}
+
 // exchange runs the feature round trip against one shard with the
-// configured retry and hedging policy, updating the shard's health.
-func (c *Client) exchange(ctx context.Context, k int, feats *tensor.Tensor) (*comm.Exchanged, comm.Timing, error) {
+// configured retry and hedging policy, updating the shard's health. The
+// trace context (if any) rides every attempt, stitching the shard server's
+// leg into the caller's trace.
+func (c *Client) exchange(ctx context.Context, k int, feats *tensor.Tensor, tc trace.Context) (*comm.Exchanged, comm.Timing, exchangeStats, error) {
 	h := c.health[k]
 	down := h.isDown(c.cfg.DownAfter)
 	attempts := 1 + c.cfg.Retries
@@ -429,11 +486,15 @@ func (c *Client) exchange(ctx context.Context, k int, feats *tensor.Tensor) (*co
 		attempts = 1
 	}
 	var total comm.Timing
+	var st exchangeStats
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if err := ctx.Err(); err != nil {
 			lastErr = err
 			break
+		}
+		if a > 0 {
+			st.retries++
 		}
 		attemptCtx := ctx
 		if down {
@@ -443,7 +504,8 @@ func (c *Client) exchange(ctx context.Context, k int, feats *tensor.Tensor) (*co
 			attemptCtx, cancel = context.WithTimeout(ctx, c.cfg.ProbeTimeout)
 			defer cancel()
 		}
-		res, t, err := c.exchangeOnce(attemptCtx, k, feats, down)
+		res, t, hedged, err := c.exchangeOnce(attemptCtx, k, feats, down, tc)
+		st.hedged = st.hedged || hedged
 		total.BytesUp += t.BytesUp
 		total.BytesDown += t.BytesDown
 		total.RoundTrip += t.RoundTrip
@@ -457,7 +519,7 @@ func (c *Client) exchange(ctx context.Context, k int, feats *tensor.Tensor) (*co
 		}
 		if err == nil {
 			h.succeed()
-			return res, total, nil
+			return res, total, st, nil
 		}
 		lastErr = err
 	}
@@ -467,14 +529,16 @@ func (c *Client) exchange(ctx context.Context, k int, feats *tensor.Tensor) (*co
 	if ctx.Err() == nil {
 		h.fail(lastErr)
 	}
-	return nil, total, lastErr
+	return nil, total, st, lastErr
 }
 
-// exchangeOnce performs a single (possibly hedged) exchange with shard k.
-func (c *Client) exchangeOnce(ctx context.Context, k int, feats *tensor.Tensor, down bool) (*comm.Exchanged, comm.Timing, error) {
+// exchangeOnce performs a single (possibly hedged) exchange with shard k,
+// reporting whether a hedge request was launched.
+func (c *Client) exchangeOnce(ctx context.Context, k int, feats *tensor.Tensor, down bool, tc trace.Context) (*comm.Exchanged, comm.Timing, bool, error) {
 	pool := c.pools[k]
 	if c.cfg.HedgeAfter <= 0 || down {
-		return pool.Exchange(ctx, feats)
+		ex, t, err := pool.ExchangeTraced(ctx, feats, tc)
+		return ex, t, false, err
 	}
 	type result struct {
 		feats *comm.Exchanged
@@ -485,7 +549,7 @@ func (c *Client) exchangeOnce(ctx context.Context, k int, feats *tensor.Tensor, 
 	defer cancel() // aborts the losing request; its broken conn is discarded by the pool
 	ch := make(chan result, 2)
 	launch := func() {
-		f, t, err := pool.Exchange(hctx, feats)
+		f, t, err := pool.ExchangeTraced(hctx, feats, tc)
 		ch <- result{f, t, err}
 	}
 	go launch()
@@ -498,7 +562,7 @@ func (c *Client) exchangeOnce(ctx context.Context, k int, feats *tensor.Tensor, 
 		case r := <-ch:
 			outstanding--
 			if r.err == nil || outstanding == 0 {
-				return r.feats, r.t, r.err
+				return r.feats, r.t, hedged, r.err
 			}
 			// The first responder failed but a hedge is still running —
 			// wait for it rather than failing the attempt early.

@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"bufio"
+	"math"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Prometheus text-exposition conformance: the properties a scraper relies on
+// that are easy to break silently — the Content-Type version, the mandatory
+// +Inf bucket, and float formatting that round-trips through ParseFloat.
+
+func TestExpositionContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("conformance_total", "A counter.", nil).Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	ct := rec.Header().Get("Content-Type")
+	if !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want text/plain with version=0.0.4", ct)
+	}
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}
+
+func TestHistogramExpositionConformance(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conf_seconds", "A histogram.", DefaultLatencyBuckets, nil)
+	h.Observe(0.003)
+	h.Observe(12.5)    // beyond the highest finite bound: lands in +Inf only
+	h.Observe(1.0 / 3) // a value whose sum needs full float precision
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+
+	var infCount, sampleCount int64 = -1, -1
+	var sum float64 = math.NaN()
+	var lastCum int64 = -1
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") || !strings.HasPrefix(line, "conf_seconds") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("sample line %q has %d fields, want 2", line, len(fields))
+		}
+		val, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("sample value %q does not round-trip through ParseFloat: %v", fields[1], err)
+		}
+		switch {
+		case strings.HasPrefix(line, "conf_seconds_bucket"):
+			// Cumulative buckets must be non-decreasing in exposition order.
+			if int64(val) < lastCum {
+				t.Fatalf("bucket counts not cumulative: %q after %d", line, lastCum)
+			}
+			lastCum = int64(val)
+			if strings.Contains(line, `le="+Inf"`) {
+				infCount = int64(val)
+			}
+		case strings.HasPrefix(line, "conf_seconds_sum"):
+			sum = val
+		case strings.HasPrefix(line, "conf_seconds_count"):
+			sampleCount = int64(val)
+		}
+	}
+	if infCount == -1 {
+		t.Fatal(`exposition is missing the mandatory le="+Inf" bucket`)
+	}
+	if sampleCount != 3 {
+		t.Fatalf("_count = %d, want 3", sampleCount)
+	}
+	if infCount != sampleCount {
+		t.Fatalf("+Inf bucket %d != _count %d (Prometheus requires equality)", infCount, sampleCount)
+	}
+	want := 0.003 + 12.5 + 1.0/3
+	if math.IsNaN(sum) || math.Abs(sum-want) > 1e-9 {
+		t.Fatalf("_sum = %v, want %v within 1e-9 after a ParseFloat round trip", sum, want)
+	}
+}
+
+func TestNewHistogramAndQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005) // le=0.01 bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5) // le=1 bucket
+	}
+	if q := h.Quantile(0.5); q <= 0 || q > 0.01 {
+		t.Fatalf("p50 = %v, want within (0, 0.01]", q)
+	}
+	if q := h.Quantile(0.99); q <= 0.1 || q > 1 {
+		t.Fatalf("p99 = %v, want within (0.1, 1]", q)
+	}
+	// Out-of-range q clamps instead of panicking.
+	if q := h.Quantile(-1); q < 0 {
+		t.Fatalf("q=-1 gave %v", q)
+	}
+	// A +Inf-bucket observation clamps to the highest finite bound.
+	h2 := NewHistogram([]float64{0.01, 0.1, 1})
+	h2.Observe(50)
+	if q := h2.Quantile(0.99); q != 1 {
+		t.Fatalf("+Inf-bucket quantile = %v, want clamp to 1", q)
+	}
+}
+
+func TestRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	// Force at least one GC so the pause gauge has something to report.
+	runtime.GC()
+	// Invalidate the 1s MemStats cache deadline by just scraping; the first
+	// scrape always populates.
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, name := range []string{"go_goroutines", "go_mem_heap_alloc_bytes", "go_gc_last_pause_seconds"} {
+		if !strings.Contains(body, name+" ") {
+			t.Fatalf("scrape missing %s:\n%s", name, body)
+		}
+	}
+	var goroutines, heap float64
+	for _, line := range strings.Split(body, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[0] {
+		case "go_goroutines":
+			goroutines = v
+		case "go_mem_heap_alloc_bytes":
+			heap = v
+		}
+	}
+	if goroutines < 1 {
+		t.Fatalf("go_goroutines = %v, want >= 1", goroutines)
+	}
+	if heap <= 0 {
+		t.Fatalf("go_mem_heap_alloc_bytes = %v, want > 0", heap)
+	}
+}
+
+func TestRuntimeMetricsCacheRefreshes(t *testing.T) {
+	c := &memStatsCache{}
+	first := c.get()
+	if first.HeapAlloc == 0 {
+		t.Fatal("first read returned zero MemStats")
+	}
+	// Within the TTL the same snapshot comes back (same ReadMemStats call).
+	again := c.get()
+	if again.HeapAlloc != first.HeapAlloc || again.NumGC != first.NumGC {
+		t.Fatal("cache refreshed within its TTL")
+	}
+	// Backdate the cache and confirm a refresh happens.
+	c.mu.Lock()
+	c.at = c.at.Add(-2 * time.Second)
+	c.mu.Unlock()
+	refreshed := c.get()
+	if refreshed.HeapAlloc == 0 {
+		t.Fatal("refreshed read returned zero MemStats")
+	}
+}

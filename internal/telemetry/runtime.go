@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsCache bounds the cost of runtime.ReadMemStats on the scrape path:
+// ReadMemStats stops the world, and one /metrics scrape renders several
+// runtime series, so the gauges share one snapshot refreshed at most once
+// per second.
+type memStatsCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	data runtime.MemStats
+}
+
+func (c *memStatsCache) get() *runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if time.Since(c.at) > time.Second {
+		runtime.ReadMemStats(&c.data)
+		c.at = time.Now()
+	}
+	return &c.data
+}
+
+// RegisterRuntimeMetrics exports Go runtime health on the registry:
+// go_goroutines, go_mem_heap_alloc_bytes, and go_gc_last_pause_seconds.
+// All three are computed at scrape time (GaugeFunc) — zero cost on the
+// request path — with memory stats cached for a second so a tight scrape
+// loop cannot turn stop-the-world sampling into load.
+func RegisterRuntimeMetrics(r *Registry) {
+	cache := &memStatsCache{}
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.", nil, func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("go_mem_heap_alloc_bytes", "Bytes of allocated heap objects.", nil, func() float64 {
+		return float64(cache.get().HeapAlloc)
+	})
+	r.GaugeFunc("go_gc_last_pause_seconds", "Duration of the most recent GC stop-the-world pause.", nil, func() float64 {
+		m := cache.get()
+		if m.NumGC == 0 {
+			return 0
+		}
+		return float64(m.PauseNs[(m.NumGC+255)%256]) / 1e9
+	})
+}

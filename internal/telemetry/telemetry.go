@@ -114,6 +114,59 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 // Count returns how many values were observed.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// NewHistogram builds a standalone histogram (not attached to a registry) —
+// for callers like internal/trace that always need stage stats but only
+// sometimes have a registry to export them through.
+func NewHistogram(buckets []float64) *Histogram { return newHistogram(buckets) }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket containing the target rank, the same estimate a
+// histogram_quantile() PromQL query would produce. Observations in the +Inf
+// bucket are reported as the highest finite bound (there is nothing better
+// to interpolate against). Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := uint64(0)
+	counts := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i, c := range counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.bounds) {
+			// +Inf bucket: clamp to the highest finite bound.
+			if len(h.bounds) == 0 {
+				return 0
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		if c == 0 {
+			return hi
+		}
+		inBucket := rank - float64(cum-c)
+		return lo + (hi-lo)*inBucket/float64(c)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Labels attach constant dimensions to one series, e.g. {"shard": "2"}.
 // They are rendered sorted by key, so any map order yields one series name.
 type Labels map[string]string
