@@ -62,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	duration := fs.Duration("duration", 2*time.Second, "measurement window per -serving regime")
 	jsonPath := fs.String("json", "", "write machine-readable -serving results to this path (the BENCH_*.json perf trajectory)")
 	wireName := fs.String("wire", "binary", "client wire protocol for -serving: binary, f32 (half the bytes, ~1e-7 relative feature rounding), or gob (legacy)")
+	precisionName := fs.String("precision", "f64", "server compute precision for -serving: f64 (reference kernels) or f32 (vectorized backend)")
 	comparePath := fs.String("compare", "", "compare the -serving run against this baseline BENCH_*.json and fail on regression")
 	tolerance := fs.Float64("tolerance", 0.2, "relative regression band for -compare and the queueing-model p99 gate (0.2 = fail beyond 20%)")
 	batchWindow := fs.Duration("batch-window", 0, "also measure a continuous-batching regime with this dispatcher window, gated against the queueing model's p99 (0 skips)")
@@ -92,7 +93,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		default:
 			return fmt.Errorf("unknown -wire %q (want binary, f32, or gob)", *wireName)
 		}
-		report, err := runServingBench(stdout, stderr, *n, *clients, *workers, *reqBatch, *duration, wire, *jsonPath,
+		precision, err := comm.ParsePrecision(*precisionName)
+		if err != nil {
+			return err
+		}
+		report, err := runServingBench(stdout, stderr, *n, *clients, *workers, *reqBatch, *duration, wire, precision, *jsonPath,
 			*batchWindow, *maxQueue, *arrivalRate, *tolerance)
 		if err != nil {
 			return err
@@ -179,6 +184,11 @@ type BenchConfig struct {
 	WindowSeconds        float64 `json:"window_seconds"`
 	EffectiveParallelism int     `json:"effective_parallelism"`
 	Wire                 string  `json:"wire"`
+	// Precision is the server compute precision the regimes ran at ("f64"
+	// or "f32"); wire precision is recorded separately in Wire. Empty in
+	// reports predating the float32 backend, which compareReports treats
+	// as f64.
+	Precision string `json:"precision,omitempty"`
 	// BatchWindowSeconds/MaxQueue/ArrivalRPS record the continuous-batching
 	// regime, when one was measured (-batch-window); all zero otherwise.
 	BatchWindowSeconds float64 `json:"batch_window_seconds,omitempty"`
@@ -220,7 +230,7 @@ type measured struct {
 // the analytic model's prediction for the same regimes — clamped to the
 // parallelism this host can actually deliver. jsonPath, when set,
 // additionally writes the measurements as a BenchReport.
-func runServingBench(stdout, stderr io.Writer, n, clients, workers, reqBatch int, window time.Duration, wire comm.WireFormat, jsonPath string,
+func runServingBench(stdout, stderr io.Writer, n, clients, workers, reqBatch int, window time.Duration, wire comm.WireFormat, precision comm.Precision, jsonPath string,
 	batchWindow time.Duration, maxQueue int, arrivalRate, tolerance float64) (*BenchReport, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -237,6 +247,7 @@ func runServingBench(stdout, stderr io.Writer, n, clients, workers, reqBatch int
 		comm.WithWorkers(workers),
 		comm.WithReplicas(func() []*nn.Network { return commtest.Bodies(benchArch(), n) }),
 		comm.WithTracer(tracer),
+		comm.WithPrecision(precision),
 	)
 	comm.PinKernelParallelism(srv.Workers())
 	defer tensor.SetKernelParallelism(0)
@@ -246,8 +257,8 @@ func runServingBench(stdout, stderr io.Writer, n, clients, workers, reqBatch int
 	go func() { served <- srv.Serve(ctx, ln) }()
 
 	effective := min(srv.Workers(), runtime.GOMAXPROCS(0))
-	fmt.Fprintf(stdout, "serving bench: N=%d bodies, %d workers, %d images/request, %v per regime, %s wire, GOMAXPROCS=%d (effective parallelism %d)\n",
-		n, srv.Workers(), reqBatch, window, wire, runtime.GOMAXPROCS(0), effective)
+	fmt.Fprintf(stdout, "serving bench: N=%d bodies, %d workers, %d images/request, %v per regime, %s wire, %s compute, GOMAXPROCS=%d (effective parallelism %d)\n",
+		n, srv.Workers(), reqBatch, window, wire, precision, runtime.GOMAXPROCS(0), effective)
 
 	single := measureThroughput(stderr, ln.Addr().String(), n, 1, reqBatch, window, wire)
 	many := measureThroughput(stderr, ln.Addr().String(), n, clients, reqBatch, window, wire)
@@ -266,6 +277,10 @@ func runServingBench(stdout, stderr io.Writer, n, clients, workers, reqBatch int
 	case comm.WireGob:
 		wireFactor = latency.WireFactorGob
 	}
+	computeFactor := latency.ComputeFactorF64
+	if precision == comm.PrecisionF32 {
+		computeFactor = latency.ComputeFactorF32
+	}
 	// The prediction comparable to this measurement is the loopback-bench
 	// scenario clamped to the host's effective parallelism and the chosen
 	// wire — not the paper's Pi+LAN deployment, whose round trip is
@@ -273,12 +288,12 @@ func runServingBench(stdout, stderr io.Writer, n, clients, workers, reqBatch int
 	// "gap": two different experiments).
 	predictedOne := latency.EstimateServing(latency.ServingScenario{
 		Base: latency.LoopbackBench(n), Workers: workers, Clients: 1, Batch: reqBatch,
-		EffectiveParallel: effective, WireFactor: wireFactor})
+		EffectiveParallel: effective, WireFactor: wireFactor, ComputeFactor: computeFactor})
 	predictedMany := latency.EstimateServing(latency.ServingScenario{
 		Base: latency.LoopbackBench(n), Workers: workers, Clients: clients, Batch: reqBatch,
-		EffectiveParallel: effective, WireFactor: wireFactor})
+		EffectiveParallel: effective, WireFactor: wireFactor, ComputeFactor: computeFactor})
 	predicted := predictedMany.ThroughputRPS / predictedOne.ThroughputRPS
-	fmt.Fprintf(stdout, "\nanalytic model, loopback-bench scenario (pool clamped to %d-way parallelism, %s wire):\n", effective, wire)
+	fmt.Fprintf(stdout, "\nanalytic model, loopback-bench scenario (pool clamped to %d-way parallelism, %s wire, %s compute):\n", effective, wire, precision)
 	for _, est := range latency.ConcurrencySweep(latency.LoopbackBench(n), workers, effective, reqBatch, []int{1, 2, 4, clients}) {
 		fmt.Fprintf(stdout, "  %s\n", est)
 	}
@@ -295,7 +310,7 @@ func runServingBench(stdout, stderr io.Writer, n, clients, workers, reqBatch int
 	var batched *batchedRun
 	if batchWindow > 0 {
 		batched, err = runBatchedRegime(stdout, stderr, n, clients, workers, reqBatch,
-			window, wire, batchWindow, maxQueue, arrivalRate, effective, many.reqPerSec, tracer)
+			window, wire, precision, batchWindow, maxQueue, arrivalRate, effective, many.reqPerSec, tracer)
 		if err != nil {
 			return nil, err
 		}
@@ -321,7 +336,7 @@ func runServingBench(stdout, stderr io.Writer, n, clients, workers, reqBatch int
 		Config: BenchConfig{
 			Bodies: n, Clients: clients, Workers: srv.Workers(),
 			ReqBatch: reqBatch, WindowSeconds: window.Seconds(),
-			EffectiveParallelism: effective, Wire: wire.String(),
+			EffectiveParallelism: effective, Wire: wire.String(), Precision: precision.String(),
 			BatchWindowSeconds: batchWindow.Seconds(), MaxQueue: maxQueue, ArrivalRPS: arrivalRate,
 		},
 		Results: []BenchResult{
@@ -392,7 +407,7 @@ type batchedRun struct {
 // server — calibrates the per-request service time the model runs on, so the
 // prediction shares this host's hardware reality.
 func runBatchedRegime(stdout, stderr io.Writer, n, clients, workers, reqBatch int,
-	window time.Duration, wire comm.WireFormat, batchWindow time.Duration, maxQueue int,
+	window time.Duration, wire comm.WireFormat, precision comm.Precision, batchWindow time.Duration, maxQueue int,
 	arrivalRate float64, effective int, unbatchedRPS float64, tracer *trace.Tracer) (*batchedRun, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -404,6 +419,7 @@ func runBatchedRegime(stdout, stderr io.Writer, n, clients, workers, reqBatch in
 		comm.WithReplicas(func() []*nn.Network { return commtest.Bodies(benchArch(), n) }),
 		comm.WithBatchWindow(batchWindow),
 		comm.WithTracer(tracer),
+		comm.WithPrecision(precision),
 	}
 	if maxQueue > 0 {
 		opts = append(opts, comm.WithMaxQueue(maxQueue))
@@ -631,12 +647,26 @@ func compareReports(stdout io.Writer, baselinePath string, current *BenchReport,
 			check("allocs_per_req", base.Value, cur.Value, true, 8)
 		}
 	}
+	// A report predating the float32 backend recorded no compute precision;
+	// everything it measured ran the f64 reference kernels.
+	precisionOf := func(c *BenchConfig) string {
+		if c.Precision == "" {
+			return "f64"
+		}
+		return c.Precision
+	}
+	samePrecision := precisionOf(&baseline.Config) == precisionOf(&current.Config)
 	sameHostShape := baseline.Config.EffectiveParallelism == current.Config.EffectiveParallelism &&
-		baseline.Config.EffectiveParallelism > 0
+		baseline.Config.EffectiveParallelism > 0 && samePrecision
 	skip := func(metric string, baseVal, curVal float64) {
-		fmt.Fprintf(stdout, "  %-22s baseline %10.2f  current %10.2f  skipped (baseline ran at parallelism %d, this host %d)\n",
-			metric, baseVal, curVal,
+		reason := fmt.Sprintf("baseline ran at parallelism %d, this host %d",
 			baseline.Config.EffectiveParallelism, current.Config.EffectiveParallelism)
+		if !samePrecision {
+			reason = fmt.Sprintf("baseline measured %s compute, this run %s",
+				precisionOf(&baseline.Config), precisionOf(&current.Config))
+		}
+		fmt.Fprintf(stdout, "  %-22s baseline %10.2f  current %10.2f  skipped (%s)\n",
+			metric, baseVal, curVal, reason)
 	}
 	if base, ok := find(&baseline, "speedup"); ok {
 		if cur, ok2 := find(current, "speedup"); ok2 {

@@ -114,6 +114,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	rotateSeed := fs.Int64("rotate-seed", 1, "seed stream for selector rotations")
 	keepVersions := fs.Int("keep-versions", 64, "on-disk versions kept per model when rotating (0 keeps everything)")
 	shardSpec := fs.String("shard", "", `host shard k of a K-shard fleet ("k/K"): only that shard's body subset`)
+	precisionName := fs.String("precision", "", `compute precision for the hosted body passes: "f64" (reference kernels) or "f32" (vectorized backend, ~1e-7 relative drift); empty defaults to the manifest's commitment, else f64`)
 	adminAddr := fs.String("admin-addr", "", "admin plane listen address (/healthz, /metrics, /leakage, /rotate, /traces); empty disables")
 	traceSample := fs.Float64("trace-sample", trace.DefaultSampleRate, "probability a healthy request's full span timeline is retained (errors, sheds, and the slowest are always kept); negative disables tail sampling")
 	traceSlowest := fs.Int("trace-slowest", 0, "always retain this many slowest requests seen (0 = default)")
@@ -168,6 +169,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	defaultModel := reg.Default()
 	cur, err := reg.Current(defaultModel)
+	if err != nil {
+		return err
+	}
+
+	// Precision resolution: the flag wins when set, but never against a
+	// manifest that committed this version to the other backend — a model
+	// validated for one set of kernels must not be silently served by the
+	// other. An unset flag defaults to the commitment (or f64, the
+	// reference path, when the manifest makes none).
+	manifestPrecision := ""
+	if store := reg.Store(); store != nil {
+		man, err := store.Manifest(defaultModel, cur.Version())
+		if err != nil {
+			return err
+		}
+		manifestPrecision = man.Precision
+	}
+	precisionStr := *precisionName
+	if precisionStr == "" {
+		precisionStr = manifestPrecision
+	} else if manifestPrecision != "" && precisionStr != manifestPrecision {
+		return fmt.Errorf("model %s v%d was published for %s compute; -precision %s disagrees (republish or drop the flag)",
+			defaultModel, cur.Version(), manifestPrecision, precisionStr)
+	}
+	precision, err := comm.ParsePrecision(precisionStr)
 	if err != nil {
 		return err
 	}
@@ -252,6 +278,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	serverOpts := []comm.ServerOption{
 		comm.WithWorkers(*workers),
 		comm.WithMaxBatch(*maxBatch),
+		comm.WithPrecision(precision),
 	}
 	if *batchWindow > 0 {
 		serverOpts = append(serverOpts, comm.WithBatchWindow(*batchWindow))
@@ -452,8 +479,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if ds := srv.DispatcherStats(); ds.Enabled {
 		dispatchBanner = fmt.Sprintf("; continuous batching window %v, intake queue %d", ds.Window, ds.MaxQueue)
 	}
-	fmt.Fprintf(stdout, "%sserving %s v%d (%d bodies) as default — %d models total, %d workers, max batch %d; selector stays client-side%s%s\n",
-		shardBanner, defaultModel, cur.Version(), cur.Pipeline().Cfg.N, len(reg.Models()), srv.Workers(), *maxBatch, auditBanner, dispatchBanner)
+	fmt.Fprintf(stdout, "%sserving %s v%d (%d bodies) as default — %d models total, %d workers, max batch %d, %s compute; selector stays client-side%s%s\n",
+		shardBanner, defaultModel, cur.Version(), cur.Pipeline().Cfg.N, len(reg.Models()), srv.Workers(), *maxBatch, precision, auditBanner, dispatchBanner)
 	var fatalMu sync.Mutex
 	var fatalErr error
 	failServe := func(err error) {

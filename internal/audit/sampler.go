@@ -103,6 +103,36 @@ func (s *Sampler) ObserveFeatures(model string, version int, f *tensor.Tensor) {
 	}
 }
 
+// ObserveFeatures32 implements the comm.FeatureObserver32 hot-path hook: on
+// an f32-precision server the sampler receives the float32 tensors the
+// compute path actually runs on. Widening into the float64 reservoir — exact,
+// every float32 is a float64 — happens only after the rate gate passes, so
+// skipped observations keep the cost contract above: one atomic add, zero
+// allocations, no lock. The attack replay and SSIM scoring then consume what
+// production traffic really leaked, rounded nowhere further.
+func (s *Sampler) ObserveFeatures32(model string, version int, f *tensor.Tensor32) {
+	if s == nil || s.rate == 0 {
+		return
+	}
+	n := s.seen.Add(1)
+	if n%s.rate != 0 {
+		return
+	}
+	s.sampled.Add(1)
+	smp := Sample{Model: model, Version: version, Features: tensor.Widen64(f)}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.admitted++
+	if len(s.reservoir) < s.cap {
+		s.reservoir = append(s.reservoir, smp)
+		return
+	}
+	if j := s.r.Intn(int(s.admitted)); j < s.cap {
+		s.reservoir[j] = smp
+	}
+}
+
 // Snapshot returns a copy of the current reservoir (the tensors themselves
 // are immutable once mirrored, so only the slice is copied).
 func (s *Sampler) Snapshot() []Sample {

@@ -1,0 +1,255 @@
+package comm
+
+// The float32 half of the binary codec: decoding requests straight into the
+// job's f32 arena and encoding f32 responses. The wire format is unchanged —
+// the same tensor layout, dtype bytes, and trust-boundary validation as
+// codec.go — only where the payload lands differs. An f32-wire payload on a
+// PrecisionF32 server moves bits with Float32frombits/Float32bits and never
+// touches float64, which is the tentpole's no-conversion guarantee (and the
+// fix for the old double rounding: f32 payload → f64 compute → f32 encode).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ensembler/internal/tensor"
+	"ensembler/internal/trace"
+)
+
+// tensor32 decodes one tensor into the f32 arena, with the same
+// validate-before-allocate rule as wireReader.tensor. An f32 payload copies
+// raw bits (no conversion); an f64 payload is the sanctioned single
+// narrowing of a float64 client's features on an f32 server.
+func (r *wireReader) tensor32(a *tensor.Arena32, shapeBuf []int) (*tensor.Tensor32, error) {
+	rank, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if rank == 0 || rank > maxWireRank {
+		return nil, fmt.Errorf("comm: tensor rank %d out of range [1,%d]", rank, maxWireRank)
+	}
+	dtype, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	width := 8
+	switch dtype {
+	case wireDtypeF64:
+	case wireDtypeF32:
+		width = 4
+	default:
+		return nil, fmt.Errorf("comm: unknown tensor dtype %d", dtype)
+	}
+	shape := shapeBuf[:0]
+	maxElems := r.remaining() / width
+	n := 1
+	for i := 0; i < int(rank); i++ {
+		d, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if d == 0 {
+			return nil, fmt.Errorf("comm: zero tensor dimension")
+		}
+		if n *= int(d); n > maxElems {
+			return nil, fmt.Errorf("comm: tensor of %d elements exceeds frame size", n)
+		}
+		shape = append(shape, int(d))
+	}
+	if r.remaining() < n*width {
+		return nil, fmt.Errorf("comm: tensor payload truncated (%d elements, %d bytes left)", n, r.remaining())
+	}
+	t := a.NewTensor(shape...)
+	src := r.b[r.off:]
+	if dtype == wireDtypeF64 {
+		for i := 0; i < n; i++ {
+			t.Data[i] = float32(math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:])))
+		}
+		r.off += 8 * n
+	} else {
+		for i := 0; i < n; i++ {
+			t.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+		}
+		r.off += 4 * n
+	}
+	return t, nil
+}
+
+// parseRequestInto32 is parseRequestInto for a PrecisionF32 server: the
+// routing header decodes into req as usual, but the tensors land in
+// j.feat32/j.inputs32 over the job's f32 arena — req.Features and req.Inputs
+// stay nil, which is how the serving path recognizes an f32-decoded job.
+func parseRequestInto32(body []byte, req *Request, j *job, tc *trace.Context) error {
+	r := wireReader{b: body}
+	msg, err := r.u8()
+	if err != nil {
+		return err
+	}
+	switch msg {
+	case wireMsgRequest:
+	case wireMsgRequestTraced:
+		id, err := r.u64()
+		if err != nil {
+			return err
+		}
+		tflags, err := r.u8()
+		if err != nil {
+			return err
+		}
+		if id == 0 {
+			return fmt.Errorf("comm: traced request frame carries zero trace ID")
+		}
+		if tc != nil {
+			tc.ID = id
+			tc.Sampled = tflags&wireTraceSampled != 0
+		}
+	default:
+		return fmt.Errorf("comm: expected request frame, got message type %d", msg)
+	}
+	mlen, err := r.u16()
+	if err != nil {
+		return err
+	}
+	if mlen > maxWireModel {
+		return fmt.Errorf("comm: model name of %d bytes exceeds wire limit", mlen)
+	}
+	if req.Model, err = r.str(mlen); err != nil {
+		return err
+	}
+	ver, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if ver > math.MaxInt32 {
+		return fmt.Errorf("comm: version %d out of range", ver)
+	}
+	req.Version = int(ver)
+	kind, err := r.u8()
+	if err != nil {
+		return err
+	}
+	count, err := r.u16()
+	if err != nil {
+		return err
+	}
+	// The job donates its persistent shape buffer, as in parseRequestInto.
+	shapeBuf := j.shape[:0]
+	switch kind {
+	case wireKindFeatures:
+		if count != 1 {
+			return fmt.Errorf("comm: feature request carries %d tensors, want 1", count)
+		}
+		if j.feat32, err = r.tensor32(&j.arena32, shapeBuf); err != nil {
+			return err
+		}
+	case wireKindBatched:
+		if count == 0 {
+			return fmt.Errorf("comm: batched request carries no inputs")
+		}
+		inputs := j.inputs32[:0]
+		for i := 0; i < count; i++ {
+			t, err := r.tensor32(&j.arena32, shapeBuf)
+			if err != nil {
+				return err
+			}
+			inputs = append(inputs, t)
+		}
+		j.inputs32 = inputs
+	default:
+		return fmt.Errorf("comm: unknown request kind %d", kind)
+	}
+	if r.remaining() != 0 {
+		return fmt.Errorf("comm: %d trailing bytes after request", r.remaining())
+	}
+	return nil
+}
+
+// appendTensor32 encodes one float32 tensor. On the f32 wire the payload is
+// raw Float32bits — zero conversion; on the f64 wire each value widens
+// exactly (every float32 is a float64), so a float64 client sees precisely
+// what the f32 compute produced, rounded nowhere further.
+func appendTensor32(buf []byte, t *tensor.Tensor32, f32 bool) []byte {
+	buf = append(buf, byte(len(t.Shape)))
+	if f32 {
+		buf = append(buf, wireDtypeF32)
+	} else {
+		buf = append(buf, wireDtypeF64)
+	}
+	for _, d := range t.Shape {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(d))
+	}
+	if f32 {
+		for _, v := range t.Data {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		}
+	} else {
+		for _, v := range t.Data {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(float64(v)))
+		}
+	}
+	return buf
+}
+
+// appendResponse32 encodes a response whose payload lives in the job's f32
+// storage (j.f32Resp): header fields come from resp, tensors from
+// j.feats32/j.outputs32. Mirrors appendResponse's layout and limits.
+func appendResponse32(buf []byte, j *job, resp *Response, f32, withCode bool, traceID uint64) ([]byte, error) {
+	if len(resp.Model) > maxWireModel {
+		return buf, fmt.Errorf("comm: model name of %d bytes exceeds wire limit %d", len(resp.Model), maxWireModel)
+	}
+	if len(resp.Err) > math.MaxUint16 {
+		return buf, fmt.Errorf("comm: error string of %d bytes exceeds wire limit", len(resp.Err))
+	}
+	if resp.Code < 0 || resp.Code > math.MaxUint16 {
+		return buf, fmt.Errorf("comm: response code %d out of wire range", resp.Code)
+	}
+	if traceID != 0 {
+		buf = append(buf, wireMsgResponseTraced)
+		buf = binary.LittleEndian.AppendUint64(buf, traceID)
+	} else {
+		buf = append(buf, wireMsgResponse)
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(resp.Model)))
+	buf = append(buf, resp.Model...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(resp.Version))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(resp.Err)))
+	buf = append(buf, resp.Err...)
+	if withCode {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(resp.Code))
+	}
+	if len(j.outputs32) > 0 {
+		outer := len(j.outputs32)
+		inner := len(j.outputs32[0])
+		if outer > math.MaxUint16 || inner > math.MaxUint16 {
+			return buf, fmt.Errorf("comm: response outputs %d×%d exceed wire limits", outer, inner)
+		}
+		buf = append(buf, wireKindBatched)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(outer))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(inner))
+		for _, row := range j.outputs32 {
+			if len(row) != inner {
+				return buf, fmt.Errorf("comm: ragged response outputs (%d vs %d per input)", len(row), inner)
+			}
+			for _, t := range row {
+				if t == nil {
+					return buf, fmt.Errorf("comm: nil tensor in response outputs")
+				}
+				buf = appendTensor32(buf, t, f32)
+			}
+		}
+		return buf, nil
+	}
+	buf = append(buf, wireKindFeatures)
+	if len(j.feats32) > math.MaxUint16 {
+		return buf, fmt.Errorf("comm: response of %d feature maps exceeds wire limit", len(j.feats32))
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(j.feats32)))
+	for _, t := range j.feats32 {
+		if t == nil {
+			return buf, fmt.Errorf("comm: nil tensor in response features")
+		}
+		buf = appendTensor32(buf, t, f32)
+	}
+	return buf, nil
+}

@@ -367,7 +367,7 @@ func TestServerComputeLoopZeroAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	j := newJob()
-	replicas := newReplicaCache()
+	replicas := newReplicaCache(PrecisionF64)
 	encBuf := make([]byte, 0, 1<<16)
 	cycle := func() {
 		if err := parseRequestInto(body, &j.req, (*arenaAlloc)(&j.arena), j, nil); err != nil {
@@ -417,7 +417,7 @@ func BenchmarkServeRequestLoop(b *testing.B) {
 		b.Fatal(err)
 	}
 	j := newJob()
-	replicas := newReplicaCache()
+	replicas := newReplicaCache(PrecisionF64)
 	encBuf := make([]byte, 0, 1<<20)
 	// Warm-up: clone replicas, size arenas and buffers, so the timed loop
 	// is pure steady state.
@@ -473,7 +473,7 @@ func TestMalformedRequestsDoNotGrowScratches(t *testing.T) {
 	}
 	srv := NewServer(flatBodies(), WithWorkers(2), WithReplicas(flatBodies))
 	j := newJob()
-	replicas := newReplicaCache()
+	replicas := newReplicaCache(PrecisionF64)
 
 	good := &Request{Features: wireTensor(23, 1, 4, 8, 8)}
 	// Right rank and channels, wrong spatial size: flattens to 64 ≠ 256.

@@ -63,6 +63,9 @@ type coalesceKey struct {
 	model   string
 	version int
 	c, h, w int
+	// f32 marks jobs decoded into float32 storage, so a batch is homogeneous
+	// in decode precision and the stacked pass never mixes arenas.
+	f32 bool
 }
 
 // jobKey classifies a decoded request for coalescing. Only single-tensor
@@ -70,6 +73,12 @@ type coalesceKey struct {
 // (Inputs) and malformed shapes dispatch as singleton batches and take the
 // ordinary serve path, which owns their validation and error text.
 func jobKey(j *job) (coalesceKey, bool) {
+	if f := j.feat32; f != nil {
+		if len(f.Shape) != 4 {
+			return coalesceKey{}, false
+		}
+		return coalesceKey{model: j.req.Model, version: j.req.Version, c: f.Shape[1], h: f.Shape[2], w: f.Shape[3], f32: true}, true
+	}
 	f := j.req.Features
 	if f == nil || len(f.Shape) != 4 {
 		return coalesceKey{}, false
@@ -126,6 +135,10 @@ type dispatchBatch struct {
 	// (the forward outputs live in worker scratches and the per-job copies
 	// in each job's arena, so nothing outlives the reset).
 	arena tensor.Arena
+	// Float32 twins of the above, used by a PrecisionF32 server's stacked
+	// pass (see coalescedPass32).
+	outs32  []*tensor.Tensor32
+	arena32 tensor.Arena32
 }
 
 func (b *dispatchBatch) reset() {
@@ -136,6 +149,8 @@ func (b *dispatchBatch) reset() {
 	b.rows = b.rows[:0]
 	b.outs = b.outs[:0]
 	b.arena.Reset()
+	b.outs32 = b.outs32[:0]
+	b.arena32.Reset()
 }
 
 // dispatcher is the continuous-batching intake: per-connection bounded
@@ -500,7 +515,7 @@ func (s *Server) serveBatch(b *dispatchBatch, replicas *replicaCache) {
 		dur := time.Since(start)
 		for _, j := range b.jobs {
 			if m := s.opts.metrics; m != nil {
-				m.record(&j.req, &j.resp, dur)
+				m.record(j, &j.resp, dur)
 			}
 			// Every member is attributed the shared pass; Arg records how
 			// many requests bought it together.
@@ -515,7 +530,7 @@ func (s *Server) serveBatch(b *dispatchBatch, replicas *replicaCache) {
 // failBatch writes one error onto every job that has no response yet.
 func failBatch(b *dispatchBatch, msg string) {
 	for _, j := range b.jobs {
-		if j.resp.Err == "" && j.resp.Features == nil && j.resp.Outputs == nil {
+		if j.resp.Err == "" && j.resp.Features == nil && j.resp.Outputs == nil && !j.f32Resp {
 			j.resp = Response{Err: msg}
 		}
 	}
@@ -540,12 +555,16 @@ func (s *Server) serveCoalesced(b *dispatchBatch, replicas *replicaCache) {
 	}
 	if s.opts.observer != nil {
 		for _, j := range b.jobs {
-			observeRequest(s.opts.observer, m.Name(), m.Version(), &j.req)
+			observeJob(s.opts.observer, m.Name(), m.Version(), j)
 		}
 	}
 	wr, err := replicas.replicaFor(m)
 	if err != nil {
 		failBatch(b, err.Error())
+		return
+	}
+	if s.opts.precision == PrecisionF32 {
+		s.coalescedPass32(b, wr, m)
 		return
 	}
 	// Validate members and size the stack. The coalesce key fixed [C,H,W];

@@ -322,7 +322,7 @@ func TestDispatchCoalescedZeroAllocs(t *testing.T) {
 		jobs[i] = newJob()
 	}
 	b := &dispatchBatch{}
-	replicas := newReplicaCache()
+	replicas := newReplicaCache(PrecisionF64)
 	encBuf := make([]byte, 0, 1<<16)
 	cycle := func() {
 		for _, j := range jobs {
@@ -361,7 +361,7 @@ func TestCoalescedBatchErrorIsolation(t *testing.T) {
 	const nBodies = 2
 	srv := NewServer(codecBodies(nBodies), WithWorkers(2),
 		WithReplicas(func() []*nn.Network { return codecBodies(nBodies) }))
-	replicas := newReplicaCache()
+	replicas := newReplicaCache(PrecisionF64)
 
 	good := newJob()
 	good.req = Request{Features: wireTensor(320, 1, 4, 8, 8)}
@@ -433,7 +433,7 @@ func BenchmarkServeRequestLoopBatched(b *testing.B) {
 		jobs[i] = newJob()
 	}
 	batch := &dispatchBatch{}
-	replicas := newReplicaCache()
+	replicas := newReplicaCache(PrecisionF64)
 	encBuf := make([]byte, 0, 1<<20)
 	cycle := func() {
 		for _, j := range jobs {

@@ -28,6 +28,17 @@ type FeatureObserver interface {
 	ObserveFeatures(model string, version int, features *tensor.Tensor)
 }
 
+// FeatureObserver32 is the optional float32 ingress of a FeatureObserver: on
+// a PrecisionF32 server, observers that implement it receive the f32-decoded
+// tensors the compute path actually runs on, with no widening copy on the
+// hot path. The audit sampler implements it (widening only inside its
+// sampled branch); an observer that does not is handed a widened copy — one
+// allocation per observed tensor, the honest fallback that keeps the audit
+// plane seeing production-precision features either way.
+type FeatureObserver32 interface {
+	ObserveFeatures32(model string, version int, features *tensor.Tensor32)
+}
+
 // WithObserver mirrors every request's transmitted features into o — the
 // comm-side half of the audit subsystem's sampling loop. A nil observer
 // (the default) leaves the hot path untouched.
@@ -107,21 +118,36 @@ func NewServerMetrics(r *telemetry.Registry) *ServerMetrics {
 }
 
 // record tallies one finished request.
-func (m *ServerMetrics) record(req *Request, resp *Response, dur time.Duration) {
+func (m *ServerMetrics) record(j *job, resp *Response, dur time.Duration) {
 	m.Requests.Inc()
 	if resp.Err != "" {
 		m.Errors.Inc()
 	}
-	inputs, rows := requestSize(req)
+	inputs, rows := requestSize(j)
 	m.BatchInputs.Observe(float64(inputs))
 	m.Images.Add(uint64(rows))
 	m.ServeSeconds.Observe(dur.Seconds())
 }
 
 // requestSize reports how many input tensors and total batch rows a request
-// carries, tolerating malformed wire data (shapes are validated later, on
-// the compute path).
-func requestSize(req *Request) (inputs, rows int) {
+// carries — whichever precision it decoded at — tolerating malformed wire
+// data (shapes are validated later, on the compute path).
+func requestSize(j *job) (inputs, rows int) {
+	if len(j.inputs32) > 0 {
+		for _, in := range j.inputs32 {
+			if in != nil && len(in.Shape) > 0 && in.Shape[0] > 0 {
+				rows += in.Shape[0]
+			}
+		}
+		return len(j.inputs32), rows
+	}
+	if f := j.feat32; f != nil {
+		if len(f.Shape) > 0 && f.Shape[0] > 0 {
+			rows = f.Shape[0]
+		}
+		return 1, rows
+	}
+	req := &j.req
 	if req.Inputs != nil {
 		for _, in := range req.Inputs {
 			if in != nil && len(in.Shape) > 0 && in.Shape[0] > 0 {
@@ -154,4 +180,38 @@ func observeRequest(o FeatureObserver, model string, version int, req *Request) 
 	if validateFeatures(req.Features) == nil {
 		o.ObserveFeatures(model, version, req.Features)
 	}
+}
+
+// observeJob mirrors a job's transmitted features into the observer at
+// whichever precision they were decoded — float64 requests take the
+// observeRequest path unchanged; f32-decoded requests go through the
+// FeatureObserver32 side interface (or a widened copy when the observer
+// predates it), so the auditor scores leakage against the precision that
+// actually runs.
+func observeJob(o FeatureObserver, model string, version int, j *job) {
+	if !j.decodedF32() {
+		observeRequest(o, model, version, &j.req)
+		return
+	}
+	o32, _ := o.(FeatureObserver32)
+	if len(j.inputs32) > 0 {
+		for _, in := range j.inputs32 {
+			observeTensor32(o, o32, model, version, in)
+		}
+		return
+	}
+	observeTensor32(o, o32, model, version, j.feat32)
+}
+
+// observeTensor32 applies the wire trust boundary (validate before the
+// observer may copy) and routes one f32 tensor to the observer.
+func observeTensor32(o FeatureObserver, o32 FeatureObserver32, model string, version int, t *tensor.Tensor32) {
+	if validateFeatures32(t) != nil {
+		return
+	}
+	if o32 != nil {
+		o32.ObserveFeatures32(model, version, t)
+		return
+	}
+	o.ObserveFeatures(model, version, tensor.Widen64(t))
 }

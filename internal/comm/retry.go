@@ -69,7 +69,16 @@ func (p RetryPolicy) Delay(failures int, u float64) time.Duration {
 		if j > 1 {
 			j = 1
 		}
-		d = time.Duration(float64(d) * (1 - j*u))
+		f := 1 - j*u
+		// A full-jitter draw (Jitter 1, u→1) must not collapse the delay to
+		// zero: a server running greedy batching advertises window 0, so
+		// retryOverload has no outer floor, and a zero delay hot-spins the
+		// retry loop against the very server that just shed for overload.
+		// Keep at least a quarter of the pre-jitter backoff.
+		if f < 0.25 {
+			f = 0.25
+		}
+		d = time.Duration(float64(d) * f)
 	}
 	return d
 }

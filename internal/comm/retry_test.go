@@ -58,6 +58,64 @@ func TestRetryPolicyDelaySchedule(t *testing.T) {
 	}
 }
 
+// TestRetryDelayFloorAtZeroWindow pins the greedy-mode (batch window 0)
+// backoff floor. retryOverload floors the policy delay by the server's
+// advertised window; a greedy server advertises 0, so the jitter draw is the
+// only thing between a shed and an immediate re-send. A full-jitter draw
+// (u→1) must therefore never collapse the delay to zero — the floor is a
+// quarter of the pre-jitter backoff — or the client hot-spins against the
+// very server that just shed it for overload.
+func TestRetryDelayFloorAtZeroWindow(t *testing.T) {
+	for _, p := range []RetryPolicy{
+		DefaultRetryPolicy(),
+		{MaxAttempts: 4, BaseDelay: 2 * time.Millisecond, Jitter: 1}, // full jitter, no cap
+	} {
+		for failures := 1; failures <= p.MaxAttempts; failures++ {
+			preJitter := p.Delay(failures, 0)
+			floor := preJitter / 4
+			for u := 0.0; u < 1; u += 0.0625 {
+				if got := p.Delay(failures, u); got < floor {
+					t.Fatalf("Delay(%d, %v) = %v under policy %+v: below the %v floor — window-0 servers would be hot-spun",
+						failures, u, got, p, floor)
+				}
+			}
+			// The adversarial draw: u just under 1 is where full jitter used
+			// to collapse to ~0.
+			if got := p.Delay(failures, 0.999999); got < floor {
+				t.Fatalf("Delay(%d, ~1) = %v, want ≥ %v", failures, got, floor)
+			}
+		}
+	}
+}
+
+// TestPoolRetryAtZeroWindow drives the same contract end to end: a greedy
+// binary server (hello window 0) that sheds the first request must cost the
+// pooled call one backed-off retry — the zero window must not disable the
+// policy delay or the retry itself.
+func TestPoolRetryAtZeroWindow(t *testing.T) {
+	addr := shedOnceBinary(t, 0)
+	pool, err := NewPool(addr, 1, func(c *Client) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	pool.Retry = RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, Jitter: 1}
+
+	start := time.Now()
+	ex, _, err := pool.Exchange(context.Background(), wireTensor(412, 1, 4, 8, 8))
+	if err != nil {
+		t.Fatalf("exchange against a greedy shedding server: %v", err)
+	}
+	if len(ex.Features) != 1 {
+		t.Fatalf("retried exchange returned %d features, want 1", len(ex.Features))
+	}
+	// The jitter floor guarantees at least BaseDelay/4 of backoff even at
+	// window 0; anything faster means the delay collapsed.
+	if elapsed := time.Since(start); elapsed < time.Millisecond/4 {
+		t.Errorf("shed retried after only %v — the window-0 backoff floor did not hold", elapsed)
+	}
+}
+
 // shedThenServeGob runs a hand-rolled legacy-gob server that sheds each
 // connection's first `shedFirst` requests with the overload verdict, then
 // serves a fixed feature response — the deterministic harness for the Pool

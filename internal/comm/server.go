@@ -58,6 +58,7 @@ type serverOptions struct {
 	metrics   *ServerMetrics  // nil: no telemetry, zero hot-path cost
 	observer  FeatureObserver // nil: no feature mirroring, zero hot-path cost
 	tracer    *trace.Tracer   // nil: no tracing, zero hot-path cost
+	precision Precision       // compute element type; PrecisionF64 is the zero value
 
 	// Continuous batching (see dispatch.go). dispatch gates the whole
 	// subsystem: WithBatchWindow or WithMaxQueue turns it on.
@@ -220,6 +221,18 @@ type job struct {
 	rows    []int              // reusable per-input row counts
 	shape   [maxWireRank]int   // scratch for composing output shapes
 
+	// Float32 serving context (see server32.go), populated only on a
+	// PrecisionF32 server. arena32 backs f32-decoded request tensors and f32
+	// response payloads; f32Resp routes the encoder to feats32/outputs32
+	// instead of the float64 Response fields.
+	arena32   tensor.Arena32
+	feat32    *tensor.Tensor32     // f32-decoded Request.Features
+	inputs32  []*tensor.Tensor32   // reusable f32-decoded Request.Inputs storage
+	feats32   []*tensor.Tensor32   // reusable f32 response features storage
+	outs32    []*tensor.Tensor32   // reusable f32 per-body output list
+	outputs32 [][]*tensor.Tensor32 // reusable f32 response outputs grid
+	f32Resp   bool
+
 	// Tracing context, populated only when the server has a tracer (see
 	// internal/trace). wireTrace is the trace context the request arrived
 	// with; traced marks that it arrived on a traced frame whose response
@@ -247,6 +260,13 @@ func (j *job) reset() {
 	j.outputs = j.outputs[:0]
 	j.rows = j.rows[:0]
 	j.arena.Reset()
+	j.feat32 = nil
+	j.inputs32 = j.inputs32[:0]
+	j.feats32 = j.feats32[:0]
+	j.outs32 = j.outs32[:0]
+	j.outputs32 = j.outputs32[:0]
+	j.f32Resp = false
+	j.arena32.Reset()
 	j.wireTrace = trace.Context{}
 	j.traced = false
 	j.decodeAt, j.queuedAt = time.Time{}, time.Time{}
@@ -333,7 +353,7 @@ func newServer(p ModelProvider, o serverOptions) *Server {
 		opts:         o,
 		jobs:         make(chan *job),
 		conns:        map[net.Conn]struct{}{},
-		syncReplicas: newReplicaCache(),
+		syncReplicas: newReplicaCache(o.precision),
 	}
 	if o.dispatch {
 		if s.opts.maxQueue <= 0 {
@@ -502,6 +522,9 @@ type binServerCodec struct {
 	// traceOK marks a version ≥3 connection, the only kind whose responses
 	// may carry traced frames.
 	traceOK bool
+	// f32compute marks a PrecisionF32 server: requests decode into the job's
+	// f32 arena and successful responses encode from its f32 payload.
+	f32compute bool
 }
 
 func (c *binServerCodec) readRequest(j *job) error {
@@ -514,7 +537,11 @@ func (c *binServerCodec) readRequest(j *job) error {
 		t0 = time.Now()
 	}
 	j.req = Request{}
-	if err := parseRequestInto(body, &j.req, (*arenaAlloc)(&j.arena), j, &j.wireTrace); err != nil {
+	if c.f32compute {
+		if err := parseRequestInto32(body, &j.req, j, &j.wireTrace); err != nil {
+			return err
+		}
+	} else if err := parseRequestInto(body, &j.req, (*arenaAlloc)(&j.arena), j, &j.wireTrace); err != nil {
 		return err
 	}
 	if c.timing {
@@ -536,7 +563,13 @@ func (c *binServerCodec) writeResponse(j *job, resp *Response) error {
 	if j != nil && j.traced {
 		echo = j.wireTrace.ID
 	}
-	buf, err := appendResponse(c.frameStart(), resp, c.f32, c.code, echo)
+	var buf []byte
+	var err error
+	if j != nil && j.f32Resp {
+		buf, err = appendResponse32(c.frameStart(), j, resp, c.f32, c.code, echo)
+	} else {
+		buf, err = appendResponse(c.frameStart(), resp, c.f32, c.code, echo)
+	}
 	c.encBuf = buf
 	if err != nil {
 		return err
@@ -571,9 +604,10 @@ func (s *Server) negotiate(conn net.Conn, br *bufio.Reader) (serverCodec, error)
 		return nil, err
 	}
 	return &binServerCodec{
-		binFramer: binFramer{w: conn, r: br, f32: flags&wireFlagF32 != 0, code: version >= 2},
-		timing:    s.opts.tracer != nil,
-		traceOK:   version >= 3,
+		binFramer:  binFramer{w: conn, r: br, f32: flags&wireFlagF32 != 0, code: version >= 2},
+		timing:     s.opts.tracer != nil,
+		traceOK:    version >= 3,
+		f32compute: s.opts.precision == PrecisionF32,
 	}, nil
 }
 
@@ -693,6 +727,13 @@ type workerReplica struct {
 	bodies    []*nn.Network
 	scratches []*nn.Scratch
 	lastUsed  uint64 // worker-local request counter for LRU eviction
+
+	// Float32 compilation of the same replica, populated on a PrecisionF32
+	// server: each cloned body narrowed once to an nn.Net32 with its own f32
+	// scratch. The f64 bodies stay alive as the compile source (AdditiveNoise
+	// resample mode draws through their worker-private RNG state).
+	bodies32    []*nn.Net32
+	scratches32 []*nn.Scratch32
 }
 
 // epochKey identifies one model epoch in a worker's replica cache. A struct
@@ -708,12 +749,13 @@ type epochKey struct {
 // keep their own replica instead of thrashing a shared slot with full
 // re-clones per request.
 type replicaCache struct {
-	entries map[epochKey]*workerReplica
-	tick    uint64
+	entries   map[epochKey]*workerReplica
+	tick      uint64
+	precision Precision
 }
 
-func newReplicaCache() *replicaCache {
-	return &replicaCache{entries: map[epochKey]*workerReplica{}}
+func newReplicaCache(p Precision) *replicaCache {
+	return &replicaCache{entries: map[epochKey]*workerReplica{}, precision: p}
 }
 
 // replicaFor returns the cached replica for the epoch, cloning (and evicting
@@ -734,6 +776,18 @@ func (rc *replicaCache) replicaFor(m ServedModel) (*workerReplica, error) {
 		scratches[i] = nn.NewScratch()
 	}
 	wr := &workerReplica{seq: m.Seq(), bodies: bodies, scratches: scratches, lastUsed: rc.tick}
+	if rc.precision == PrecisionF32 {
+		wr.bodies32 = make([]*nn.Net32, len(bodies))
+		wr.scratches32 = make([]*nn.Scratch32, len(bodies))
+		for i, b := range bodies {
+			n32, err := nn.CompileF32(b)
+			if err != nil {
+				return nil, err
+			}
+			wr.bodies32[i] = n32
+			wr.scratches32[i] = nn.NewScratch32()
+		}
+	}
 	rc.entries[key] = wr
 	for len(rc.entries) > maxWorkerReplicas {
 		var lruKey epochKey
@@ -754,7 +808,7 @@ func (rc *replicaCache) replicaFor(m ServedModel) (*workerReplica, error) {
 // therefore costs each worker one clone per epoch change, spread across the
 // pool as requests arrive — never a lock shared between workers.
 func (s *Server) worker(stop <-chan struct{}) {
-	replicas := newReplicaCache()
+	replicas := newReplicaCache(s.opts.precision)
 	for {
 		select {
 		case j := <-s.jobs:
@@ -788,7 +842,7 @@ func (s *Server) serve(j *job, replicas *replicaCache) *Response {
 	if s.opts.metrics != nil || tr != nil {
 		d := time.Since(start)
 		if s.opts.metrics != nil {
-			s.opts.metrics.record(&j.req, resp, d)
+			s.opts.metrics.record(j, resp, d)
 		}
 		tr.Span(&j.tr, trace.StageForward, start, d)
 	}
@@ -801,7 +855,7 @@ func (s *Server) serveResolved(j *job, replicas *replicaCache) *Response {
 		return &Response{Err: err.Error()}
 	}
 	if s.opts.observer != nil {
-		observeRequest(s.opts.observer, m.Name(), m.Version(), &j.req)
+		observeJob(s.opts.observer, m.Name(), m.Version(), j)
 	}
 	wr, err := replicas.replicaFor(m)
 	if err != nil {
@@ -852,6 +906,9 @@ func (s *Server) processWith(j *job, wr *workerReplica) (resp *Response) {
 			resp = &Response{Err: fmt.Sprintf("comm: request failed: %v", r)}
 		}
 	}()
+	if s.opts.precision == PrecisionF32 {
+		return s.processUnguarded32(j, wr)
+	}
 	return s.processUnguarded(j, wr)
 }
 

@@ -329,7 +329,7 @@ func benchTracedLoop(b *testing.B, tr *trace.Tracer) {
 		jobs[i] = newJob()
 	}
 	batch := &dispatchBatch{}
-	replicas := newReplicaCache()
+	replicas := newReplicaCache(PrecisionF64)
 	encBuf := make([]byte, 0, 1<<20)
 	cycle := func() {
 		for _, j := range jobs {

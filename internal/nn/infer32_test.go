@@ -1,0 +1,94 @@
+package nn_test
+
+import (
+	"math"
+	"testing"
+
+	"ensembler/internal/nn"
+	"ensembler/internal/rng"
+	"ensembler/internal/tensor"
+)
+
+// relErr32 is the drift gate shared by the f32-backend tests: absolute
+// difference over max(1, |reference|), so features near zero are held to an
+// absolute budget and large ones to a relative one.
+func relErr32(got float32, want float64) float64 {
+	return math.Abs(float64(got)-want) / math.Max(1, math.Abs(want))
+}
+
+// TestCompileF32Drift bounds the float32 backend against the float64 oracle:
+// the same warmed network, the same inputs, every output feature within the
+// 1e-5 relative budget the serving stack promises (DESIGN.md §2i). Both test
+// stacks together exercise the full compiled layer inventory.
+func TestCompileF32Drift(t *testing.T) {
+	const budget = 1e-5
+	for _, tc := range []struct {
+		name  string
+		net   *nn.Network
+		shape []int
+	}{
+		{"resnet", resnetLikeStack(), []int{3, 3, 16, 16}},
+		{"decoder", decoderLikeStack(), []int{5, 12}},
+	} {
+		warm := tensor.New(tc.shape...)
+		rng.New(21).FillNormal(warm.Data, 0, 1)
+		tc.net.Forward(warm, true) // populate batch-norm running statistics
+
+		n32, err := nn.CompileF32(tc.net)
+		if err != nil {
+			t.Fatalf("%s: CompileF32: %v", tc.name, err)
+		}
+		s64 := nn.NewScratch()
+		s32 := nn.NewScratch32()
+		r := rng.New(22)
+		for trial := 0; trial < 10; trial++ {
+			x := tensor.New(tc.shape...)
+			r.FillNormal(x.Data, 0, 1)
+			want := tc.net.ForwardInfer(x, s64)
+			got := n32.ForwardInfer(tensor.Narrow32(x), s32)
+			if len(got.Data) != len(want.Data) {
+				t.Fatalf("%s: f32 output shape %v, f64 %v", tc.name, got.Shape, want.Shape)
+			}
+			for i, v := range got.Data {
+				if e := relErr32(v, want.Data[i]); e > budget {
+					t.Fatalf("%s trial %d: feature %d drifts %.3g relative (f32 %v vs f64 %v), budget %g",
+						tc.name, trial, i, e, v, want.Data[i], budget)
+				}
+			}
+			s64.Reset()
+			s32.Reset()
+		}
+	}
+}
+
+// TestCompileF32RejectsUnknownLayers pins the no-silent-fallback rule: a
+// layer outside the compiled inventory fails compilation loudly instead of
+// quietly computing that layer in float64.
+func TestCompileF32RejectsUnknownLayers(t *testing.T) {
+	net := nn.NewNetwork("mixed", nn.NewReLU(), &fallbackLayer{})
+	if _, err := nn.CompileF32(net); err == nil {
+		t.Fatal("CompileF32 accepted a network with an uncompilable layer")
+	}
+}
+
+// TestForwardInfer32Allocs pins the tentpole property in the f32 precision:
+// a warmed float32 inference pass performs zero heap allocations.
+func TestForwardInfer32Allocs(t *testing.T) {
+	net := resnetLikeStack()
+	x := tensor.New(2, 3, 16, 16)
+	rng.New(23).FillNormal(x.Data, 0, 1)
+	net.Forward(x, true)
+	n32, err := nn.CompileF32(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x32 := tensor.Narrow32(x)
+	s := n32.InferScratch(2, 3, 16, 16)
+	allocs := testing.AllocsPerRun(20, func() {
+		n32.ForwardInfer(x32, s)
+		s.Reset()
+	})
+	if allocs != 0 {
+		t.Errorf("warmed f32 ForwardInfer allocates %v times per pass, want 0", allocs)
+	}
+}

@@ -57,6 +57,13 @@ type Manifest struct {
 	P              int    `json:"p"`               // secret subset size
 	CreatedUnix    int64  `json:"created_unix"`    // publish time
 
+	// Precision records the compute precision this version was published
+	// for ("f64" or "f32"). Empty means no commitment: either backend may
+	// serve it. When set, ensembler-serve defaults its -precision to it and
+	// refuses a contradicting flag, so a version validated against one
+	// kernel backend is never silently served by the other.
+	Precision string `json:"precision,omitempty"`
+
 	// Shards and ShardRanges record the fleet layout the version was
 	// published for (ensembler-train -shards): K shard servers and each
 	// one's body range. Zero/absent means the publisher made no sharding
@@ -142,6 +149,17 @@ func validName(name string) error {
 	return nil
 }
 
+// validPrecision accepts the precision commitments a manifest may record:
+// empty (no commitment), "f64", or "f32". The string form matches
+// comm.ParsePrecision and the ensembler-serve -precision flag.
+func validPrecision(p string) error {
+	switch p {
+	case "", "f64", "f32":
+		return nil
+	}
+	return fmt.Errorf("registry: unknown precision %q (want \"f64\", \"f32\", or empty)", p)
+}
+
 // versionDir formats a version directory name; parseVersion inverts it.
 func versionDir(v int) string { return fmt.Sprintf("v%04d", v) }
 
@@ -211,18 +229,28 @@ func (s *Store) Latest(name string) (int, error) {
 // renamed into place, so readers only ever see complete versions; on any
 // failure the temp directory is removed and the store is unchanged.
 func (s *Store) Publish(name string, e *ensemble.Ensembler) (int, error) {
-	return s.publish(name, e, 0)
+	return s.publish(name, e, 0, "")
 }
 
 // PublishSharded is Publish with a sharding commitment: the manifest
 // records the K-shard layout (shard.Plan over the pipeline's N) so every
 // fleet member can validate its -shard k/K against what training intended.
 func (s *Store) PublishSharded(name string, e *ensemble.Ensembler, shards int) (int, error) {
-	return s.publish(name, e, shards)
+	return s.publish(name, e, shards, "")
 }
 
-func (s *Store) publish(name string, e *ensemble.Ensembler, shards int) (int, error) {
+// PublishPrecision is Publish with a compute-precision commitment ("f64" or
+// "f32") recorded in the manifest: ensembler-serve defaults its -precision
+// to the commitment and refuses a flag that contradicts it.
+func (s *Store) PublishPrecision(name string, e *ensemble.Ensembler, precision string) (int, error) {
+	return s.publish(name, e, 0, precision)
+}
+
+func (s *Store) publish(name string, e *ensemble.Ensembler, shards int, precision string) (int, error) {
 	if err := validName(name); err != nil {
+		return 0, err
+	}
+	if err := validPrecision(precision); err != nil {
 		return 0, err
 	}
 	var shardRanges []ShardRange
@@ -267,6 +295,7 @@ func (s *Store) publish(name string, e *ensemble.Ensembler, shards int) (int, er
 		N:              e.Cfg.N,
 		P:              e.Cfg.P,
 		CreatedUnix:    time.Now().Unix(),
+		Precision:      precision,
 		Shards:         shards,
 		ShardRanges:    shardRanges,
 	}
@@ -364,6 +393,9 @@ func parseManifest(b []byte, name string, version int) (*Manifest, error) {
 	}
 	if man.N <= 0 || man.P <= 0 || man.P > man.N {
 		return nil, fmt.Errorf("manifest has invalid ensemble shape N=%d P=%d", man.N, man.P)
+	}
+	if err := validPrecision(man.Precision); err != nil {
+		return nil, err
 	}
 	if man.Shards < 0 || man.Shards > man.N {
 		return nil, fmt.Errorf("manifest has invalid shard count %d for N=%d", man.Shards, man.N)

@@ -210,6 +210,52 @@ func TestOpenRejectsForeignManifestFormat(t *testing.T) {
 	}
 }
 
+func TestStorePublishPrecisionRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := registry.Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PublishPrecision("m", pipeline(8), "f32"); err != nil {
+		t.Fatal(err)
+	}
+	man, err := s.Manifest("m", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Precision != "f32" {
+		t.Errorf("manifest precision = %q, want f32", man.Precision)
+	}
+	// Plain Publish records no commitment.
+	if _, err := s.Publish("m", pipeline(9)); err != nil {
+		t.Fatal(err)
+	}
+	if man, err = s.Manifest("m", 2); err != nil || man.Precision != "" {
+		t.Errorf("uncommitted manifest precision = %q (err %v), want empty", man.Precision, err)
+	}
+	// Unknown precisions are rejected at publish time...
+	if _, err := s.PublishPrecision("m", pipeline(10), "f16"); err == nil || !strings.Contains(err.Error(), "precision") {
+		t.Errorf("PublishPrecision(f16): want precision error, got %v", err)
+	}
+	// ...and again on read, so a hand-edited manifest cannot smuggle one in
+	// and steer a serve flag the kernels don't implement.
+	path := filepath.Join(dir, "m", "v0001", "manifest.json")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(b), `"f32"`, `"f16"`, 1)
+	if tampered == string(b) {
+		t.Fatal("manifest does not contain the published precision string")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Manifest("m", 1); err == nil || !strings.Contains(err.Error(), "precision") {
+		t.Errorf("tampered manifest: want precision error, got %v", err)
+	}
+}
+
 func TestStoreIgnoresStrayVersionLikeEntries(t *testing.T) {
 	// An operator's `cp -r v0001 v0001-backup` must not make the store
 	// unopenable or miscount versions.

@@ -117,6 +117,56 @@ func TestNewHistogramAndQuantile(t *testing.T) {
 	}
 }
 
+// TestQuantileInfBucketClampConformance pins the +Inf clamp (which predates
+// this test) across the surfaces that republish quantiles: no q on any
+// histogram layout in the codebase may ever report +Inf into /traces p99
+// summaries or an ensembler_stage_seconds dashboard query.
+func TestQuantileInfBucketClampConformance(t *testing.T) {
+	// Every observation beyond the highest finite bound, on the exact bucket
+	// layout the stage tracer exports: every quantile — p50 through p100 —
+	// reports the largest finite bound, never +Inf.
+	top := DefaultLatencyBuckets[len(DefaultLatencyBuckets)-1]
+	h := NewHistogram(DefaultLatencyBuckets)
+	for i := 0; i < 100; i++ {
+		h.Observe(top * 100)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		got := h.Quantile(q)
+		if math.IsInf(got, 1) || math.IsNaN(got) {
+			t.Fatalf("Quantile(%v) = %v with all mass in +Inf, want finite clamp", q, got)
+		}
+		// q=0 resolves at rank 0 in the first (empty) bucket; every rank with
+		// actual mass behind it must clamp to the top bound exactly.
+		if q > 0 && got != top {
+			t.Fatalf("Quantile(%v) = %v, want clamp to the %v top bound", q, got, top)
+		}
+	}
+
+	// Mixed mass: quantiles below the +Inf share interpolate normally, those
+	// inside it clamp.
+	m := NewHistogram([]float64{0.01, 0.1, 1})
+	for i := 0; i < 90; i++ {
+		m.Observe(0.05)
+	}
+	for i := 0; i < 10; i++ {
+		m.Observe(1e9)
+	}
+	if q := m.Quantile(0.5); q <= 0.01 || q > 0.1 {
+		t.Fatalf("mixed p50 = %v, want within (0.01, 0.1]", q)
+	}
+	if q := m.Quantile(0.999); q != 1 {
+		t.Fatalf("mixed p99.9 = %v, want clamp to 1", q)
+	}
+
+	// Degenerate layout: a histogram with no finite bounds at all has nothing
+	// to clamp to and must report 0, not +Inf.
+	d := NewHistogram(nil)
+	d.Observe(7)
+	if q := d.Quantile(0.99); q != 0 {
+		t.Fatalf("boundless histogram quantile = %v, want 0", q)
+	}
+}
+
 func TestRuntimeMetrics(t *testing.T) {
 	r := NewRegistry()
 	RegisterRuntimeMetrics(r)

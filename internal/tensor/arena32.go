@@ -1,0 +1,122 @@
+package tensor
+
+// Arena32 is the float32 twin of Arena: the bump allocator backing the f32
+// inference hot path. The ownership rules are identical — Reset invalidates
+// every tensor handed out, one goroutine owns the arena, NewTensor data is
+// NOT zeroed. See Arena's doc comment; the only difference is the element
+// type (half the bytes per value, which is half the point of the backend).
+type Arena32 struct {
+	data []float32
+	off  int
+	need int
+
+	ints  []int
+	ioff  int
+	ineed int
+
+	hdrs  []Tensor32
+	hoff  int
+	hneed int
+}
+
+// NewArena32 returns an empty arena; the first cycle sizes it.
+func NewArena32() *Arena32 { return &Arena32{} }
+
+// Alloc returns an n-element float32 slice from the arena, falling back to a
+// fresh heap allocation when capacity is exhausted (Reset then grows the
+// buffer so the next cycle stays in-arena). Contents are unspecified.
+func (a *Arena32) Alloc(n int) []float32 {
+	a.need += n
+	if a.off+n > len(a.data) {
+		return make([]float32, n)
+	}
+	s := a.data[a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}
+
+// allocInts is Alloc for the int storage backing tensor shapes.
+func (a *Arena32) allocInts(n int) []int {
+	a.ineed += n
+	if a.ioff+n > len(a.ints) {
+		return make([]int, n)
+	}
+	s := a.ints[a.ioff : a.ioff+n : a.ioff+n]
+	a.ioff += n
+	return s
+}
+
+// header returns a reusable Tensor32 header.
+func (a *Arena32) header() *Tensor32 {
+	a.hneed++
+	if a.hoff >= len(a.hdrs) {
+		return &Tensor32{}
+	}
+	t := &a.hdrs[a.hoff]
+	a.hoff++
+	return t
+}
+
+// NewTensor returns a float32 tensor of the given shape backed by the arena.
+// Data is NOT zeroed; see the Arena ownership rules.
+func (a *Arena32) NewTensor(shape ...int) *Tensor32 {
+	t := a.header()
+	t.Shape = a.allocInts(len(shape))
+	copy(t.Shape, shape)
+	t.Data = a.Alloc(prodDims(shape))
+	return t
+}
+
+// NewTensorZeroed returns a zero-filled arena tensor.
+func (a *Arena32) NewTensorZeroed(shape ...int) *Tensor32 {
+	t := a.NewTensor(shape...)
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+	return t
+}
+
+// View returns a tensor sharing t's backing array under a new shape of equal
+// size, with the header and shape storage coming from the arena — the
+// allocation-free counterpart of Reshape for the f32 inference path.
+func (a *Arena32) View(t *Tensor32, shape ...int) *Tensor32 {
+	if prodDims(shape) != len(t.Data) {
+		panic("tensor: Arena32.View size mismatch")
+	}
+	v := a.header()
+	v.Shape = a.allocInts(len(shape))
+	copy(v.Shape, shape)
+	v.Data = t.Data
+	return v
+}
+
+// Clone copies t into the arena.
+func (a *Arena32) Clone(t *Tensor32) *Tensor32 {
+	out := a.NewTensor(t.Shape...)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Reset reclaims every allocation at once, invalidating all tensors handed
+// out since the previous Reset, and grows the backing buffers to the
+// finished cycle's demand so the next identical cycle allocates nothing.
+func (a *Arena32) Reset() {
+	if a.need > len(a.data) {
+		a.data = make([]float32, a.need)
+	}
+	if a.ineed > len(a.ints) {
+		a.ints = make([]int, a.ineed)
+	}
+	if a.hneed > len(a.hdrs) {
+		a.hdrs = make([]Tensor32, a.hneed)
+	}
+	a.off, a.need = 0, 0
+	a.ioff, a.ineed = 0, 0
+	a.hoff, a.hneed = 0, 0
+}
+
+// Footprint reports the arena's current backing capacity in bytes — the f32
+// scratch costs half the float64 arena's data bytes at the same shape load.
+func (a *Arena32) Footprint() int {
+	return 4*len(a.data) + 8*len(a.ints) + len(a.hdrs)*48
+}

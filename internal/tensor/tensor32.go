@@ -1,0 +1,106 @@
+package tensor
+
+import "fmt"
+
+// Tensor32 is the float32 twin of Tensor: the element type of the f32
+// compute backend. It exists as a separate concrete type (not a generic
+// instantiation) so the float64 path — the reference oracle every drift test
+// compares against — keeps compiling to exactly the code it always did,
+// bit-identical results included. Tensor32 carries only what serving needs:
+// the training, attack, and serialization paths stay float64.
+//
+// Precision contract (see DESIGN.md §2i): a Tensor32 holds values rounded
+// once from their float64 origins (weights at compile time, features at the
+// wire boundary). Kernels accumulate in float32; the end-to-end forward
+// drift against the f64 oracle is bounded at 1e-5 relative by the property
+// tests in internal/nn and the seed-network test in internal/audit.
+type Tensor32 struct {
+	Shape []int
+	Data  []float32
+}
+
+// New32 allocates a zero-filled float32 tensor of the given shape.
+func New32(shape ...int) *Tensor32 {
+	n := numElems(shape)
+	return &Tensor32{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// Size returns the number of elements.
+func (t *Tensor32) Size() int { return len(t.Data) }
+
+// SameShape reports whether two tensors have identical shapes.
+func (t *Tensor32) SameShape(o *Tensor32) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i, d := range t.Shape {
+		if o.Shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// checkSame panics unless o matches t's shape.
+func (t *Tensor32) checkSame(o *Tensor32, op string) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, t.Shape, o.Shape))
+	}
+}
+
+// Reshape returns a view sharing t's backing array under a new shape of
+// equal size — the same aliasing contract as Tensor.Reshape.
+func (t *Tensor32) Reshape(shape ...int) *Tensor32 {
+	if numElems(shape) != len(t.Data) {
+		panic(fmt.Sprintf("tensor: Reshape %v to %v changes size", t.Shape, shape))
+	}
+	return &Tensor32{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// Narrow32 rounds a float64 tensor to a freshly allocated float32 tensor —
+// the one sanctioned f64→f32 conversion point (weight compilation, gob-wire
+// ingress on an f32 server). Each element is rounded exactly once.
+func Narrow32(t *Tensor) *Tensor32 {
+	out := &Tensor32{Shape: append([]int(nil), t.Shape...), Data: make([]float32, len(t.Data))}
+	for i, v := range t.Data {
+		out.Data[i] = float32(v)
+	}
+	return out
+}
+
+// Widen64 converts a float32 tensor to a freshly allocated float64 tensor —
+// exact (every float32 is representable in float64), used where an f32
+// result crosses into an f64-typed API (gob responses, the audit sampler's
+// reservoir, the sync Process entry point).
+func Widen64(t *Tensor32) *Tensor {
+	out := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float64, len(t.Data))}
+	for i, v := range t.Data {
+		out.Data[i] = float64(v)
+	}
+	return out
+}
+
+// NarrowInto rounds src into the caller-owned dst (sizes must match) — the
+// allocation-free form of Narrow32 for arena-backed callers (the f64→f32
+// ingress of gob and sync requests on an f32-precision server).
+func NarrowInto(dst *Tensor32, src *Tensor) *Tensor32 {
+	if len(dst.Data) != len(src.Data) {
+		panic(fmt.Sprintf("tensor: NarrowInto size %d vs %d", len(dst.Data), len(src.Data)))
+	}
+	for i, v := range src.Data {
+		dst.Data[i] = float32(v)
+	}
+	return dst
+}
+
+// WidenInto widens src into the caller-owned dst (shapes must match in
+// size); the allocation-free form of Widen64 for arena-backed callers.
+func WidenInto(dst *Tensor, src *Tensor32) *Tensor {
+	if len(dst.Data) != len(src.Data) {
+		panic(fmt.Sprintf("tensor: WidenInto size %d vs %d", len(dst.Data), len(src.Data)))
+	}
+	for i, v := range src.Data {
+		dst.Data[i] = float64(v)
+	}
+	return dst
+}
