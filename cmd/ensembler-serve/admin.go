@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"ensembler/internal/audit"
+	"ensembler/internal/privacy"
 	"ensembler/internal/registry"
 	"ensembler/internal/telemetry"
 	"ensembler/internal/trace"
@@ -38,6 +39,7 @@ type adminPlane struct {
 	auditor *audit.Auditor                              // nil: audit disabled
 	rotate  func(cause string) (*registry.Epoch, error) // nil: rotation not possible here (shard mode)
 	tracer  *trace.Tracer                               // nil: tracing disabled
+	guard   *privacy.Guard                              // nil: privacy-budget ledger disabled
 	pprof   bool                                        // expose net/http/pprof under /debug/pprof/
 	workers int
 	shard   string // "k/K" in fleet mode, "" otherwise
@@ -50,6 +52,7 @@ func (a *adminPlane) mux() *http.ServeMux {
 	m.HandleFunc("/healthz", a.handleHealthz)
 	m.Handle("/metrics", a.treg.Handler())
 	m.HandleFunc("/leakage", a.handleLeakage)
+	m.HandleFunc("/budget", a.handleBudget)
 	m.HandleFunc("/rotate", a.handleRotate)
 	m.HandleFunc("/traces", a.handleTraces)
 	m.HandleFunc("/traces/", a.handleTraceByID)
@@ -173,6 +176,7 @@ func (a *adminPlane) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds": time.Since(a.start).Seconds(),
 		"rotations":      a.reg.RotationCount(a.model),
 		"audit_enabled":  a.auditor != nil,
+		"budget_enabled": a.guard != nil,
 	}
 	if a.shard != "" {
 		resp["shard"] = a.shard
@@ -186,6 +190,28 @@ func (a *adminPlane) handleLeakage(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, a.auditor.State())
+}
+
+// handleBudget reports the privacy-budget ledger: aggregate accounting
+// configuration and counters, the top spenders, and every tracked client
+// account's spent/remaining budget — the operator's view of who is drinking
+// the ε and what the policy has done about it.
+func (a *adminPlane) handleBudget(w http.ResponseWriter, r *http.Request) {
+	if a.guard == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	ledger := a.guard.Ledger()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled":      true,
+		"observe":      a.guard.Observing(),
+		"stats":        ledger.Stats(),
+		"noised":       a.guard.Noised(),
+		"refusals":     a.guard.Refusals(),
+		"rotations":    a.guard.Rotations(),
+		"top_spenders": ledger.TopSpenders(10),
+		"clients":      ledger.Snapshot(),
+	})
 }
 
 // handleRotate triggers one selector rotation — the operator's "rotate now"

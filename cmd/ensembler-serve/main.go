@@ -81,6 +81,7 @@ import (
 	"ensembler/internal/comm"
 	"ensembler/internal/data"
 	"ensembler/internal/ensemble"
+	"ensembler/internal/privacy"
 	"ensembler/internal/registry"
 	"ensembler/internal/shard"
 	"ensembler/internal/telemetry"
@@ -129,6 +130,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	auditBreaches := fs.Int("audit-breaches", 2, "consecutive breaching audits required to rotate")
 	auditCalib := fs.Int("audit-calib", 64, "synthetic calibration images for the audit's attack replay")
 	rotateMinInterval := fs.Duration("rotate-min-interval", 10*time.Minute, "floor between leakage-triggered rotations")
+	privacyBudget := fs.Float64("privacy-budget", 0, "per-client Rényi privacy budget ε(α); as a client drains it responses are noised, the selector rotates, and finally requests are refused (0 disables the ledger)")
+	privacyAlpha := fs.Int("privacy-alpha", 2, "Rényi order α the per-client budget is accounted at (integer ≥ 2)")
+	privacyPolicy := fs.String("privacy-policy", "enforce", `privacy-budget policy: "enforce" (noise, rotation, refusal as budgets drain) or "observe" (account and report only)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -161,6 +165,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if *traceSlowest < 0 || *traceCapacity < 0 {
 		return fmt.Errorf("-trace-slowest and -trace-capacity must be >= 0")
+	}
+	if *privacyBudget < 0 {
+		return fmt.Errorf("-privacy-budget must be >= 0 (0 disables), got %v", *privacyBudget)
+	}
+	if *privacyBudget > 0 && *privacyAlpha < 2 {
+		return fmt.Errorf("-privacy-alpha must be an integer >= 2, got %d", *privacyAlpha)
+	}
+	if *privacyPolicy != "enforce" && *privacyPolicy != "observe" {
+		return fmt.Errorf(`-privacy-policy must be "enforce" or "observe", got %q`, *privacyPolicy)
 	}
 
 	reg, err := openRegistry(*modelPath, *modelDir, *modelName)
@@ -310,6 +323,50 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		serverOpts = append(serverOpts, comm.WithObserver(sampler))
 	}
 
+	// rotateNow is assigned below (it needs the server context); the privacy
+	// guard's rotation hook closes over the variable so budget-triggered
+	// rotations ride the same plumbing as the audit and the admin endpoint.
+	var rotateNow func(cause string) (*registry.Epoch, error)
+
+	// The per-client privacy-budget ledger. The subsampling amplification
+	// uses the served pipeline's own secret fraction p = P/N: each served row
+	// is charged the amplified Rényi loss at order α, and the guard escalates
+	// (noise → rotation → refusal) as an account drains.
+	var privacyLedger *privacy.Ledger
+	var privacyGuard *privacy.Guard
+	if *privacyBudget > 0 {
+		cfg := cur.Pipeline().Cfg
+		secretFrac := 0.0
+		if cfg.N > 0 {
+			secretFrac = float64(cfg.P) / float64(cfg.N)
+		}
+		privacyLedger, err = privacy.NewLedger(privacy.LedgerConfig{
+			BudgetEps:      *privacyBudget,
+			Alpha:          *privacyAlpha,
+			SecretFraction: secretFrac,
+		})
+		if err != nil {
+			return err
+		}
+		privacyGuard, err = privacy.NewGuard(privacyLedger, privacy.PolicyConfig{
+			Observe: *privacyPolicy == "observe",
+			Rotate: func(cause string) {
+				if rotateNow == nil {
+					fmt.Fprintf(stderr, "privacy: rotation requested (%s) but this process cannot rotate — in a fleet the selector is client-side\n", cause)
+					return
+				}
+				if _, err := rotateNow(cause); err != nil {
+					fmt.Fprintf(stderr, "privacy: rotate: %v\n", err)
+				}
+			},
+			MinRotateInterval: *rotateMinInterval,
+		})
+		if err != nil {
+			return err
+		}
+		serverOpts = append(serverOpts, comm.WithBudget(privacyGuard))
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("listening on %s: %w", *addr, err)
@@ -332,7 +389,6 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	// carries the evidence), and the admin /rotate endpoint (cause "admin
 	// request") — so the registry's rotation history attributes each swap.
 	// A sharded fleet member cannot rotate (the selector is client-side).
-	var rotateNow func(cause string) (*registry.Epoch, error)
 	if *shardSpec == "" {
 		var rotateSeq atomic.Int64
 		var rotateMu sync.Mutex
@@ -399,6 +455,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			Breaches:          *auditBreaches,
 			MinRotateInterval: *rotateMinInterval,
 			Rotate:            rotateFn,
+			Ledger:            privacyLedger,
 			Log:               stderr,
 		})
 		if err != nil {
@@ -438,6 +495,36 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		treg.CounterFunc("ensembler_dispatch_coalesced_jobs_total", "Requests that rode a multi-request coalesced batch.",
 			nil, func() float64 { return float64(srv.DispatcherStats().CoalescedJobs) })
 	}
+	if privacyGuard != nil {
+		treg.GaugeFunc("ensembler_privacy_budget_eps", "Per-client Rényi budget ε(α) the ledger enforces.",
+			nil, func() float64 { return privacyLedger.Stats().BudgetEps })
+		treg.GaugeFunc("ensembler_privacy_clients", "Client accounts currently tracked by the ledger.",
+			nil, func() float64 { return float64(privacyLedger.Stats().Clients) })
+		treg.GaugeFunc("ensembler_privacy_observe", "1 when the budget policy only observes (no noise, rotations, or refusals).",
+			nil, func() float64 {
+				if privacyGuard.Observing() {
+					return 1
+				}
+				return 0
+			})
+		treg.GaugeFunc("ensembler_privacy_worst_drained", "Drained budget fraction of the most spent client account.",
+			nil, func() float64 {
+				if top := privacyLedger.TopSpenders(1); len(top) == 1 {
+					return top[0].Drained
+				}
+				return 0
+			})
+		treg.CounterFunc("ensembler_privacy_rows_charged_total", "Served rows debited against client budgets.",
+			nil, func() float64 { return float64(privacyLedger.Stats().Rows) })
+		treg.CounterFunc("ensembler_privacy_evictions_total", "Client accounts evicted past the ledger's capacity bound.",
+			nil, func() float64 { return float64(privacyLedger.Stats().Evictions) })
+		treg.CounterFunc("ensembler_privacy_noised_total", "Requests served with escalation noise on the response.",
+			nil, func() float64 { return float64(privacyGuard.Noised()) })
+		treg.CounterFunc("ensembler_privacy_refusals_total", "Requests refused because the client's budget was exhausted.",
+			nil, func() float64 { return float64(privacyGuard.Refusals()) })
+		treg.CounterFunc("ensembler_privacy_rotations_total", "Selector rotations requested by the budget policy.",
+			nil, func() float64 { return float64(privacyGuard.Rotations()) })
+	}
 	if sm != nil {
 		treg.GaugeFunc("ensembler_worker_utilization", "Fraction of worker-pool capacity spent serving since start.",
 			nil, func() float64 {
@@ -457,7 +544,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *adminAddr != "" {
 		plane := &adminPlane{
 			reg: reg, model: defaultModel, treg: treg, auditor: auditor,
-			rotate: rotateNow, tracer: tracer, pprof: *pprofFlag,
+			rotate: rotateNow, tracer: tracer, guard: privacyGuard, pprof: *pprofFlag,
 			workers: srv.Workers(), shard: *shardSpec, start: startTime,
 		}
 		adminWait, err = serveAdmin(serveCtx, *adminAddr, plane, func(format string, args ...any) {
@@ -479,8 +566,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if ds := srv.DispatcherStats(); ds.Enabled {
 		dispatchBanner = fmt.Sprintf("; continuous batching window %v, intake queue %d", ds.Window, ds.MaxQueue)
 	}
-	fmt.Fprintf(stdout, "%sserving %s v%d (%d bodies) as default — %d models total, %d workers, max batch %d, %s compute; selector stays client-side%s%s\n",
-		shardBanner, defaultModel, cur.Version(), cur.Pipeline().Cfg.N, len(reg.Models()), srv.Workers(), *maxBatch, precision, auditBanner, dispatchBanner)
+	privacyBanner := ""
+	if privacyGuard != nil {
+		mode := "enforced"
+		if privacyGuard.Observing() {
+			mode = "observe-only"
+		}
+		privacyBanner = fmt.Sprintf("; privacy budget ε=%g at α=%d per client (%s)", *privacyBudget, *privacyAlpha, mode)
+	}
+	fmt.Fprintf(stdout, "%sserving %s v%d (%d bodies) as default — %d models total, %d workers, max batch %d, %s compute; selector stays client-side%s%s%s\n",
+		shardBanner, defaultModel, cur.Version(), cur.Pipeline().Cfg.N, len(reg.Models()), srv.Workers(), *maxBatch, precision, auditBanner, dispatchBanner, privacyBanner)
 	var fatalMu sync.Mutex
 	var fatalErr error
 	failServe := func(err error) {

@@ -10,6 +10,7 @@ import (
 	"ensembler/internal/attack"
 	"ensembler/internal/data"
 	"ensembler/internal/metrics"
+	"ensembler/internal/privacy"
 	"ensembler/internal/registry"
 	"ensembler/internal/telemetry"
 	"ensembler/internal/tensor"
@@ -90,6 +91,14 @@ type Config struct {
 	// mode: leakage is measured and exported, nothing is ever rotated.
 	Rotate RotateFunc
 
+	// Ledger, when non-nil, is the serving layer's per-client privacy-budget
+	// ledger. Each State snapshot then reports the most drained client
+	// account, so /leakage shows the worst-case adversary (the replayed
+	// attack's reconstruction quality) next to the worst-drained tenant (the
+	// Rényi accounting view) — the two bounds the paper's defense reasons
+	// about.
+	Ledger *privacy.Ledger
+
 	// Scorer overrides the attack replay (tests). nil uses the real one.
 	Scorer Scorer
 	// Log receives one line per audit (optional).
@@ -125,6 +134,16 @@ type State struct {
 
 	FeaturesSeen    uint64 `json:"features_seen"`
 	FeaturesSampled uint64 `json:"features_sampled"`
+
+	// Privacy-budget view, populated only when a ledger is attached: the
+	// most drained client account at snapshot time. The attack replay above
+	// bounds what any adversary could reconstruct; this bounds what the
+	// thirstiest identified client has actually been allowed to consume.
+	BudgetClients      int     `json:"budget_clients,omitempty"`
+	WorstClient        string  `json:"worst_client,omitempty"`
+	WorstClientSpent   float64 `json:"worst_client_spent_eps,omitempty"`
+	WorstClientDrained float64 `json:"worst_client_drained,omitempty"`
+	WorstClientLevel   int     `json:"worst_client_level,omitempty"`
 }
 
 // Auditor runs the leakage audit loop. Construct with New; drive with Run
@@ -195,6 +214,15 @@ func (a *Auditor) State() State {
 	defer a.mu.Unlock()
 	st := a.state
 	st.FeaturesSeen, st.FeaturesSampled = a.cfg.Sampler.Counts()
+	if l := a.cfg.Ledger; l != nil {
+		st.BudgetClients = l.Stats().Clients
+		if top := l.TopSpenders(1); len(top) == 1 {
+			st.WorstClient = top[0].Client
+			st.WorstClientSpent = top[0].SpentEps
+			st.WorstClientDrained = top[0].Drained
+			st.WorstClientLevel = top[0].Level
+		}
+	}
 	return st
 }
 
@@ -482,4 +510,9 @@ func (a *Auditor) RegisterMetrics(reg *telemetry.Registry) {
 	reg.CounterFunc("ensembler_audit_features_sampled_total",
 		"Feature tensors mirrored into the audit reservoir.",
 		nil, func() float64 { _, sampled := a.cfg.Sampler.Counts(); return float64(sampled) })
+	if a.cfg.Ledger != nil {
+		reg.GaugeFunc("ensembler_audit_worst_client_drained",
+			"Drained budget fraction of the ledger's most spent client account.",
+			nil, func() float64 { return a.State().WorstClientDrained })
+	}
 }

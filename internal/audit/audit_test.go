@@ -9,6 +9,7 @@ import (
 	"ensembler/internal/attack"
 	"ensembler/internal/commtest"
 	"ensembler/internal/data"
+	"ensembler/internal/privacy"
 	"ensembler/internal/registry"
 	"ensembler/internal/rng"
 	"ensembler/internal/telemetry"
@@ -447,4 +448,56 @@ func TestNewValidatesConfig(t *testing.T) {
 
 func attackConfigTiny() attack.Config {
 	return attack.Config{ShadowEpochs: 1, DecoderEpochs: 1, BatchSize: 8, Seed: 99}
+}
+
+// TestAuditorReportsWorstDrainedClient pins the ledger integration: a
+// /leakage snapshot reports the most drained client account next to the
+// attack-replay bound, and RegisterMetrics exports the drained fraction.
+func TestAuditorReportsWorstDrainedClient(t *testing.T) {
+	ledger, err := privacy.NewLedger(privacy.LedgerConfig{BudgetEps: 1, QueryEps: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard, err := privacy.NewGuard(ledger, privacy.PolicyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard.Charge(guard.AccountFor("light"), 1)
+	heavy := guard.AccountFor("did:ex:heavy")
+	for i := 0; i < 7; i++ {
+		guard.Charge(heavy, 1)
+	}
+
+	scores := []float64{0.1}
+	a, _ := auditFixture(t, Config{Threshold: 0.3, Ledger: ledger}, &scores)
+	st := a.State()
+	if st.BudgetClients != 2 {
+		t.Errorf("budget clients = %d, want 2", st.BudgetClients)
+	}
+	if st.WorstClient != "did:ex:heavy" {
+		t.Errorf("worst client = %q, want the heavy account", st.WorstClient)
+	}
+	if st.WorstClientDrained < 0.69 || st.WorstClientDrained > 0.71 {
+		t.Errorf("worst drained = %v, want 0.7", st.WorstClientDrained)
+	}
+	if st.WorstClientLevel != privacy.LevelNoise {
+		t.Errorf("worst level = %d, want LevelNoise", st.WorstClientLevel)
+	}
+
+	treg := telemetry.NewRegistry()
+	a.RegisterMetrics(treg)
+	var b strings.Builder
+	if err := treg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "ensembler_audit_worst_client_drained 0.7") {
+		t.Errorf("metrics lack the worst-drained gauge:\n%s", b.String())
+	}
+
+	// Without a ledger the budget fields stay zero and the gauge is absent.
+	scores = []float64{0.1}
+	plain, _ := auditFixture(t, Config{Threshold: 0.3}, &scores)
+	if st := plain.State(); st.WorstClient != "" || st.BudgetClients != 0 {
+		t.Errorf("ledger-less state carries budget fields: %+v", st)
+	}
 }

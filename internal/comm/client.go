@@ -17,7 +17,8 @@ import (
 type DialOption func(*dialOptions)
 
 type dialOptions struct {
-	wire WireFormat
+	wire     WireFormat
+	clientID string
 }
 
 // WithWire selects the client's wire protocol: WireBinary (default),
@@ -25,6 +26,15 @@ type dialOptions struct {
 // feature rounding), or WireGob for servers predating the binary codec.
 func WithWire(f WireFormat) DialOption {
 	return func(o *dialOptions) { o.wire = f }
+}
+
+// WithClientID declares the connection's client identity (1-64 printable
+// ASCII bytes) during the v4 wire handshake, so a budget-guarded server
+// charges this connection's privacy spend to a stable per-client account
+// instead of an address bucket. Silently ignored by pre-v4 servers and on
+// the gob protocol; the dial fails if the ID is not wire-valid.
+func WithClientID(id string) DialOption {
+	return func(o *dialOptions) { o.clientID = id }
 }
 
 // Client performs remote ensemble inference: local head+noise, remote
@@ -108,7 +118,7 @@ func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client,
 	if err != nil {
 		return nil, fmt.Errorf("comm: dialing %s: %w", addr, err)
 	}
-	c, err := newClientConn(ctx, conn, o.wire)
+	c, err := newClientConn(ctx, conn, o.wire, o.clientID)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -125,7 +135,7 @@ const helloTimeout = 10 * time.Second
 // newClientConn wraps conn in a client speaking the requested wire format,
 // performing the binary hello under the context's deadline (or a default
 // handshake timeout when the context has none).
-func newClientConn(ctx context.Context, conn net.Conn, wire WireFormat) (*Client, error) {
+func newClientConn(ctx context.Context, conn net.Conn, wire WireFormat, clientID string) (*Client, error) {
 	if wire == WireGob {
 		return NewLocalClient(conn), nil
 	}
@@ -157,7 +167,7 @@ func newClientConn(ctx context.Context, conn net.Conn, wire WireFormat) (*Client
 		defer cc.SetDeadline(time.Time{})
 	}
 	br := bufio.NewReaderSize(cc, 1<<16)
-	ver, f32OK, window, err := negotiateClient(cc, br, wire == WireBinaryF32)
+	ver, f32OK, window, err := negotiateClient(cc, br, wire == WireBinaryF32, clientID)
 	if err != nil {
 		return nil, err
 	}
@@ -262,10 +272,15 @@ func (c *Client) roundTrip(ctx context.Context, req *Request) (*Response, error)
 	// A server-reported error leaves the stream synchronized; the
 	// connection stays usable. A load-shed verdict surfaces as
 	// ErrOverloaded so callers (and Pool's retry loop) can distinguish
-	// "back off and retry" from a terminal request failure.
+	// "back off and retry" from a terminal request failure; a privacy-budget
+	// refusal surfaces as ErrBudgetExhausted, which retries must NOT chase —
+	// the budget does not come back by asking again.
 	if resp.Err != "" {
-		if resp.Code == CodeOverloaded {
+		switch resp.Code {
+		case CodeOverloaded:
 			return nil, fmt.Errorf("comm: %w: %s", ErrOverloaded, resp.Err)
+		case CodeBudgetExhausted:
+			return nil, fmt.Errorf("comm: %w: %s", ErrBudgetExhausted, resp.Err)
 		}
 		return nil, fmt.Errorf("comm: server error: %s", resp.Err)
 	}

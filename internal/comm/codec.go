@@ -38,10 +38,19 @@ package comm
 // self-describing: a v3 client only sends 0x03 when it has a trace context,
 // a v3 server only echoes 0x04 on a request that arrived as 0x03, and a
 // connection negotiated below v3 never sees either type — legacy-gob and
-// v1/v2 binary clients are byte-for-byte unaffected. A server that receives
-// bytes that are not the hello magic treats the connection as a legacy gob
-// client — the magic's first byte (0xE5) is not a byte a gob stream can
-// start with, so sniffing is unambiguous.
+// v1/v2 binary clients are byte-for-byte unaffected. Version 4 adds the
+// client-identity extension for the per-client privacy-budget ledger: a
+// client with an identity sets the 0x02 hello flag, and only when the ack
+// names version ≥ 4 AND echoes the flag does it send one client-ID frame
+// (0x05 idLen(u8) idBytes, 1–64 printable-ASCII bytes) before any request.
+// The handshake-gating keeps v4 clients byte-compatible with v3 servers
+// (the flag is ignored, the ID frame never sent), and a server clears the
+// flag when the client's hello names a version below 4, so a hostile v3
+// client cannot elicit an ID read. Peers that never send an ID — and all
+// legacy gob clients — are bucketed by remote address instead. A server
+// that receives bytes that are not the hello magic treats the connection as
+// a legacy gob client — the magic's first byte (0xE5) is not a byte a gob
+// stream can start with, so sniffing is unambiguous.
 //
 // Trust boundary: decoders validate every length against the remaining
 // frame before allocating, so a hostile frame claiming 2^30 elements over a
@@ -93,8 +102,12 @@ func (f WireFormat) String() string {
 }
 
 const (
-	wireVersion = 3
+	wireVersion = 4
 	wireFlagF32 = 0x01
+	// wireFlagClientID in a v4+ hello announces that the client has an
+	// identity to declare; echoed in the ack when the server will read the
+	// client-ID frame (it never echoes it to a sub-v4 hello).
+	wireFlagClientID = 0x02
 
 	wireMsgRequest  = 0x01
 	wireMsgResponse = 0x02
@@ -103,6 +116,10 @@ const (
 	// on a v3 connection still use the cheaper 0x01/0x02 layouts.
 	wireMsgRequestTraced  = 0x03
 	wireMsgResponseTraced = 0x04
+	// wireMsgClientID (v4+) declares the connection's client identity for
+	// privacy-budget accounting. Sent at most once, immediately after an ack
+	// that accepted wireFlagClientID, before any request frame.
+	wireMsgClientID = 0x05
 
 	// wireTraceSampled in a traced request's flags byte forces tail-sampling
 	// retention of this leg (the root leg won the coin, or was an error).
@@ -119,6 +136,10 @@ const (
 	maxWireFrame = 1 << 28
 	maxWireModel = 4096
 	maxWireRank  = 8
+	// maxWireClientID bounds a declared client identity; long enough for a
+	// UUID or a hostname, short enough that a ledger full of hostile IDs
+	// stays small.
+	maxWireClientID = 64
 )
 
 // wireMagic opens the hello and hello-ack. 0xE5 sits in the dead zone of
@@ -309,6 +330,81 @@ func appendResponse(buf []byte, resp *Response, f32, withCode bool, traceID uint
 		buf = appendTensor(buf, t, f32)
 	}
 	return buf, nil
+}
+
+// ValidClientID reports whether id may be declared on the wire: 1 to 64
+// bytes of printable ASCII (no spaces or control bytes), so a hostile
+// identity cannot smuggle log-injection or NUL tricks into the ledger, the
+// admin JSON, or rotation causes.
+func ValidClientID(id string) bool {
+	if len(id) == 0 || len(id) > maxWireClientID {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] < 0x21 || id[i] > 0x7E {
+			return false
+		}
+	}
+	return true
+}
+
+// appendClientID encodes the v4 client-ID frame body (no length prefix).
+func appendClientID(buf []byte, id string) []byte {
+	buf = append(buf, wireMsgClientID)
+	buf = append(buf, byte(len(id)))
+	return append(buf, id...)
+}
+
+// parseClientID decodes a client-ID frame body, enforcing the same identity
+// discipline ValidClientID states. Everything here came off the wire from
+// an untrusted peer; a malformed frame drops the connection.
+func parseClientID(body []byte) (string, error) {
+	r := wireReader{b: body}
+	msg, err := r.u8()
+	if err != nil {
+		return "", err
+	}
+	if msg != wireMsgClientID {
+		return "", fmt.Errorf("comm: expected client-ID frame, got message type %d", msg)
+	}
+	n, err := r.u8()
+	if err != nil {
+		return "", err
+	}
+	if n == 0 || int(n) > maxWireClientID {
+		return "", fmt.Errorf("comm: client ID of %d bytes outside [1,%d]", n, maxWireClientID)
+	}
+	id, err := r.str(int(n))
+	if err != nil {
+		return "", err
+	}
+	if !ValidClientID(id) {
+		return "", fmt.Errorf("comm: client ID carries non-printable bytes")
+	}
+	if r.remaining() != 0 {
+		return "", fmt.Errorf("comm: %d trailing bytes after client ID", r.remaining())
+	}
+	return id, nil
+}
+
+// readClientIDFrame reads the single client-ID frame an accepting v4
+// handshake promises. The frame length is bounded before any read of the
+// body — a hostile length cannot force an allocation — and the body lands in
+// a stack buffer.
+func readClientIDFrame(r io.Reader) (string, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return "", fmt.Errorf("comm: reading client-ID frame: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 3 || n > 2+maxWireClientID {
+		return "", fmt.Errorf("comm: client-ID frame of %d bytes outside [3,%d]", n, 2+maxWireClientID)
+	}
+	var body [2 + maxWireClientID]byte
+	if _, err := io.ReadFull(r, body[:n]); err != nil {
+		return "", fmt.Errorf("comm: reading client-ID frame: %w", err)
+	}
+	return parseClientID(body[:n])
 }
 
 // --- decoding ---
@@ -751,11 +847,21 @@ func (c *binClientCodec) readResponse(resp *Response) (uint64, error) {
 // returning the negotiated wire version, whether the server accepted the
 // float32 payload flag, and the server's advertised continuous-batching
 // window (0 when the server does not batch across connections, and on v1
-// servers, whose acks carry zero in those bytes by construction).
-func negotiateClient(conn io.Writer, r *bufio.Reader, f32 bool) (version byte, f32OK bool, window time.Duration, err error) {
+// servers, whose acks carry zero in those bytes by construction). A
+// non-empty clientID is offered via the v4 hello flag and declared in a
+// client-ID frame only when the ack proves the server will read it, so the
+// same client works unchanged against pre-v4 servers (which simply bucket
+// it by address).
+func negotiateClient(conn io.Writer, r *bufio.Reader, f32 bool, clientID string) (version byte, f32OK bool, window time.Duration, err error) {
 	var flags byte
 	if f32 {
 		flags |= wireFlagF32
+	}
+	if clientID != "" {
+		if !ValidClientID(clientID) {
+			return 0, false, 0, fmt.Errorf("comm: client ID %q is not 1-%d printable ASCII bytes", clientID, maxWireClientID)
+		}
+		flags |= wireFlagClientID
 	}
 	hello := helloBytes(wireVersion, flags)
 	if _, err := conn.Write(hello[:]); err != nil {
@@ -775,6 +881,12 @@ func negotiateClient(conn io.Writer, r *bufio.Reader, f32 bool) (version byte, f
 		return 0, false, 0, fmt.Errorf("comm: server negotiated unsupported wire version %d", ack[4])
 	}
 	window = time.Duration(binary.LittleEndian.Uint16(ack[6:8])) * time.Millisecond
+	if clientID != "" && ack[4] >= 4 && ack[5]&wireFlagClientID != 0 {
+		frame := appendClientID([]byte{0, 0, 0, 0}, clientID)
+		if err := writeFrame(conn, frame); err != nil {
+			return 0, false, 0, fmt.Errorf("comm: sending client ID: %w", err)
+		}
+	}
 	return ack[4], ack[5]&wireFlagF32 != 0, window, nil
 }
 
@@ -819,12 +931,21 @@ func DecodeWireStream(stream []byte) ([]*Request, error) {
 			if len(rest) < 4+int(n) {
 				return out, fmt.Errorf("comm: truncated frame body")
 			}
+			body := rest[4 : 4+int(n)]
+			rest = rest[4+int(n):]
+			// A v4 capture may open with the client-ID frame; the wiretap's
+			// request recovery skips (but still validates) it.
+			if len(body) > 0 && body[0] == wireMsgClientID {
+				if _, err := parseClientID(body); err != nil {
+					return out, err
+				}
+				continue
+			}
 			req := &Request{}
-			if err := parseRequestInto(rest[4:4+int(n)], req, heapAlloc{}, nil, nil); err != nil {
+			if err := parseRequestInto(body, req, heapAlloc{}, nil, nil); err != nil {
 				return out, err
 			}
 			out = append(out, req)
-			rest = rest[4+int(n):]
 		}
 		return out, nil
 	}

@@ -58,6 +58,19 @@ var ErrOverloaded = errors.New("server overloaded")
 // binary response frame (a v1 binary peer sees only the error text).
 const CodeOverloaded = 429
 
+// ErrBudgetExhausted is the privacy-budget refusal: the client's per-client
+// Rényi budget (see internal/privacy) is spent and the budget-aware policy
+// refused the request rather than leak more. Unlike ErrOverloaded this is
+// NOT transient — retrying cannot help until the budget refills (if it ever
+// does), so Pool.Retry treats it as terminal. Detect with errors.Is.
+var ErrBudgetExhausted = errors.New("privacy budget exhausted")
+
+// CodeBudgetExhausted is Response.Code for a budget-refused request. It is
+// carried natively by the gob codec and on any code-capable (v2+) binary
+// connection, so legacy peers receive the same honest refusal the moment
+// their budget drains.
+const CodeBudgetExhausted = 430
+
 // Request is the client→server message. Exactly one of the two payload
 // fields is set: Features carries the intermediate activations
 // Mc,h(x)+noise for one input batch, Inputs carries B of them to be served

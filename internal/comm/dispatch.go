@@ -547,6 +547,15 @@ func (s *Server) serveCoalesced(b *dispatchBatch, replicas *replicaCache) {
 			failBatch(b, "comm: request failed: batched pass panicked")
 		}
 	}()
+	// Budget verdicts come before anything else: a refused member carries
+	// its refusal response from here on and is excluded from observation,
+	// the stack, and the split (its rows marker goes to -1 below, exactly
+	// like a validation failure).
+	if s.opts.guard != nil {
+		for _, j := range b.jobs {
+			s.chargeJob(j)
+		}
+	}
 	head := &b.jobs[0].req
 	m, err := s.provider.Resolve(head.Model, head.Version)
 	if err != nil {
@@ -555,7 +564,9 @@ func (s *Server) serveCoalesced(b *dispatchBatch, replicas *replicaCache) {
 	}
 	if s.opts.observer != nil {
 		for _, j := range b.jobs {
-			observeJob(s.opts.observer, m.Name(), m.Version(), j)
+			if j.resp.Err == "" {
+				observeJob(s.opts.observer, m.Name(), m.Version(), j)
+			}
 		}
 	}
 	wr, err := replicas.replicaFor(m)
@@ -572,6 +583,10 @@ func (s *Server) serveCoalesced(b *dispatchBatch, replicas *replicaCache) {
 	total := 0
 	rows := b.rows[:0]
 	for _, j := range b.jobs {
+		if j.resp.Err != "" { // refused by the budget guard above
+			rows = append(rows, -1)
+			continue
+		}
 		if err := validateFeatures(j.req.Features); err != nil {
 			j.resp = Response{Err: err.Error()}
 			rows = append(rows, -1)
@@ -583,7 +598,7 @@ func (s *Server) serveCoalesced(b *dispatchBatch, replicas *replicaCache) {
 	}
 	b.rows = rows
 	if total == 0 {
-		return // every member failed validation; each carries its own error
+		return // every member was refused or failed validation; each carries its own error
 	}
 	stacked := b.arena.NewTensor(total, head.Features.Shape[1], head.Features.Shape[2], head.Features.Shape[3])
 	off := 0
@@ -613,6 +628,9 @@ func (s *Server) serveCoalesced(b *dispatchBatch, replicas *replicaCache) {
 		}
 		j.feats = feats
 		j.resp = Response{Features: feats, Model: m.Name(), Version: m.Version()}
+		if j.noiseSigma > 0 {
+			noiseResponse(j, &j.resp)
+		}
 		row += r
 	}
 }

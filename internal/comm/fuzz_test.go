@@ -219,7 +219,7 @@ func FuzzWireHelloAck(f *testing.F) {
 	f.Add([]byte{0xE5, 'N', 'S', 'B', 0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, ack []byte) {
 		var sink bytes.Buffer
-		ver, _, window, err := negotiateClient(&sink, bufio.NewReader(bytes.NewReader(ack)), true)
+		ver, _, window, err := negotiateClient(&sink, bufio.NewReader(bytes.NewReader(ack)), true, "fuzz-client")
 		if err != nil {
 			return
 		}
@@ -228,6 +228,45 @@ func FuzzWireHelloAck(f *testing.F) {
 		}
 		if window < 0 || window > 65535*1_000_000 {
 			t.Fatalf("accepted window %v outside the u16-milliseconds range", window)
+		}
+		// The client declares its identity only to an ack that both names v4
+		// and echoes the flag; everything else must keep the post-hello wire
+		// silent (a v3 server would parse the ID frame as its first request).
+		if sent := sink.Len() > 8; sent != (ver >= 4 && len(ack) >= 6 && ack[5]&wireFlagClientID != 0) {
+			t.Fatalf("client-ID frame presence wrong: wrote %d bytes after an ack with version %d flags %#x",
+				sink.Len()-8, ver, ack[5])
+		}
+	})
+}
+
+// FuzzWireHelloClientID is the server's trust boundary for the v4 identity
+// extension: arbitrary bytes through the client-ID frame parser must never
+// panic, anything accepted must satisfy the declared identity discipline
+// (1-64 printable ASCII bytes, nothing trailing), and valid IDs must
+// round-trip through the encoder exactly.
+func FuzzWireHelloClientID(f *testing.F) {
+	f.Add(appendClientID(nil, "client-a"))
+	f.Add(appendClientID(nil, "did:key:z6MkhaXgBZDvotDkL5257faiztiGiC2QtKLGpbnnEGta2doK"))
+	f.Add([]byte{wireMsgClientID, 0})                    // zero-length ID
+	f.Add([]byte{wireMsgClientID, 5, 'a', 'b'})          // truncated body
+	f.Add([]byte{wireMsgClientID, 1, ' '})               // space: not printable-ASCII per the wire rule
+	f.Add([]byte{wireMsgClientID, 2, 'o', 'k', 'x'})     // trailing bytes
+	f.Add([]byte{wireMsgClientID, 1, 0x00})              // control byte
+	f.Add([]byte{wireMsgClientID, 3, 'a', 0xFF, 'b'})    // high bit set
+	f.Add([]byte{wireMsgRequest, 2, 'o', 'k'})           // wrong message type
+	f.Add(appendClientID(nil, string(make([]byte, 65)))) // over the length cap
+	f.Fuzz(func(t *testing.T, body []byte) {
+		id, err := parseClientID(body)
+		if err != nil {
+			return
+		}
+		if !ValidClientID(id) {
+			t.Fatalf("parser accepted invalid client ID %q", id)
+		}
+		re := appendClientID(nil, id)
+		id2, err := parseClientID(re)
+		if err != nil || id2 != id {
+			t.Fatalf("client ID does not round-trip: %q -> %q (%v)", id, id2, err)
 		}
 	})
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"ensembler/internal/nn"
+	"ensembler/internal/privacy"
 	"ensembler/internal/tensor"
 	"ensembler/internal/trace"
 )
@@ -58,6 +59,7 @@ type serverOptions struct {
 	metrics   *ServerMetrics  // nil: no telemetry, zero hot-path cost
 	observer  FeatureObserver // nil: no feature mirroring, zero hot-path cost
 	tracer    *trace.Tracer   // nil: no tracing, zero hot-path cost
+	guard     *privacy.Guard  // nil: no budget accounting, zero hot-path cost
 	precision Precision       // compute element type; PrecisionF64 is the zero value
 
 	// Continuous batching (see dispatch.go). dispatch gates the whole
@@ -233,6 +235,16 @@ type job struct {
 	outputs32 [][]*tensor.Tensor32 // reusable f32 response outputs grid
 	f32Resp   bool
 
+	// Privacy-budget context, populated only when the server has a budget
+	// guard. account is the connection's ledger account (resolved once at
+	// negotiate time and stamped per request); noiseSigma is this request's
+	// escalation-noise verdict; rng is the job's private noise state, seeded
+	// lazily and kept across resets so successive noised responses draw a
+	// fresh stream.
+	account    *privacy.Account
+	noiseSigma float64
+	rng        uint64
+
 	// Tracing context, populated only when the server has a tracer (see
 	// internal/trace). wireTrace is the trace context the request arrived
 	// with; traced marks that it arrived on a traced frame whose response
@@ -267,6 +279,8 @@ func (j *job) reset() {
 	j.outputs32 = j.outputs32[:0]
 	j.f32Resp = false
 	j.arena32.Reset()
+	j.account = nil
+	j.noiseSigma = 0
 	j.wireTrace = trace.Context{}
 	j.traced = false
 	j.decodeAt, j.queuedAt = time.Time{}, time.Time{}
@@ -581,34 +595,50 @@ func (c *binServerCodec) writeResponse(j *job, resp *Response) error {
 // magic selects the binary codec (and acks min(client, server) version,
 // accepted flags, and the continuous-batching window advice); anything else
 // is a legacy gob client, served by the gob codec over byte-identical
-// framing.
-func (s *Server) negotiate(conn net.Conn, br *bufio.Reader) (serverCodec, error) {
+// framing. The returned clientID is the v4-declared identity ("" for every
+// pre-v4 and gob peer, which the budget guard buckets by address instead).
+func (s *Server) negotiate(conn net.Conn, br *bufio.Reader) (serverCodec, string, error) {
 	peek, err := br.Peek(4)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if [4]byte(peek) != wireMagic {
-		return &gobServerCodec{dec: gob.NewDecoder(br), enc: gob.NewEncoder(conn)}, nil
+		return &gobServerCodec{dec: gob.NewDecoder(br), enc: gob.NewEncoder(conn)}, "", nil
 	}
 	var hello [8]byte
 	if _, err := io.ReadFull(br, hello[:]); err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if hello[4] < 1 {
-		return nil, fmt.Errorf("comm: client hello names unsupported wire version %d", hello[4])
+		return nil, "", fmt.Errorf("comm: client hello names unsupported wire version %d", hello[4])
 	}
 	version := min(hello[4], byte(wireVersion))
 	flags := hello[5] & wireFlagF32
+	// The client-ID flag is honored only from a hello that itself speaks v4:
+	// echoing it to an older (or flag-forging) client would promise to read
+	// an ID frame the peer will never send.
+	wantID := version >= 4 && hello[5]&wireFlagClientID != 0
+	if wantID {
+		flags |= wireFlagClientID
+	}
 	ack := helloAckBytes(version, flags, windowAdviceMs(s.opts.window))
 	if _, err := conn.Write(ack[:]); err != nil {
-		return nil, err
+		return nil, "", err
+	}
+	var clientID string
+	if wantID {
+		// The accepted flag obliges the client to send exactly one client-ID
+		// frame before any request; a malformed one drops the connection.
+		if clientID, err = readClientIDFrame(br); err != nil {
+			return nil, "", err
+		}
 	}
 	return &binServerCodec{
 		binFramer:  binFramer{w: conn, r: br, f32: flags&wireFlagF32 != 0, code: version >= 2},
 		timing:     s.opts.tracer != nil,
 		traceOK:    version >= 3,
 		f32compute: s.opts.precision == PrecisionF32,
-	}, nil
+	}, clientID, nil
 }
 
 // handle processes one client connection until it closes or the server
@@ -620,9 +650,21 @@ func (s *Server) negotiate(conn net.Conn, br *bufio.Reader) (serverCodec, error)
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 1<<16)
-	codec, err := s.negotiate(conn, br)
+	codec, clientID, err := s.negotiate(conn, br)
 	if err != nil {
 		return
+	}
+
+	// Budget identity resolves once per connection: the declared v4 client
+	// ID, or the peer's address bucket. Every request on this connection
+	// charges the same account.
+	var acct *privacy.Account
+	if g := s.opts.guard; g != nil {
+		id := clientID
+		if id == "" {
+			id = addrBucket(conn.RemoteAddr())
+		}
+		acct = g.AccountFor(id)
 	}
 
 	// With continuous batching on, this connection owns one dispatcher
@@ -685,6 +727,7 @@ func (s *Server) handle(conn net.Conn) {
 		if err := codec.readRequest(j); err != nil {
 			break // client closed, protocol error, or shutdown deadline
 		}
+		j.account = acct
 		if tr != nil {
 			// The leg starts when the request's bytes were in hand: decode
 			// counts against it, the blocking read before it does not. Gob
@@ -850,6 +893,12 @@ func (s *Server) serve(j *job, replicas *replicaCache) *Response {
 }
 
 func (s *Server) serveResolved(j *job, replicas *replicaCache) *Response {
+	// The budget verdict comes first: a refused request must not resolve,
+	// be observed, or compute — it serves (and therefore leaks) nothing,
+	// which is also why the refused charge was rolled back.
+	if !s.chargeJob(j) {
+		return &j.resp
+	}
 	m, err := s.provider.Resolve(j.req.Model, j.req.Version)
 	if err != nil {
 		return &Response{Err: err.Error()}
@@ -863,6 +912,9 @@ func (s *Server) serveResolved(j *job, replicas *replicaCache) *Response {
 	}
 	resp := s.processWith(j, wr)
 	resp.Model, resp.Version = m.Name(), m.Version()
+	if j.noiseSigma > 0 && resp.Err == "" {
+		noiseResponse(j, resp)
+	}
 	return resp
 }
 

@@ -328,6 +328,10 @@ func (s *Server) coalescedPass32(b *dispatchBatch, wr *workerReplica, m ServedMo
 	total := 0
 	rows := b.rows[:0]
 	for _, j := range b.jobs {
+		if j.resp.Err != "" { // refused by the budget guard in serveCoalesced
+			rows = append(rows, -1)
+			continue
+		}
 		var err error
 		r := -1
 		if f32In {
@@ -396,6 +400,9 @@ func (s *Server) coalescedPass32(b *dispatchBatch, wr *workerReplica, m ServedMo
 			j.feats32 = feats
 			j.f32Resp = true
 			j.resp = Response{Model: m.Name(), Version: m.Version()}
+			if j.noiseSigma > 0 {
+				noiseResponse(j, &j.resp)
+			}
 		} else {
 			feats := j.feats[:0]
 			for _, out := range outs {
@@ -410,6 +417,9 @@ func (s *Server) coalescedPass32(b *dispatchBatch, wr *workerReplica, m ServedMo
 			}
 			j.feats = feats
 			j.resp = Response{Features: feats, Model: m.Name(), Version: m.Version()}
+			if j.noiseSigma > 0 {
+				noiseResponse(j, &j.resp)
+			}
 		}
 		row += r
 	}

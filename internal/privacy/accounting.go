@@ -1,0 +1,218 @@
+// Package privacy bounds what the serving stack can leak to any single
+// client over time. The P-of-N secret selection (see DESIGN.md) limits what
+// one response reveals; nothing before this package limited what a *patient*
+// client accumulates across requests and rotations. The pieces:
+//
+//   - a pure Rényi-DP accounting library (this file): per-query loss ε(α) at
+//     configurable orders, the subsampling-amplification bound for a secret
+//     fraction p = P/N of the ensemble answering, additive composition
+//     across queries, and conversion to (ε, δ)-DP — the pMixed recipe
+//     (james-flemings/pmixed) adapted to the Ensembler selection;
+//   - a sharded per-client Ledger (ledger.go) whose record path is O(1)
+//     atomics, keyed by the wire-negotiated client identity;
+//   - a budget-aware Policy/Guard (policy.go) that escalates as a client's
+//     budget drains: raise noise, force a selector rotation, then refuse.
+//
+// The package is tensor-free and imports nothing from the serving stack, so
+// the accounting is testable against hand-computed values in isolation.
+package privacy
+
+import (
+	"fmt"
+	"math"
+)
+
+// RenyiDiv computes the Rényi divergence D_α(P‖Q) between two discrete
+// distributions given as aligned probability slices. α = 1 is the KL
+// divergence, α = +Inf the max divergence, and finite α > 1 the standard
+//
+//	D_α(P‖Q) = 1/(α-1) · log Σ_i p_i^α / q_i^(α-1).
+//
+// Entries with p_i = 0 contribute nothing; a q_i = 0 under p_i > 0 yields
+// +Inf (the distributions are not absolutely continuous).
+func RenyiDiv(p, q []float64, alpha float64) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("privacy: RenyiDiv over mismatched supports (%d vs %d)", len(p), len(q)))
+	}
+	if math.IsInf(alpha, 1) {
+		worst := math.Inf(-1)
+		for i := range p {
+			if p[i] == 0 {
+				continue
+			}
+			if q[i] == 0 {
+				return math.Inf(1)
+			}
+			if r := math.Log(p[i] / q[i]); r > worst {
+				worst = r
+			}
+		}
+		return worst
+	}
+	if alpha == 1 {
+		kl := 0.0
+		for i := range p {
+			if p[i] == 0 {
+				continue
+			}
+			if q[i] == 0 {
+				return math.Inf(1)
+			}
+			kl += p[i] * math.Log(p[i]/q[i])
+		}
+		return kl
+	}
+	if alpha <= 0 {
+		panic(fmt.Sprintf("privacy: RenyiDiv at non-positive order %v", alpha))
+	}
+	sum := 0.0
+	for i := range p {
+		if p[i] == 0 {
+			continue
+		}
+		if q[i] == 0 {
+			return math.Inf(1)
+		}
+		sum += math.Pow(p[i], alpha) / math.Pow(q[i], alpha-1)
+	}
+	return math.Log(sum) / (alpha - 1)
+}
+
+// SubsampleEps is the amplification-by-subsampling bound for Rényi DP at
+// integer order α ≥ 2: a mechanism with per-query loss eps, applied to a
+// random fraction p of the ensemble (the P-of-N selection answers through
+// p = P/N of the bodies), leaks at most
+//
+//	1/(α-1) · log( (1-p)^(α-1)(1+(α-1)p) + Σ_{k=2..α} C(α,k)(1-p)^(α-k) p^k e^{(k-1)·eps} ).
+//
+// The bound is monotone in p and never exceeds eps (equality at p = 1, no
+// subsampling) — both pinned by property tests.
+func SubsampleEps(eps, p float64, alpha int) float64 {
+	if alpha < 2 {
+		panic(fmt.Sprintf("privacy: SubsampleEps needs integer order >= 2, got %d", alpha))
+	}
+	if eps <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return eps
+	}
+	a := float64(alpha)
+	// k = 0 and k = 1 terms of the binomial expansion, which carry no e^ε
+	// factor, combined: (1-p)^α + α(1-p)^(α-1)p = (1-p)^(α-1)(1 + (α-1)p).
+	sum := math.Pow(1-p, a-1) * (1 + (a-1)*p)
+	for k := 2; k <= alpha; k++ {
+		sum += binom(alpha, k) * math.Pow(1-p, a-float64(k)) * math.Pow(p, float64(k)) * math.Exp(float64(k-1)*eps)
+	}
+	return math.Log(sum) / (a - 1)
+}
+
+// binom is the binomial coefficient C(n, k) as a float64 (exact for the
+// small orders the accountant uses).
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return c
+}
+
+// EpsDelta converts an accumulated Rényi loss at order α into an (ε, δ)-DP
+// guarantee via the standard conversion ε = ε_α + log(1/δ)/(α-1).
+func EpsDelta(rdp, alpha, delta float64) float64 {
+	if alpha <= 1 {
+		panic(fmt.Sprintf("privacy: EpsDelta needs order > 1, got %v", alpha))
+	}
+	if delta <= 0 || delta >= 1 {
+		panic(fmt.Sprintf("privacy: EpsDelta needs delta in (0,1), got %v", delta))
+	}
+	return rdp + math.Log(1/delta)/(alpha-1)
+}
+
+// Target mirrors pMixed's per-query Rényi divergence target for an ensemble
+// of n models each answering with probability p (so p·n is the expected
+// number of answering models — the P of the P-of-N selection), a total
+// budget eps split across qBudget queries:
+//
+//	log( p·n·e^{(α-1)·eps/qBudget} + 1 − p·n ) / (4(α-1)).
+//
+// It is the per-query divergence cap under which qBudget compositions stay
+// within eps at order α with the pMixed safety margin.
+func Target(p float64, n int, eps float64, qBudget int, alpha float64) float64 {
+	if alpha <= 1 {
+		panic(fmt.Sprintf("privacy: Target needs order > 1, got %v", alpha))
+	}
+	if qBudget <= 0 {
+		panic(fmt.Sprintf("privacy: Target needs a positive query budget, got %d", qBudget))
+	}
+	pn := p * float64(n)
+	return math.Log(pn*math.Exp((alpha-1)*eps/float64(qBudget))+1-pn) / (4 * (alpha - 1))
+}
+
+// Accountant composes per-query Rényi losses at a fixed set of orders. The
+// zero value is unusable; construct with NewAccountant. Composition in Rényi
+// DP is additive per order, so Spend is a plain elementwise sum — the
+// property the ledger's fixed-point per-row charge relies on.
+type Accountant struct {
+	orders []int
+	spent  []float64
+}
+
+// NewAccountant creates an accountant tracking the given integer orders
+// (each ≥ 2, the domain of the subsampling bound).
+func NewAccountant(orders ...int) (*Accountant, error) {
+	if len(orders) == 0 {
+		return nil, fmt.Errorf("privacy: accountant needs at least one order")
+	}
+	for _, a := range orders {
+		if a < 2 {
+			return nil, fmt.Errorf("privacy: accountant order %d below 2", a)
+		}
+	}
+	return &Accountant{orders: append([]int(nil), orders...), spent: make([]float64, len(orders))}, nil
+}
+
+// Orders returns the tracked Rényi orders.
+func (a *Accountant) Orders() []int { return append([]int(nil), a.orders...) }
+
+// Spent returns the accumulated loss per tracked order, aligned with
+// Orders().
+func (a *Accountant) Spent() []float64 { return append([]float64(nil), a.spent...) }
+
+// Spend composes one query's loss, given per-order: losses must align with
+// Orders().
+func (a *Accountant) Spend(losses []float64) {
+	if len(losses) != len(a.orders) {
+		panic(fmt.Sprintf("privacy: Spend over %d losses for %d orders", len(losses), len(a.orders)))
+	}
+	for i, l := range losses {
+		a.spent[i] += l
+	}
+}
+
+// SpendSubsampled composes one query of unamplified loss eps under secret
+// fraction p, amplifying at every tracked order.
+func (a *Accountant) SpendSubsampled(eps, p float64) {
+	for i, order := range a.orders {
+		a.spent[i] += SubsampleEps(eps, p, order)
+	}
+}
+
+// BestEpsDelta converts the accumulated loss to the tightest (ε, δ)-DP
+// guarantee over the tracked orders, returning the ε and the order that
+// achieved it.
+func (a *Accountant) BestEpsDelta(delta float64) (eps float64, order int) {
+	eps = math.Inf(1)
+	for i, o := range a.orders {
+		if e := EpsDelta(a.spent[i], float64(o), delta); e < eps {
+			eps, order = e, o
+		}
+	}
+	return eps, order
+}

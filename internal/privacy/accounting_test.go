@@ -1,0 +1,169 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+)
+
+func near(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v (±%v)", what, got, want, tol)
+	}
+}
+
+// TestRenyiDivHandComputed pins the divergence against hand-computed values
+// for P = (3/4, 1/4) vs Q = (1/2, 1/2) — the worked example mirroring the
+// pMixed renyiDiv reference.
+func TestRenyiDivHandComputed(t *testing.T) {
+	p := []float64{0.75, 0.25}
+	q := []float64{0.5, 0.5}
+	// α=2: log(p₀²/q₀ + p₁²/q₁) = log(1.125 + 0.125) = log 1.25.
+	near(t, RenyiDiv(p, q, 2), math.Log(1.25), 1e-12, "D_2")
+	// α=1 is KL: 0.75·log 1.5 + 0.25·log 0.5.
+	near(t, RenyiDiv(p, q, 1), 0.75*math.Log(1.5)+0.25*math.Log(0.5), 1e-12, "D_1")
+	// α=∞ is the max log-ratio: log 1.5.
+	near(t, RenyiDiv(p, q, math.Inf(1)), math.Log(1.5), 1e-12, "D_inf")
+	// α=3 at a finite non-special order.
+	want3 := math.Log(math.Pow(0.75, 3)/0.25+math.Pow(0.25, 3)/0.25) / 2
+	near(t, RenyiDiv(p, q, 3), want3, 1e-12, "D_3")
+}
+
+func TestRenyiDivIdenticalDistributionsIsZero(t *testing.T) {
+	p := []float64{0.2, 0.3, 0.5}
+	for _, alpha := range []float64{1, 2, 5, math.Inf(1)} {
+		near(t, RenyiDiv(p, p, alpha), 0, 1e-12, "D(P||P)")
+	}
+}
+
+func TestRenyiDivDisjointSupportIsInfinite(t *testing.T) {
+	p := []float64{1, 0}
+	q := []float64{0, 1}
+	for _, alpha := range []float64{1, 2, math.Inf(1)} {
+		if got := RenyiDiv(p, q, alpha); !math.IsInf(got, 1) {
+			t.Fatalf("D_%v over disjoint support = %v, want +Inf", alpha, got)
+		}
+	}
+}
+
+// TestSubsampleEpsHandComputed pins the amplification bound against the
+// closed form expanded by hand at small orders.
+func TestSubsampleEpsHandComputed(t *testing.T) {
+	// α=2, ε=1, p=1/2: log((1-p)(1+p) + p²e^ε) = log(3/4 + e/4).
+	near(t, SubsampleEps(1, 0.5, 2), math.Log(0.75+math.E/4), 1e-12, "SubsampleEps(1, 0.5, 2)")
+	// α=3, ε=1/2, p=1/4:
+	//   (3/4)²(3/2) + 3(3/4)(1/4)²e^{1/2} + (1/4)³e, all under log(·)/2.
+	want := math.Log(0.5625*1.5+3*0.75*0.0625*math.Exp(0.5)+math.Pow(0.25, 3)*math.E) / 2
+	near(t, SubsampleEps(0.5, 0.25, 3), want, 1e-12, "SubsampleEps(0.5, 0.25, 3)")
+	// No subsampling (p=1) is the unamplified loss; p=0 never answers.
+	near(t, SubsampleEps(2, 1, 4), 2, 0, "SubsampleEps at p=1")
+	near(t, SubsampleEps(2, 0, 4), 0, 0, "SubsampleEps at p=0")
+}
+
+// TestSubsampleEpsMonotoneAndBounded is the satellite property test: the
+// amplified loss is monotone in the secret fraction p and never exceeds the
+// unamplified bound (privacy amplification can only help).
+func TestSubsampleEpsMonotoneAndBounded(t *testing.T) {
+	for _, alpha := range []int{2, 3, 4, 8, 16} {
+		for _, eps := range []float64{0.01, 0.1, 1, 5} {
+			prev := 0.0
+			for p := 0.0; p <= 1.0001; p += 0.01 {
+				got := SubsampleEps(eps, p, alpha)
+				if got < prev-1e-12 {
+					t.Fatalf("SubsampleEps(%v, %v, %d) = %v < %v at smaller p: not monotone", eps, p, alpha, got, prev)
+				}
+				if got > eps+1e-12 {
+					t.Fatalf("SubsampleEps(%v, %v, %d) = %v exceeds unamplified bound %v", eps, p, alpha, got, eps)
+				}
+				prev = got
+			}
+		}
+	}
+}
+
+// TestCompositionAdditive is the satellite property test: Rényi composition
+// is additive per order, so spending in one lump equals spending in pieces.
+func TestCompositionAdditive(t *testing.T) {
+	a, err := NewAccountant(2, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewAccountant(2, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, 0.2, 0.3}
+	y := []float64{0.05, 0.15, 0.25}
+	a.Spend(x)
+	a.Spend(y)
+	b.Spend([]float64{x[0] + y[0], x[1] + y[1], x[2] + y[2]})
+	as, bs := a.Spent(), b.Spent()
+	for i := range as {
+		near(t, as[i], bs[i], 1e-12, "composed loss")
+	}
+
+	// Subsampled composition: q identical queries cost exactly q times one.
+	c, _ := NewAccountant(2, 8)
+	const q = 100
+	for i := 0; i < q; i++ {
+		c.SpendSubsampled(0.05, 0.25)
+	}
+	near(t, c.Spent()[0], q*SubsampleEps(0.05, 0.25, 2), 1e-9, "q-fold subsampled composition at order 2")
+	near(t, c.Spent()[1], q*SubsampleEps(0.05, 0.25, 8), 1e-9, "q-fold subsampled composition at order 8")
+}
+
+// TestEpsDeltaClosedForm is the satellite property test: the RDP→(ε,δ)
+// conversion matches the closed form ε + log(1/δ)/(α-1) from the pMixed
+// reference.
+func TestEpsDeltaClosedForm(t *testing.T) {
+	near(t, EpsDelta(1.5, 8, 1e-5), 1.5+math.Log(1e5)/7, 1e-12, "EpsDelta(1.5, 8, 1e-5)")
+	near(t, EpsDelta(0, 2, 1e-5), math.Log(1e5), 1e-12, "EpsDelta at zero RDP")
+	// BestEpsDelta picks the minimizing order.
+	a, _ := NewAccountant(2, 32)
+	a.Spend([]float64{0.01, 0.01})
+	eps, order := a.BestEpsDelta(1e-5)
+	if order != 32 {
+		t.Fatalf("BestEpsDelta picked order %d, want 32 (log(1/δ)/(α-1) dominates at tiny RDP)", order)
+	}
+	near(t, eps, 0.01+math.Log(1e5)/31, 1e-12, "best converted eps")
+}
+
+// TestTargetMirrorsPMixed pins the per-query target against the pMixed
+// formula: with p·n = 1 it reduces to eps/(4·qBudget) exactly.
+func TestTargetMirrorsPMixed(t *testing.T) {
+	near(t, Target(0.25, 4, 2, 1024, 2), 2.0/(4*1024), 1e-12, "Target at pn=1")
+	// General case, written out by hand: α=2, eps=2, q=1024, p=0.5, n=4.
+	want := math.Log(2*math.Exp(2.0/1024)+1-2) / 4
+	near(t, Target(0.5, 4, 2, 1024, 2), want, 1e-12, "Target at pn=2")
+}
+
+func TestAccountantValidation(t *testing.T) {
+	if _, err := NewAccountant(); err == nil {
+		t.Fatal("accountant with no orders must fail")
+	}
+	if _, err := NewAccountant(1); err == nil {
+		t.Fatal("accountant with order < 2 must fail")
+	}
+	a, _ := NewAccountant(2, 4)
+	if got := a.Orders(); len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("Orders() = %v", got)
+	}
+	mustPanic(t, func() { a.Spend([]float64{1}) })
+	mustPanic(t, func() { RenyiDiv([]float64{1}, []float64{0.5, 0.5}, 2) })
+	mustPanic(t, func() { RenyiDiv([]float64{1}, []float64{1}, -1) })
+	mustPanic(t, func() { SubsampleEps(1, 0.5, 1) })
+	mustPanic(t, func() { EpsDelta(1, 1, 1e-5) })
+	mustPanic(t, func() { EpsDelta(1, 2, 0) })
+	mustPanic(t, func() { Target(0.5, 4, 1, 0, 2) })
+	mustPanic(t, func() { Target(0.5, 4, 1, 1024, 1) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

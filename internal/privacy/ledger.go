@@ -1,0 +1,339 @@
+package privacy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// DefaultQueryBudget is the pMixed default split of a client's total
+	// budget into per-query losses: QueryEps defaults to BudgetEps/1024.
+	DefaultQueryBudget = 1024
+	// DefaultMaxClients bounds how many client accounts the ledger tracks
+	// before evicting the least recently connected.
+	DefaultMaxClients = 4096
+	// DefaultShards is the ledger's default shard count (rounded up to a
+	// power of two).
+	DefaultShards = 64
+
+	// epsScale is the fixed-point resolution of the spent counters: one
+	// nano-ε per unit, so a per-row charge is one atomic integer add.
+	epsScale = 1e9
+)
+
+// LedgerConfig configures a Ledger. BudgetEps is required; everything else
+// has serviceable defaults.
+type LedgerConfig struct {
+	// BudgetEps is the total Rényi loss ε(α) one client may spend at order
+	// Alpha before requests are refused.
+	BudgetEps float64
+	// Alpha is the Rényi order the budget is denominated in (integer ≥ 2,
+	// the domain of the subsampling bound). Defaults to 2, the pMixed order.
+	Alpha int
+	// QueryEps is the unamplified per-row loss ε(α) one served row costs
+	// before subsampling amplification. Defaults to BudgetEps/1024 (the
+	// pMixed q_budget split).
+	QueryEps float64
+	// SecretFraction is p = P/N, the fraction of the ensemble the secret
+	// selection actually answers through; the per-row charge is
+	// SubsampleEps(QueryEps, p, Alpha). 0 or ≥ 1 disables amplification.
+	SecretFraction float64
+	// RefillPerSec recovers budget over time (ε(α) per second per client),
+	// so a client that backs off re-earns service. 0 (the default) makes
+	// budgets drain-only — and keeps the charge path free of clock reads.
+	RefillPerSec float64
+	// MaxClients bounds tracked accounts; the least recently connected
+	// account is evicted past the bound. Defaults to DefaultMaxClients.
+	MaxClients int
+	// Shards is the number of account-map shards. Defaults to
+	// DefaultShards; rounded up to a power of two.
+	Shards int
+	// Now is the clock (tests); nil uses time.Now.
+	Now func() time.Time
+}
+
+// Account is one client's budget state. The charge path touches only the
+// atomic fields, so concurrent requests from one client never take a lock.
+type Account struct {
+	id string
+
+	spent    atomic.Int64  // nano-ε spent at the ledger's order
+	rows     atomic.Uint64 // rows charged
+	refusals atomic.Uint64 // requests refused for this account
+	level    atomic.Int32  // policy escalation level (see policy.go)
+	lastSeen atomic.Int64  // unix nanos at last acquire/refill — eviction & refill clock
+}
+
+// ID returns the client identity the account is keyed by.
+func (a *Account) ID() string { return a.id }
+
+// SpentEps returns the account's accumulated Rényi loss at the ledger's
+// order.
+func (a *Account) SpentEps() float64 { return float64(a.spent.Load()) / epsScale }
+
+type ledgerShard struct {
+	mu       sync.RWMutex
+	accounts map[string]*Account
+}
+
+// Ledger is the sharded per-client budget store. AccountFor resolves a
+// client identity to its Account once per connection; the per-request charge
+// then runs entirely on that account's atomics — the discipline that keeps
+// the serving loop at zero allocations per request (asserted by the comm
+// benchmarks with the ledger enabled).
+type Ledger struct {
+	cfg       LedgerConfig
+	budget    int64 // nano-ε
+	rowCharge int64 // nano-ε per served row, amplification applied
+	maxShard  int   // per-shard account bound (MaxClients / shards)
+	mask      uint64
+	shards    []ledgerShard
+
+	clients   atomic.Int64
+	evictions atomic.Uint64
+	rowsTotal atomic.Uint64
+}
+
+// NewLedger validates cfg and builds the ledger.
+func NewLedger(cfg LedgerConfig) (*Ledger, error) {
+	if cfg.BudgetEps <= 0 {
+		return nil, fmt.Errorf("privacy: ledger needs a positive budget, got %v", cfg.BudgetEps)
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 2
+	}
+	if cfg.Alpha < 2 {
+		return nil, fmt.Errorf("privacy: ledger order %d below 2", cfg.Alpha)
+	}
+	if cfg.QueryEps < 0 {
+		return nil, fmt.Errorf("privacy: negative per-query loss %v", cfg.QueryEps)
+	}
+	if cfg.QueryEps == 0 {
+		cfg.QueryEps = cfg.BudgetEps / DefaultQueryBudget
+	}
+	if cfg.SecretFraction < 0 || cfg.SecretFraction > 1 {
+		return nil, fmt.Errorf("privacy: secret fraction %v outside [0,1]", cfg.SecretFraction)
+	}
+	if cfg.RefillPerSec < 0 {
+		return nil, fmt.Errorf("privacy: negative refill rate %v", cfg.RefillPerSec)
+	}
+	if cfg.MaxClients <= 0 {
+		cfg.MaxClients = DefaultMaxClients
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	shards := 1
+	for shards < cfg.Shards {
+		shards <<= 1
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	perRow := cfg.QueryEps
+	if cfg.SecretFraction > 0 && cfg.SecretFraction < 1 {
+		perRow = SubsampleEps(cfg.QueryEps, cfg.SecretFraction, cfg.Alpha)
+	}
+	maxShard := cfg.MaxClients / shards
+	if maxShard < 1 {
+		maxShard = 1
+	}
+	l := &Ledger{
+		cfg:       cfg,
+		budget:    int64(cfg.BudgetEps * epsScale),
+		rowCharge: int64(perRow * epsScale),
+		maxShard:  maxShard,
+		mask:      uint64(shards - 1),
+		shards:    make([]ledgerShard, shards),
+	}
+	if l.rowCharge < 1 {
+		l.rowCharge = 1 // a served row is never free at fixed-point resolution
+	}
+	return l, nil
+}
+
+// RowChargeEps reports the amplified Rényi loss one served row costs.
+func (l *Ledger) RowChargeEps() float64 { return float64(l.rowCharge) / epsScale }
+
+// BudgetEps reports the per-client budget.
+func (l *Ledger) BudgetEps() float64 { return l.cfg.BudgetEps }
+
+// Alpha reports the Rényi order the budget is denominated in.
+func (l *Ledger) Alpha() int { return l.cfg.Alpha }
+
+// fnv1a hashes a client identity to its shard (inline FNV-1a, no
+// allocation).
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// AccountFor resolves (creating if needed) the account for a client
+// identity. Called once per connection, not per request; may evict the
+// shard's least recently connected account past the capacity bound.
+func (l *Ledger) AccountFor(id string) *Account {
+	sh := &l.shards[fnv1a(id)&l.mask]
+	now := l.cfg.Now().UnixNano()
+
+	sh.mu.RLock()
+	a := sh.accounts[id]
+	sh.mu.RUnlock()
+	if a != nil {
+		a.lastSeen.Store(now)
+		return a
+	}
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if a = sh.accounts[id]; a != nil {
+		a.lastSeen.Store(now)
+		return a
+	}
+	if sh.accounts == nil {
+		sh.accounts = make(map[string]*Account)
+	}
+	for len(sh.accounts) >= l.maxShard {
+		var lruID string
+		lru := int64(1<<63 - 1)
+		for k, cand := range sh.accounts {
+			if seen := cand.lastSeen.Load(); seen < lru {
+				lruID, lru = k, seen
+			}
+		}
+		delete(sh.accounts, lruID)
+		l.clients.Add(-1)
+		l.evictions.Add(1)
+	}
+	a = &Account{id: id}
+	a.lastSeen.Store(now)
+	sh.accounts[id] = a
+	l.clients.Add(1)
+	return a
+}
+
+// debit charges nano-ε to the account, applying the refill credit first when
+// the ledger refills. It returns the new spent value and whether the charge
+// fit the budget; a charge that does not fit is rolled back (the refused
+// request serves nothing, so it costs nothing).
+func (l *Ledger) debit(a *Account, charge int64) (spent int64, ok bool) {
+	if l.cfg.RefillPerSec > 0 {
+		now := l.cfg.Now().UnixNano()
+		last := a.lastSeen.Swap(now)
+		if dt := now - last; dt > 0 {
+			credit := int64(l.cfg.RefillPerSec * epsScale * float64(dt) / float64(time.Second))
+			for credit > 0 {
+				s := a.spent.Load()
+				ns := s - credit
+				if ns < 0 {
+					ns = 0
+				}
+				if a.spent.CompareAndSwap(s, ns) {
+					break
+				}
+			}
+		}
+	}
+	spent = a.spent.Add(charge)
+	if spent > l.budget {
+		a.spent.Add(-charge)
+		return spent - charge, false
+	}
+	return spent, true
+}
+
+// ClientBudget is one account's externally visible state — the /budget admin
+// payload and the auditor's worst-drained-client input.
+type ClientBudget struct {
+	Client       string  `json:"client"`
+	SpentEps     float64 `json:"spent_eps"`
+	RemainingEps float64 `json:"remaining_eps"`
+	Drained      float64 `json:"drained"` // SpentEps / budget, clamped to [0,1]
+	Level        int     `json:"level"`
+	Rows         uint64  `json:"rows"`
+	Refusals     uint64  `json:"refusals"`
+}
+
+func (l *Ledger) clientBudget(a *Account) ClientBudget {
+	spent := float64(a.spent.Load()) / epsScale
+	remaining := l.cfg.BudgetEps - spent
+	if remaining < 0 {
+		remaining = 0
+	}
+	drained := spent / l.cfg.BudgetEps
+	if drained > 1 {
+		drained = 1
+	}
+	return ClientBudget{
+		Client:       a.id,
+		SpentEps:     spent,
+		RemainingEps: remaining,
+		Drained:      drained,
+		Level:        int(a.level.Load()),
+		Rows:         a.rows.Load(),
+		Refusals:     a.refusals.Load(),
+	}
+}
+
+// Snapshot returns every tracked account's state, most drained first.
+func (l *Ledger) Snapshot() []ClientBudget {
+	var out []ClientBudget
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.RLock()
+		for _, a := range sh.accounts {
+			out = append(out, l.clientBudget(a))
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SpentEps != out[j].SpentEps {
+			return out[i].SpentEps > out[j].SpentEps
+		}
+		return out[i].Client < out[j].Client
+	})
+	return out
+}
+
+// TopSpenders returns the n most drained accounts.
+func (l *Ledger) TopSpenders(n int) []ClientBudget {
+	all := l.Snapshot()
+	if n < len(all) {
+		all = all[:n]
+	}
+	return all
+}
+
+// LedgerStats is the ledger's aggregate telemetry snapshot.
+type LedgerStats struct {
+	Clients    int     `json:"clients"`
+	Evictions  uint64  `json:"evictions"`
+	Rows       uint64  `json:"rows_charged"`
+	BudgetEps  float64 `json:"budget_eps"`
+	QueryEps   float64 `json:"query_eps"`
+	RowEps     float64 `json:"row_eps"`
+	Alpha      int     `json:"alpha"`
+	SecretFrac float64 `json:"secret_fraction"`
+	MaxClients int     `json:"max_clients"`
+}
+
+// Stats reports the ledger's aggregate counters and configuration.
+func (l *Ledger) Stats() LedgerStats {
+	return LedgerStats{
+		Clients:    int(l.clients.Load()),
+		Evictions:  l.evictions.Load(),
+		Rows:       l.rowsTotal.Load(),
+		BudgetEps:  l.cfg.BudgetEps,
+		QueryEps:   l.cfg.QueryEps,
+		RowEps:     l.RowChargeEps(),
+		Alpha:      l.cfg.Alpha,
+		SecretFrac: l.cfg.SecretFraction,
+		MaxClients: l.maxShard * len(l.shards),
+	}
+}

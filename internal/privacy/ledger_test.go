@@ -1,0 +1,220 @@
+package privacy
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic Now hook.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestLedgerConfigValidation(t *testing.T) {
+	bad := []LedgerConfig{
+		{},                                    // no budget
+		{BudgetEps: -1},                       // negative budget
+		{BudgetEps: 1, Alpha: 1},              // order below 2
+		{BudgetEps: 1, QueryEps: -0.1},        // negative query loss
+		{BudgetEps: 1, SecretFraction: 1.5},   // fraction outside [0,1]
+		{BudgetEps: 1, SecretFraction: -0.5},  // fraction outside [0,1]
+		{BudgetEps: 1, RefillPerSec: -0.0001}, // negative refill
+	}
+	for i, cfg := range bad {
+		if _, err := NewLedger(cfg); err == nil {
+			t.Fatalf("config %d: expected error, got none", i)
+		}
+	}
+}
+
+func TestLedgerDefaultsAndCharge(t *testing.T) {
+	l, err := NewLedger(LedgerConfig{BudgetEps: 2, SecretFraction: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Alpha() != 2 {
+		t.Fatalf("default alpha = %d, want 2", l.Alpha())
+	}
+	if l.BudgetEps() != 2 {
+		t.Fatalf("BudgetEps = %v", l.BudgetEps())
+	}
+	// The per-row charge is the amplified per-query loss at the pMixed
+	// q_budget split.
+	want := SubsampleEps(2.0/DefaultQueryBudget, 0.25, 2)
+	near(t, l.RowChargeEps(), want, 1e-9, "RowChargeEps")
+
+	a := l.AccountFor("client-a")
+	if a != l.AccountFor("client-a") {
+		t.Fatal("AccountFor must return a stable account per identity")
+	}
+	if a == l.AccountFor("client-b") {
+		t.Fatal("distinct identities must get distinct accounts")
+	}
+	if a.ID() != "client-a" {
+		t.Fatalf("account ID = %q", a.ID())
+	}
+	spent, ok := l.debit(a, 3*l.rowCharge)
+	if !ok || spent != 3*l.rowCharge {
+		t.Fatalf("debit = (%d, %v), want (%d, true)", spent, ok, 3*l.rowCharge)
+	}
+	near(t, a.SpentEps(), 3*l.RowChargeEps(), 1e-9, "SpentEps after 3 rows")
+}
+
+func TestLedgerDebitRollsBackPastBudget(t *testing.T) {
+	l, err := NewLedger(LedgerConfig{BudgetEps: 1, QueryEps: 0.4, SecretFraction: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := l.AccountFor("c")
+	if _, ok := l.debit(a, 2*l.rowCharge); !ok {
+		t.Fatal("first debit of 0.8 against budget 1 must fit")
+	}
+	spent, ok := l.debit(a, l.rowCharge)
+	if ok {
+		t.Fatal("debit past the budget must refuse")
+	}
+	// The refused charge is rolled back: the account still holds 0.8.
+	near(t, float64(spent)/epsScale, 0.8, 1e-9, "spent after rollback")
+	near(t, a.SpentEps(), 0.8, 1e-9, "SpentEps after rollback")
+}
+
+func TestLedgerEvictsLeastRecentlyConnected(t *testing.T) {
+	clk := newFakeClock()
+	l, err := NewLedger(LedgerConfig{BudgetEps: 1, Shards: 1, MaxClients: 2, Now: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.AccountFor("old")
+	clk.Advance(time.Second)
+	l.AccountFor("mid")
+	clk.Advance(time.Second)
+	l.AccountFor("new") // evicts "old", the least recently connected
+	st := l.Stats()
+	if st.Clients != 2 || st.Evictions != 1 {
+		t.Fatalf("after eviction: clients=%d evictions=%d, want 2, 1", st.Clients, st.Evictions)
+	}
+	for _, cb := range l.Snapshot() {
+		if cb.Client == "old" {
+			t.Fatal("evicted account still tracked")
+		}
+	}
+	// Reconnecting the evicted client gets a fresh (empty) account — the
+	// documented capacity/patient-adversary trade-off.
+	if got := l.AccountFor("old").SpentEps(); got != 0 {
+		t.Fatalf("re-admitted account starts at %v, want 0", got)
+	}
+}
+
+func TestLedgerRefillRecoversBudget(t *testing.T) {
+	clk := newFakeClock()
+	l, err := NewLedger(LedgerConfig{BudgetEps: 1, QueryEps: 0.1, SecretFraction: 0, RefillPerSec: 0.1, Now: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := l.AccountFor("c")
+	l.debit(a, 5*l.rowCharge) // spent 0.5
+	clk.Advance(2 * time.Second)
+	l.debit(a, l.rowCharge) // refills 0.2, charges 0.1
+	near(t, a.SpentEps(), 0.4, 1e-6, "spent after refill")
+	// Refill never credits below zero.
+	clk.Advance(time.Hour)
+	l.debit(a, l.rowCharge)
+	near(t, a.SpentEps(), 0.1, 1e-6, "spent floored at the fresh charge")
+}
+
+func TestLedgerSnapshotAndTopSpenders(t *testing.T) {
+	l, err := NewLedger(LedgerConfig{BudgetEps: 1, QueryEps: 0.01, SecretFraction: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rows := range []int64{1, 5, 3} {
+		a := l.AccountFor(fmt.Sprintf("client-%d", i))
+		l.debit(a, rows*l.rowCharge)
+		a.rows.Add(uint64(rows))
+	}
+	snap := l.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot of %d accounts, want 3", len(snap))
+	}
+	if snap[0].Client != "client-1" || snap[1].Client != "client-2" || snap[2].Client != "client-0" {
+		t.Fatalf("snapshot not sorted by drain: %+v", snap)
+	}
+	near(t, snap[0].SpentEps, 0.05, 1e-9, "top spender spent")
+	near(t, snap[0].Drained, 0.05, 1e-9, "top spender drained fraction")
+	near(t, snap[0].RemainingEps, 0.95, 1e-9, "top spender remaining")
+	if snap[0].Rows != 5 {
+		t.Fatalf("top spender rows = %d, want 5", snap[0].Rows)
+	}
+	top := l.TopSpenders(1)
+	if len(top) != 1 || top[0].Client != "client-1" {
+		t.Fatalf("TopSpenders(1) = %+v", top)
+	}
+	if got := l.TopSpenders(10); len(got) != 3 {
+		t.Fatalf("TopSpenders past population = %d entries, want 3", len(got))
+	}
+}
+
+func TestLedgerStatsReflectConfig(t *testing.T) {
+	l, err := NewLedger(LedgerConfig{BudgetEps: 4, Alpha: 8, QueryEps: 0.001, SecretFraction: 0.5, MaxClients: 128, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Alpha != 8 || st.BudgetEps != 4 || st.QueryEps != 0.001 || st.SecretFrac != 0.5 {
+		t.Fatalf("stats do not reflect config: %+v", st)
+	}
+	// Shards round up to a power of two; capacity divides across them.
+	if len(l.shards) != 4 {
+		t.Fatalf("shards = %d, want 4", len(l.shards))
+	}
+	if st.MaxClients != 128 {
+		t.Fatalf("effective capacity = %d, want 128", st.MaxClients)
+	}
+	// Fixed-point rounds the charge to nano-ε resolution.
+	near(t, st.RowEps, SubsampleEps(0.001, 0.5, 8), 1e-9, "row charge in stats")
+}
+
+// TestLedgerConcurrentChargesRace hammers one account and the account map
+// from many goroutines — the -race witness for the sharded design.
+func TestLedgerConcurrentChargesRace(t *testing.T) {
+	l, err := NewLedger(LedgerConfig{BudgetEps: 1e9, QueryEps: 1, SecretFraction: 0, MaxClients: 64, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := l.AccountFor("shared")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.debit(shared, l.rowCharge)
+				a := l.AccountFor(fmt.Sprintf("client-%d-%d", g, i%32))
+				l.debit(a, l.rowCharge)
+				if i%100 == 0 {
+					l.Snapshot()
+					l.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	near(t, shared.SpentEps(), 8*500, 1e-6, "shared account total")
+}

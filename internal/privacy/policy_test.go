@@ -1,0 +1,295 @@
+package privacy
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// ladderGuard builds a guard over a drain-only ledger where every row costs
+// exactly 0.1 of a 1.0 budget: ten rows exhaust a client.
+func ladderGuard(t *testing.T, cfg PolicyConfig) *Guard {
+	t.Helper()
+	l, err := NewLedger(LedgerConfig{BudgetEps: 1, QueryEps: 0.1, SecretFraction: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGuard(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGuardConfigValidation(t *testing.T) {
+	l, err := NewLedger(LedgerConfig{BudgetEps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []PolicyConfig{
+		{NoiseSigma: -1},
+		{NoiseAt: 1.5},
+		{RotateAt: 0.6, NoiseAt: 0.5},      // rotate above noise
+		{Hysteresis: 1},                    // hysteresis outside [0,1)
+		{NoiseAt: 0.5, RotateAt: -0.1 + 1}, // rotate at 0.9 > noise
+	}
+	for i, cfg := range bad {
+		if _, err := NewGuard(l, cfg); err == nil {
+			t.Fatalf("config %d: expected error, got none", i)
+		}
+	}
+	if _, err := NewGuard(nil, PolicyConfig{}); err == nil {
+		t.Fatal("guard without a ledger must fail")
+	}
+}
+
+// TestEscalationLadder walks one heavy client through the full ladder:
+// clean service, base noise at half budget, doubled noise plus one rotation
+// request at the rotate threshold, then honest refusals at exhaustion.
+func TestEscalationLadder(t *testing.T) {
+	var mu sync.Mutex
+	var causes []string
+	rotated := make(chan struct{}, 8)
+	g := ladderGuard(t, PolicyConfig{
+		NoiseSigma: 0.1,
+		NoiseAt:    0.5,
+		RotateAt:   0.2,
+		Rotate: func(cause string) {
+			mu.Lock()
+			causes = append(causes, cause)
+			mu.Unlock()
+			rotated <- struct{}{}
+		},
+	})
+	a := g.AccountFor("heavy")
+
+	for i := 1; i <= 4; i++ { // remaining 0.9 … 0.6: clean
+		if v := g.Charge(a, 1); v.Refuse || v.Sigma != 0 {
+			t.Fatalf("charge %d: verdict %+v, want clean service", i, v)
+		}
+	}
+	for i := 5; i <= 7; i++ { // remaining 0.5 … 0.3: base noise
+		if v := g.Charge(a, 1); v.Refuse || v.Sigma != 0.1 {
+			t.Fatalf("charge %d: verdict %+v, want sigma 0.1", i, v)
+		}
+	}
+	for i := 8; i <= 10; i++ { // remaining 0.2 … 0.0: doubled noise + rotation
+		if v := g.Charge(a, 1); v.Refuse || v.Sigma != 0.2 {
+			t.Fatalf("charge %d: verdict %+v, want sigma 0.2", i, v)
+		}
+	}
+	select {
+	case <-rotated:
+	case <-time.After(5 * time.Second):
+		t.Fatal("rotation hook never fired")
+	}
+	for i := 11; i <= 13; i++ { // budget exhausted: refuse, and stay refused
+		if v := g.Charge(a, 1); !v.Refuse {
+			t.Fatalf("charge %d: verdict %+v, want refusal", i, v)
+		}
+	}
+	if g.Refusals() != 3 || g.Rotations() != 1 || g.Noised() != 6 {
+		t.Fatalf("counters: refusals=%d rotations=%d noised=%d, want 3, 1, 6", g.Refusals(), g.Rotations(), g.Noised())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(causes) != 1 || !strings.Contains(causes[0], "heavy") {
+		t.Fatalf("rotation causes = %q, want one naming the drained client", causes)
+	}
+	if cb := g.Ledger().Snapshot()[0]; cb.Level != LevelRefused || cb.Refusals != 3 {
+		t.Fatalf("account state %+v, want refused level with 3 refusals", cb)
+	}
+}
+
+// TestLightClientsUnaffected: a second client on the same guard drains its
+// own budget, not the heavy client's.
+func TestLightClientsUnaffected(t *testing.T) {
+	g := ladderGuard(t, PolicyConfig{})
+	heavy := g.AccountFor("heavy")
+	light := g.AccountFor("light")
+	for i := 0; i < 20; i++ {
+		g.Charge(heavy, 1)
+	}
+	if v := g.Charge(light, 1); v.Refuse || v.Sigma != 0 {
+		t.Fatalf("light client verdict %+v after heavy exhaustion, want clean", v)
+	}
+}
+
+// TestRotationRateLimited: two accounts crossing the rotate threshold
+// within MinRotateInterval trigger exactly one rotation.
+func TestRotationRateLimited(t *testing.T) {
+	clk := newFakeClock()
+	l, err := NewLedger(LedgerConfig{BudgetEps: 1, QueryEps: 0.1, SecretFraction: 0, Now: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := make(chan string, 8)
+	g, err := NewGuard(l, PolicyConfig{
+		MinRotateInterval: time.Minute,
+		Now:               clk.Now,
+		Rotate:            func(cause string) { fired <- cause },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := g.AccountFor("a"), g.AccountFor("b")
+	g.Charge(a, 9) // straight past the rotate threshold
+	g.Charge(b, 9)
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first rotation never fired")
+	}
+	select {
+	case cause := <-fired:
+		t.Fatalf("second rotation %q fired inside the rate-limit interval", cause)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if g.Rotations() != 1 {
+		t.Fatalf("rotations = %d, want 1", g.Rotations())
+	}
+	// Past the interval, a fresh account's crossing rotates again.
+	clk.Advance(2 * time.Minute)
+	g.Charge(g.AccountFor("c"), 9)
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("rotation after the rate-limit interval never fired")
+	}
+}
+
+// TestHysteresisLatch: with refill, a client hovering at a threshold keeps
+// its latched level until the budget clears the hysteresis band, and a
+// refused client recovers service only past the band.
+func TestHysteresisLatch(t *testing.T) {
+	clk := newFakeClock()
+	l, err := NewLedger(LedgerConfig{BudgetEps: 1, QueryEps: 0.1, SecretFraction: 0, RefillPerSec: 0.1, Now: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGuard(l, PolicyConfig{NoiseSigma: 0.1, NoiseAt: 0.5, RotateAt: 0.2, Hysteresis: 0.1, Now: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := g.AccountFor("flapper")
+	for i := 0; i < 5; i++ { // remaining 0.5: noise level latched
+		g.Charge(a, 1)
+	}
+	if a.level.Load() != LevelNoise {
+		t.Fatalf("level = %d, want noise", a.level.Load())
+	}
+	// Refill 0.1 then charge 0.1: remaining returns to exactly 0.5 — inside
+	// the hysteresis band, so the level must hold.
+	clk.Advance(time.Second)
+	if v := g.Charge(a, 1); v.Sigma != 0.1 {
+		t.Fatalf("verdict %+v inside hysteresis band, want sigma 0.1", v)
+	}
+	// Refill 0.3 without charging the band away: remaining 0.7 > NoiseAt +
+	// Hysteresis (0.6), so the next charge de-escalates to clean.
+	clk.Advance(3 * time.Second)
+	if v := g.Charge(a, 1); v.Sigma != 0 {
+		t.Fatalf("verdict %+v past hysteresis band, want clean", v)
+	}
+	if a.level.Load() != LevelOK {
+		t.Fatalf("level = %d after recovery, want OK", a.level.Load())
+	}
+
+	// Drain to refusal, then recover: service resumes only once remaining
+	// clears the hysteresis fraction of the budget.
+	for i := 0; i < 20; i++ {
+		g.Charge(a, 2)
+	}
+	if v := g.Charge(a, 1); !v.Refuse {
+		t.Fatal("exhausted account must refuse")
+	}
+	clk.Advance(500 * time.Millisecond) // refills 0.05 < hysteresis 0.1
+	if v := g.Charge(a, 1); !v.Refuse {
+		t.Fatal("refusal must latch inside the hysteresis band")
+	}
+	clk.Advance(2 * time.Second) // refills well past the band
+	if v := g.Charge(a, 1); v.Refuse {
+		t.Fatal("service must resume once remaining clears the hysteresis band")
+	}
+}
+
+// TestObserveModeNeverActs: accounting-only mode drains budgets for the
+// admin plane but never noises, rotates, or refuses.
+func TestObserveModeNeverActs(t *testing.T) {
+	rotations := make(chan string, 1)
+	g := ladderGuard(t, PolicyConfig{Observe: true, Rotate: func(c string) { rotations <- c }})
+	a := g.AccountFor("heavy")
+	for i := 0; i < 30; i++ {
+		if v := g.Charge(a, 1); v.Refuse || v.Sigma != 0 {
+			t.Fatalf("observe-mode verdict %+v, want clean service", v)
+		}
+	}
+	if !g.Observing() {
+		t.Fatal("Observing() = false")
+	}
+	if g.Refusals() != 0 {
+		t.Fatalf("observe mode recorded %d refusals", g.Refusals())
+	}
+	// Drain is reported honestly, clamped at the full budget.
+	cb := g.Ledger().Snapshot()[0]
+	if cb.Drained != 1 || cb.RemainingEps != 0 {
+		t.Fatalf("observed drain %+v, want fully drained", cb)
+	}
+}
+
+// TestChargeSteadyStateDoesNotAllocate pins the guard's cost contract: a
+// charge on a healthy account is atomics only — the property that keeps the
+// serving loop at 0 allocs/op with the ledger enabled.
+func TestChargeSteadyStateDoesNotAllocate(t *testing.T) {
+	l, err := NewLedger(LedgerConfig{BudgetEps: 1e12, QueryEps: 1e-6, SecretFraction: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGuard(l, PolicyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := g.AccountFor("steady")
+	if allocs := testing.AllocsPerRun(200, func() { g.Charge(a, 4) }); allocs != 0 {
+		t.Fatalf("Charge allocated %v times per run, want 0", allocs)
+	}
+	// The noised regime is just as clean: drain into the noise band first.
+	l2, _ := NewLedger(LedgerConfig{BudgetEps: 1, QueryEps: 1e-9, SecretFraction: 0})
+	g2, _ := NewGuard(l2, PolicyConfig{})
+	b := g2.AccountFor("noisy")
+	b.spent.Store(int64(0.6 * float64(l2.budget)))
+	if allocs := testing.AllocsPerRun(200, func() { g2.Charge(b, 1) }); allocs != 0 {
+		t.Fatalf("noised Charge allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestGuardConcurrentLadderRace drives many goroutines through every policy
+// regime under -race.
+func TestGuardConcurrentLadderRace(t *testing.T) {
+	l, err := NewLedger(LedgerConfig{BudgetEps: 1, QueryEps: 0.001, SecretFraction: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGuard(l, PolicyConfig{Rotate: func(string) {}, MinRotateInterval: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := g.AccountFor("contended")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				g.Charge(a, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := g.Charge(a, 1); !v.Refuse {
+		t.Fatalf("account must end exhausted; got %+v (spent %v)", v, a.SpentEps())
+	}
+	if g.Refusals() == 0 {
+		t.Fatal("concurrent drain recorded no refusals")
+	}
+}
