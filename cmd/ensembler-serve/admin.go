@@ -25,8 +25,10 @@ import (
 	"time"
 
 	"ensembler/internal/audit"
+	"ensembler/internal/faultpoint"
 	"ensembler/internal/privacy"
 	"ensembler/internal/registry"
+	"ensembler/internal/shard"
 	"ensembler/internal/telemetry"
 	"ensembler/internal/trace"
 )
@@ -40,6 +42,7 @@ type adminPlane struct {
 	rotate  func(cause string) (*registry.Epoch, error) // nil: rotation not possible here (shard mode)
 	tracer  *trace.Tracer                               // nil: tracing disabled
 	guard   *privacy.Guard                              // nil: privacy-budget ledger disabled
+	fleet   func() []shard.Health                       // nil: no fleet client in this process
 	pprof   bool                                        // expose net/http/pprof under /debug/pprof/
 	workers int
 	shard   string // "k/K" in fleet mode, "" otherwise
@@ -180,6 +183,49 @@ func (a *adminPlane) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if a.shard != "" {
 		resp["shard"] = a.shard
+	}
+	// When this process drives a shard fleet, each shard's circuit-breaker
+	// state rides the health payload — the operator's one-glance view of
+	// which shards are taking traffic, short-circuited, or probing.
+	if a.fleet != nil {
+		type shardRow struct {
+			Shard         int    `json:"shard"`
+			Addr          string `json:"addr"`
+			Bodies        string `json:"bodies"`
+			Breaker       string `json:"breaker"`
+			ConsecFails   int    `json:"consecutive_failures,omitempty"`
+			ReopenInMs    int64  `json:"reopen_in_ms,omitempty"`
+			Opens         uint64 `json:"breaker_opens,omitempty"`
+			Requests      uint64 `json:"requests"`
+			Failures      uint64 `json:"failures,omitempty"`
+			Hedged        uint64 `json:"hedged,omitempty"`
+			ShortCircuits uint64 `json:"short_circuits,omitempty"`
+			LastErr       string `json:"last_err,omitempty"`
+		}
+		healths := a.fleet()
+		rows := make([]shardRow, 0, len(healths))
+		allClosed := true
+		for i, h := range healths {
+			if h.Breaker != shard.BreakerClosed {
+				allClosed = false
+			}
+			rows = append(rows, shardRow{
+				Shard: i + 1, Addr: h.Addr, Bodies: h.Bodies.String(),
+				Breaker: h.Breaker.String(), ConsecFails: h.ConsecutiveFailures,
+				ReopenInMs: h.ReopenIn.Milliseconds(), Opens: h.BreakerOpens,
+				Requests: h.Requests, Failures: h.Failures, Hedged: h.Hedged,
+				ShortCircuits: h.ShortCircuits, LastErr: h.LastErr,
+			})
+		}
+		resp["shards"] = rows
+		if !allClosed {
+			resp["status"] = "degraded"
+		}
+	}
+	// Armed fault-injection sites are surfaced loudly: a scraper must be
+	// able to tell a chaos run from an organic incident.
+	if armed := faultpoint.Active(); len(armed) > 0 {
+		resp["faultpoints"] = armed
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

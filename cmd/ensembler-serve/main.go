@@ -81,6 +81,7 @@ import (
 	"ensembler/internal/comm"
 	"ensembler/internal/data"
 	"ensembler/internal/ensemble"
+	"ensembler/internal/faultpoint"
 	"ensembler/internal/privacy"
 	"ensembler/internal/registry"
 	"ensembler/internal/shard"
@@ -133,6 +134,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	privacyBudget := fs.Float64("privacy-budget", 0, "per-client Rényi privacy budget ε(α); as a client drains it responses are noised, the selector rotates, and finally requests are refused (0 disables the ledger)")
 	privacyAlpha := fs.Int("privacy-alpha", 2, "Rényi order α the per-client budget is accounted at (integer ≥ 2)")
 	privacyPolicy := fs.String("privacy-policy", "enforce", `privacy-budget policy: "enforce" (noise, rotation, refusal as budgets drain) or "observe" (account and report only)`)
+	allowFaultpoints := fs.Bool("allow-faultpoints", false, "permit fault injection via "+faultpoint.EnvVar+" (chaos testing only — never set in production)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -174,6 +176,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if *privacyPolicy != "enforce" && *privacyPolicy != "observe" {
 		return fmt.Errorf(`-privacy-policy must be "enforce" or "observe", got %q`, *privacyPolicy)
+	}
+
+	// Fault injection never arms silently: a process started with
+	// ENSEMBLER_FAULTPOINTS in its environment refuses to serve unless the
+	// operator also passed -allow-faultpoints — an env var inherited from a
+	// chaos harness must not ride into a production restart.
+	if spec := os.Getenv(faultpoint.EnvVar); spec != "" {
+		if !*allowFaultpoints {
+			return fmt.Errorf("%s is set (%q) but -allow-faultpoints was not passed: refusing to serve with fault injection armed", faultpoint.EnvVar, spec)
+		}
+		enabled, deferred, err := faultpoint.EnableFromEnv()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "faultpoints: FAULT INJECTION ACTIVE — armed %v, deferred %v (disarm by unsetting %s)\n",
+			enabled, deferred, faultpoint.EnvVar)
 	}
 
 	reg, err := openRegistry(*modelPath, *modelDir, *modelName)

@@ -129,6 +129,12 @@ func noiseResponse(j *job, resp *Response) {
 // verdict's noise sigma is parked on the job for noiseResponse to apply
 // after the forward pass.
 func (s *Server) chargeJob(j *job) bool {
+	// Fault site: an injected charge failure refuses the request before any
+	// compute, like a ledger that cannot render a verdict — fail closed.
+	if err := fpBudget.Inject(); err != nil {
+		j.resp = Response{Err: err.Error()}
+		return false
+	}
 	g := s.opts.guard
 	if g == nil || j.account == nil {
 		return true

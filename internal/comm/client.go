@@ -8,6 +8,7 @@ import (
 	"net"
 	"time"
 
+	"ensembler/internal/faultpoint"
 	"ensembler/internal/nn"
 	"ensembler/internal/tensor"
 	"ensembler/internal/trace"
@@ -17,8 +18,9 @@ import (
 type DialOption func(*dialOptions)
 
 type dialOptions struct {
-	wire     WireFormat
-	clientID string
+	wire      WireFormat
+	clientID  string
+	faultSite *faultpoint.Site // nil: only the global comm/dial site applies
 }
 
 // WithWire selects the client's wire protocol: WireBinary (default),
@@ -112,6 +114,14 @@ func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client,
 	var o dialOptions
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if err := fpDial.Inject(); err != nil {
+		return nil, fmt.Errorf("comm: dialing %s: %w", addr, err)
+	}
+	if o.faultSite != nil {
+		if err := o.faultSite.Inject(); err != nil {
+			return nil, fmt.Errorf("comm: dialing %s: %w", addr, err)
+		}
 	}
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)

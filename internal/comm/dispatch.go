@@ -228,6 +228,12 @@ func (d *dispatcher) unregister(q *connQueue) {
 // otherwise the newcomer itself (which covers "the submitter IS the
 // firehose").
 func (d *dispatcher) submit(q *connQueue, j *job) {
+	// Fault site: a forced shed exercises the honest-429 path — the job is
+	// answered with CodeOverloaded exactly as under real admission pressure.
+	if fpDispatch.Inject() != nil {
+		d.shed(j)
+		return
+	}
 	var victim *job
 	d.mu.Lock()
 	if d.depth >= d.maxQueue {

@@ -428,6 +428,12 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			acceptErr = err
 			break
 		}
+		// Fault site: an injected accept error drops the fresh connection
+		// (the peer sees an immediate close) without poisoning the listener.
+		if err := fpAccept.Inject(); err != nil {
+			conn.Close()
+			continue
+		}
 		s.track(conn)
 		handlers.Add(1)
 		go func() {
@@ -522,6 +528,9 @@ type gobServerCodec struct {
 }
 
 func (c *gobServerCodec) readRequest(j *job) error {
+	if err := fpFrameRead.Inject(); err != nil {
+		return err
+	}
 	j.req = Request{} // gob leaves absent fields untouched; never inherit the previous request's
 	return c.dec.Decode(&j.req)
 }
@@ -542,6 +551,9 @@ type binServerCodec struct {
 }
 
 func (c *binServerCodec) readRequest(j *job) error {
+	if err := fpFrameRead.Inject(); err != nil {
+		return err
+	}
 	body, err := c.readBody()
 	if err != nil {
 		return err
@@ -588,6 +600,11 @@ func (c *binServerCodec) writeResponse(j *job, resp *Response) error {
 	if err != nil {
 		return err
 	}
+	if out, ok := fpFrameWrite.Fire(); ok {
+		if handled, err := injectFrameWrite(c.w, buf, out); handled {
+			return err
+		}
+	}
 	return writeFrame(c.w, buf)
 }
 
@@ -598,12 +615,17 @@ func (c *binServerCodec) writeResponse(j *job, resp *Response) error {
 // framing. The returned clientID is the v4-declared identity ("" for every
 // pre-v4 and gob peer, which the budget guard buckets by address instead).
 func (s *Server) negotiate(conn net.Conn, br *bufio.Reader) (serverCodec, string, error) {
+	if err := fpHello.Inject(); err != nil {
+		return nil, "", err
+	}
 	peek, err := br.Peek(4)
 	if err != nil {
 		return nil, "", err
 	}
 	if [4]byte(peek) != wireMagic {
-		return &gobServerCodec{dec: gob.NewDecoder(br), enc: gob.NewEncoder(conn)}, "", nil
+		// The gob encoder writes through the frame-write fault site so torn
+		// responses are injectable on the legacy path too.
+		return &gobServerCodec{dec: gob.NewDecoder(br), enc: gob.NewEncoder(faultWriter{w: conn})}, "", nil
 	}
 	var hello [8]byte
 	if _, err := io.ReadFull(br, hello[:]); err != nil {

@@ -1,0 +1,147 @@
+package faultpoint
+
+// ENSEMBLER_FAULTPOINTS grammar — the operator/chaos activation surface:
+//
+//	spec     := entry (';' entry)*
+//	entry    := site '=' kind (':' opt)*
+//	kind     := "error" | "panic" | "delay" | "partial-write" | "conn-reset"
+//	opt      := "p" '=' float            per-hit trigger probability
+//	          | "count" '=' int          max triggers (0 = unlimited)
+//	          | "after" '=' int          skip the first N hits
+//	          | "delay" '=' duration     sleep for kind delay (default 10ms)
+//	          | "frac" '=' float         partial-write cut fraction
+//
+// Example:
+//
+//	ENSEMBLER_FAULTPOINTS='comm/frame-write=partial-write:p=0.05;registry/publish-rename=error:count=1'
+//
+// The master seed comes from ENSEMBLER_FAULTPOINTS_SEED (default 1), so a
+// chaos run is replayable from its logged environment alone.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// EnvVar and EnvSeedVar name the activation environment variables.
+const (
+	EnvVar     = "ENSEMBLER_FAULTPOINTS"
+	EnvSeedVar = "ENSEMBLER_FAULTPOINTS_SEED"
+)
+
+// ParseSpec parses the ENSEMBLER_FAULTPOINTS grammar into per-site
+// policies without arming anything.
+func ParseSpec(spec string) (map[string]Policy, error) {
+	out := map[string]Policy{}
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		site, rest, ok := strings.Cut(entry, "=")
+		site = strings.TrimSpace(site)
+		if !ok || site == "" {
+			return nil, fmt.Errorf("faultpoint: entry %q: want site=kind[:opt...]", entry)
+		}
+		parts := strings.Split(rest, ":")
+		p := Policy{}
+		switch strings.TrimSpace(parts[0]) {
+		case "error":
+			p.Kind = Error
+		case "panic":
+			p.Kind = Panic
+		case "delay":
+			p.Kind = Delay
+			p.Delay = 10 * time.Millisecond
+		case "partial-write":
+			p.Kind = PartialWrite
+		case "conn-reset":
+			p.Kind = ConnReset
+		default:
+			return nil, fmt.Errorf("faultpoint: site %s: unknown kind %q (want error|panic|delay|partial-write|conn-reset)", site, parts[0])
+		}
+		for _, opt := range parts[1:] {
+			key, val, ok := strings.Cut(strings.TrimSpace(opt), "=")
+			if !ok {
+				return nil, fmt.Errorf("faultpoint: site %s: option %q: want key=value", site, opt)
+			}
+			var err error
+			switch key {
+			case "p":
+				p.Prob, err = strconv.ParseFloat(val, 64)
+				if err == nil && (p.Prob < 0 || p.Prob > 1) {
+					err = fmt.Errorf("probability %v outside [0,1]", p.Prob)
+				}
+			case "count":
+				p.Count, err = strconv.Atoi(val)
+			case "after":
+				p.After, err = strconv.Atoi(val)
+			case "delay":
+				p.Delay, err = time.ParseDuration(val)
+			case "frac":
+				p.Frac, err = strconv.ParseFloat(val, 64)
+				if err == nil && (p.Frac <= 0 || p.Frac >= 1) {
+					err = fmt.Errorf("fraction %v outside (0,1)", p.Frac)
+				}
+			default:
+				err = fmt.Errorf("unknown option %q", key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("faultpoint: site %s: option %q: %v", site, opt, err)
+			}
+		}
+		if _, dup := out[site]; dup {
+			return nil, fmt.Errorf("faultpoint: site %s specified twice", site)
+		}
+		out[site] = p
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("faultpoint: empty spec")
+	}
+	return out, nil
+}
+
+// EnableSpec parses and arms a spec string, returning the armed site names.
+// Names that match no registered site are still armed (stashed for dynamic
+// sites) and returned in deferred so the caller can log possible typos.
+func EnableSpec(spec string) (enabled, deferred []string, err error) {
+	policies, err := ParseSpec(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	known := map[string]bool{}
+	for _, name := range Names() {
+		known[name] = true
+	}
+	for site, p := range policies {
+		Enable(site, p)
+		if known[site] {
+			enabled = append(enabled, site)
+		} else {
+			deferred = append(deferred, site)
+		}
+	}
+	return enabled, deferred, nil
+}
+
+// EnableFromEnv arms sites from ENSEMBLER_FAULTPOINTS (no-op when unset)
+// after seeding from ENSEMBLER_FAULTPOINTS_SEED. Callers gate this behind
+// an explicit opt-in flag: injection must never reach production by
+// environment inheritance alone.
+func EnableFromEnv() (enabled, deferred []string, err error) {
+	spec := os.Getenv(EnvVar)
+	if spec == "" {
+		return nil, nil, nil
+	}
+	if sv := os.Getenv(EnvSeedVar); sv != "" {
+		s, err := strconv.ParseInt(sv, 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("faultpoint: %s: %v", EnvSeedVar, err)
+		}
+		SetSeed(s)
+	}
+	return EnableSpec(spec)
+}

@@ -1,0 +1,117 @@
+package faultpoint
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	got, err := ParseSpec("comm/frame-write=partial-write:p=0.25:frac=0.3; registry/publish-rename=error:count=1:after=2 ;comm/accept=delay:delay=5ms;x=panic;y=conn-reset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Policy{
+		"comm/frame-write":        {Kind: PartialWrite, Prob: 0.25, Frac: 0.3},
+		"registry/publish-rename": {Kind: Error, Count: 1, After: 2},
+		"comm/accept":             {Kind: Delay, Delay: 5 * time.Millisecond},
+		"x":                       {Kind: Panic},
+		"y":                       {Kind: ConnReset},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d entries, want %d", len(got), len(want))
+	}
+	for site, p := range want {
+		if got[site] != p {
+			t.Errorf("site %s: got %+v, want %+v", site, got[site], p)
+		}
+	}
+}
+
+func TestParseSpecDefaultDelay(t *testing.T) {
+	got, err := ParseSpec("a=delay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["a"].Delay != 10*time.Millisecond {
+		t.Fatalf("bare delay kind got %v, want 10ms default", got["a"].Delay)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for spec, wantSub := range map[string]string{
+		"":                 "empty spec",
+		";;":               "empty spec",
+		"noequals":         "want site=kind",
+		"=error":           "want site=kind",
+		"a=frobnicate":     "unknown kind",
+		"a=error:p":        "want key=value",
+		"a=error:p=2":      "outside [0,1]",
+		"a=error:p=x":      "option",
+		"a=error:count=x":  "option",
+		"a=error:after=x":  "option",
+		"a=delay:delay=x":  "option",
+		"a=error:frac=1.5": "outside (0,1)",
+		"a=error:frac=x":   "option",
+		"a=error:bogus=1":  "unknown option",
+		"a=error;a=panic":  "specified twice",
+	} {
+		_, err := ParseSpec(spec)
+		if err == nil || !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("ParseSpec(%q) = %v, want error containing %q", spec, err, wantSub)
+		}
+	}
+}
+
+func TestEnableSpecDeferred(t *testing.T) {
+	DisableAll()
+	defer DisableAll()
+	New("test/spec-known")
+	enabled, deferred, err := EnableSpec("test/spec-known=error;test/spec-unknown=error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enabled) != 1 || enabled[0] != "test/spec-known" {
+		t.Fatalf("enabled = %v", enabled)
+	}
+	if len(deferred) != 1 || deferred[0] != "test/spec-unknown" {
+		t.Fatalf("deferred = %v", deferred)
+	}
+	if err := New("test/spec-known").Inject(); err == nil {
+		t.Fatal("spec did not arm the known site")
+	}
+}
+
+func TestEnableFromEnv(t *testing.T) {
+	DisableAll()
+	defer DisableAll()
+	t.Setenv(EnvVar, "test/env-site=error:count=1")
+	t.Setenv(EnvSeedVar, "99")
+	enabled, deferred, err := EnableFromEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enabled) != 0 || len(deferred) != 1 {
+		t.Fatalf("enabled=%v deferred=%v, want the unregistered site deferred", enabled, deferred)
+	}
+	if err := New("test/env-site").Inject(); err == nil {
+		t.Fatal("env spec did not arm the site")
+	}
+
+	t.Setenv(EnvVar, "")
+	if e, d, err := EnableFromEnv(); err != nil || e != nil || d != nil {
+		t.Fatalf("unset env: got %v %v %v, want all nil", e, d, err)
+	}
+
+	t.Setenv(EnvVar, "a=error")
+	t.Setenv(EnvSeedVar, "notanumber")
+	if _, _, err := EnableFromEnv(); err == nil {
+		t.Fatal("bad seed accepted")
+	}
+
+	t.Setenv(EnvSeedVar, "")
+	t.Setenv(EnvVar, "bad spec here")
+	if _, _, err := EnableFromEnv(); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}

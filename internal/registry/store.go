@@ -14,6 +14,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -25,7 +26,20 @@ import (
 	"time"
 
 	"ensembler/internal/ensemble"
+	"ensembler/internal/faultpoint"
 	"ensembler/internal/shard"
+)
+
+// Fault-injection sites at the store's durability boundaries (see
+// internal/faultpoint; disarmed sites cost one atomic load). The
+// publish-rename and manifest-fsync sites simulate a crash, not a clean
+// failure: a trigger returns an error AND leaves the publish temp dir on
+// disk, exactly what a process death between MkdirTemp and the final rename
+// leaves behind — the state the Open-time sweep must recover from.
+var (
+	fpPublishRename = faultpoint.New("registry/publish-rename")
+	fpManifestFsync = faultpoint.New("registry/manifest-fsync")
+	fpEpochLoad     = faultpoint.New("registry/epoch-load")
 )
 
 // ManifestFormat identifies the manifest.json schema.
@@ -85,7 +99,22 @@ type Manifest struct {
 type Store struct {
 	dir string
 	mu  sync.Mutex
+
+	// quarantined lists the torn publishes (stale ".publish-*" temp dirs
+	// from a crashed publisher) the Open-time sweep moved into the
+	// quarantine area, as "model/entry" strings — the operator's evidence
+	// that a prior process died mid-publish.
+	quarantined []string
 }
+
+// quarantineDir is the store-internal area torn publishes are moved into.
+// It is dot-prefixed, so Models() never lists it and no artifact inside it
+// can ever be resolved or served.
+const quarantineDir = ".quarantine"
+
+// maxQuarantined bounds the quarantine area per model: evidence of the most
+// recent crashes is what an operator needs; an unbounded graveyard is not.
+const maxQuarantined = 8
 
 // Open opens an existing store rooted at dir and verifies every version it
 // finds: manifest readable and well-formed, model file present, size and
@@ -100,6 +129,14 @@ func Open(dir string) (*Store, error) {
 		return nil, fmt.Errorf("registry: store path %s is not a directory", dir)
 	}
 	s := &Store{dir: dir}
+	// Crash recovery before verification: a publisher that died between
+	// MkdirTemp and the final rename leaves a ".publish-*" temp dir in the
+	// model directory. Rename is atomic, so such a dir is by construction an
+	// incomplete artifact — quarantine it (for postmortem, bounded) rather
+	// than leaving it on disk forever or failing the open.
+	if err := s.sweepTornPublishes(); err != nil {
+		return nil, err
+	}
 	models, err := s.Models()
 	if err != nil {
 		return nil, err
@@ -128,6 +165,85 @@ func Create(dir string) (*Store, error) {
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// Quarantined lists the torn publishes the opening sweep moved into the
+// quarantine area, as "model/entry" strings. Non-empty means a prior
+// process crashed mid-publish; the published versions themselves are
+// unaffected (rename is atomic), which is exactly why the leftovers are
+// safe to sweep.
+func (s *Store) Quarantined() []string { return s.quarantined }
+
+// sweepTornPublishes moves every stale ".publish-*" temp dir out of the
+// model directories into <dir>/.quarantine/<model>/, keeping at most
+// maxQuarantined entries per model (oldest evicted).
+func (s *Store) sweepTornPublishes() error {
+	models, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("registry: sweeping store %s: %w", s.dir, err)
+	}
+	for _, m := range models {
+		if !m.IsDir() || strings.HasPrefix(m.Name(), ".") {
+			continue
+		}
+		modelDir := filepath.Join(s.dir, m.Name())
+		entries, err := os.ReadDir(modelDir)
+		if err != nil {
+			return fmt.Errorf("registry: sweeping model %q: %w", m.Name(), err)
+		}
+		swept := false
+		for _, e := range entries {
+			if !e.IsDir() || !strings.HasPrefix(e.Name(), ".publish-") {
+				continue
+			}
+			qdir := filepath.Join(s.dir, quarantineDir, m.Name())
+			if err := os.MkdirAll(qdir, 0o755); err != nil {
+				return fmt.Errorf("registry: quarantining torn publish %s/%s: %w", m.Name(), e.Name(), err)
+			}
+			if err := os.Rename(filepath.Join(modelDir, e.Name()), filepath.Join(qdir, e.Name())); err != nil {
+				return fmt.Errorf("registry: quarantining torn publish %s/%s: %w", m.Name(), e.Name(), err)
+			}
+			s.quarantined = append(s.quarantined, m.Name()+"/"+e.Name())
+			swept = true
+		}
+		if swept {
+			if err := pruneQuarantine(filepath.Join(s.dir, quarantineDir, m.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// pruneQuarantine keeps the newest maxQuarantined entries (by mod time) of
+// one model's quarantine directory.
+func pruneQuarantine(qdir string) error {
+	entries, err := os.ReadDir(qdir)
+	if err != nil {
+		return fmt.Errorf("registry: pruning quarantine %s: %w", qdir, err)
+	}
+	if len(entries) <= maxQuarantined {
+		return nil
+	}
+	type aged struct {
+		name string
+		mod  time.Time
+	}
+	all := make([]aged, 0, len(entries))
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			continue // raced with a concurrent cleanup; nothing to prune
+		}
+		all = append(all, aged{name: e.Name(), mod: info.ModTime()})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].mod.Before(all[j].mod) })
+	for _, a := range all[:max(0, len(all)-maxQuarantined)] {
+		if err := os.RemoveAll(filepath.Join(qdir, a.name)); err != nil {
+			return fmt.Errorf("registry: pruning quarantine %s: %w", qdir, err)
+		}
+	}
+	return nil
+}
 
 // validName rejects model names that could escape the store layout or
 // collide with its internal entries.
@@ -279,7 +395,15 @@ func (s *Store) publish(name string, e *ensemble.Ensembler, shards int, precisio
 	if err != nil {
 		return 0, fmt.Errorf("registry: publishing %q: %w", name, err)
 	}
-	defer os.RemoveAll(tmp) // no-op after a successful rename
+	// A clean failure removes the temp dir; an injected crash (the
+	// publish-rename / manifest-fsync fault sites) leaves it behind, like a
+	// process death would — the torn state the Open-time sweep recovers.
+	crashed := false
+	defer func() {
+		if !crashed {
+			os.RemoveAll(tmp) // no-op after a successful rename
+		}
+	}()
 
 	sum, size, err := writeModel(filepath.Join(tmp, modelFile), e)
 	if err != nil {
@@ -300,6 +424,11 @@ func (s *Store) publish(name string, e *ensemble.Ensembler, shards int, precisio
 		ShardRanges:    shardRanges,
 	}
 	if err := writeManifest(filepath.Join(tmp, manifestFile), man); err != nil {
+		crashed = errors.Is(err, faultpoint.ErrInjected)
+		return 0, fmt.Errorf("registry: publishing %q v%d: %w", name, version, err)
+	}
+	if err := fpPublishRename.Inject(); err != nil {
+		crashed = true
 		return 0, fmt.Errorf("registry: publishing %q v%d: %w", name, version, err)
 	}
 	if err := os.Rename(tmp, filepath.Join(modelDir, versionDir(version))); err != nil {
@@ -334,12 +463,32 @@ func (w *countingWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
+// writeManifest writes and fsyncs the manifest: the manifest is the version's
+// integrity commitment (checksum, size, shape), so it must be durable before
+// the rename publishes the directory — a post-rename crash must never leave a
+// visible version whose manifest is a hole in the page cache.
 func writeManifest(path string, man Manifest) error {
 	b, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := fpManifestFsync.Inject(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // Manifest reads and validates one version's manifest (without hashing the
@@ -475,6 +624,9 @@ func (s *Store) Prune(name string, keep int) (int, error) {
 
 // Load verifies and loads one version of a model; version <= 0 means latest.
 func (s *Store) Load(name string, version int) (*ensemble.Ensembler, int, error) {
+	if err := fpEpochLoad.Inject(); err != nil {
+		return nil, 0, fmt.Errorf("registry: model %q: loading epoch: %w", name, err)
+	}
 	if version <= 0 {
 		latest, err := s.Latest(name)
 		if err != nil {

@@ -1,0 +1,186 @@
+package shard
+
+// The per-shard circuit breaker: the upgrade from PR 3's boolean
+// down-marking. Down-marking still sent every request to a dead shard (one
+// cheap probe each); the breaker goes further — an open circuit
+// short-circuits requests to the shard entirely, and recovery is governed
+// by a jittered, exponentially backed-off reopen schedule with single-probe
+// half-open admission, so a flapping shard cannot absorb a thundering herd
+// of probes the instant its backoff expires.
+//
+//	closed ──(threshold consecutive failures)──▶ open
+//	open ──(reopen backoff elapses; first caller admitted)──▶ half-open
+//	half-open ──(probe succeeds)──▶ closed   (backoff resets)
+//	half-open ──(probe fails)──▶ open        (backoff doubles, jittered)
+//
+// Traffic stays selection-independent: whether a shard's circuit is open
+// depends only on its observed health, never on the secret selection, so a
+// wire observer learns nothing new from the short-circuit pattern (the same
+// argument that justified down-marking's probes — see DESIGN.md §2k).
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"ensembler/internal/rng"
+)
+
+// ErrBreakerOpen is returned (wrapped with the shard identity) when a
+// request is short-circuited by an open circuit: the shard was not
+// contacted at all. Callers distinguishing "shard refused fast" from "shard
+// failed on the wire" match it with errors.Is.
+var ErrBreakerOpen = errors.New("shard: circuit breaker open")
+
+// BreakerState is one shard circuit's position in the state machine. The
+// numeric values are the ensembler_shard_breaker_state gauge encoding.
+type BreakerState int32
+
+const (
+	BreakerClosed   BreakerState = 0 // normal traffic
+	BreakerOpen     BreakerState = 1 // short-circuiting; reopen pending
+	BreakerHalfOpen BreakerState = 2 // one probe in flight decides
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "invalid"
+}
+
+// breaker is one shard's circuit. Its mutex is taken once per request per
+// shard — noise next to a network round trip, same as the health counters.
+type breaker struct {
+	mu sync.Mutex
+
+	threshold int           // consecutive failures that open the circuit
+	base      time.Duration // first reopen wait
+	maxWait   time.Duration // reopen wait cap
+	jitter    float64       // ± fraction applied to each reopen wait
+	r         *rng.RNG      // jitter source, seeded for deterministic tests
+
+	state       BreakerState
+	consecFails int
+	wait        time.Duration // current un-jittered reopen wait
+	reopenAt    time.Time     // open → half-open eligibility instant
+	opens       uint64        // total closed/half-open → open transitions
+}
+
+func newBreaker(threshold int, base, maxWait time.Duration, jitter float64, seed int64) *breaker {
+	return &breaker{
+		threshold: threshold,
+		base:      base,
+		maxWait:   maxWait,
+		jitter:    jitter,
+		r:         rng.New(seed),
+	}
+}
+
+// jittered spreads a reopen wait by ±jitter so a fleet of clients that
+// opened their circuits together does not re-probe the recovering shard in
+// lockstep.
+func (b *breaker) jittered(d time.Duration) time.Duration {
+	if b.jitter <= 0 {
+		return d
+	}
+	f := 1 + b.jitter*(2*b.r.Float64()-1)
+	return time.Duration(float64(d) * f)
+}
+
+// allow decides one request's fate: admit normally, admit as the half-open
+// probe (the caller must make a single bounded attempt), or short-circuit.
+func (b *breaker) allow(now time.Time) (admit, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if now.Before(b.reopenAt) {
+			return false, false
+		}
+		// Backoff elapsed: this caller becomes the probe, and the state
+		// moves to half-open so every concurrent caller short-circuits
+		// until the probe's verdict arrives.
+		b.state = BreakerHalfOpen
+		return true, true
+	default: // BreakerHalfOpen: the single probe slot is taken
+		return false, false
+	}
+}
+
+// recordSuccess closes the circuit from any state and resets the failure
+// streak and backoff.
+func (b *breaker) recordSuccess() {
+	b.mu.Lock()
+	b.consecFails = 0
+	b.state = BreakerClosed
+	b.wait = 0
+	b.mu.Unlock()
+}
+
+// releaseProbe returns the half-open probe slot when the probe's outcome
+// says nothing about the shard (caller-side cancellation): the circuit
+// reverts to open with its reopen wait already elapsed, so the next
+// request becomes the new probe instead of the circuit wedging half-open.
+func (b *breaker) releaseProbe() {
+	b.mu.Lock()
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerOpen
+		b.reopenAt = time.Time{}
+	}
+	b.mu.Unlock()
+}
+
+// recordFailure counts one failed exchange at the given instant: a closed
+// circuit opens once the streak reaches the threshold; a failed half-open
+// probe reopens with doubled (capped, jittered) backoff.
+func (b *breaker) recordFailure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails++
+	switch b.state {
+	case BreakerClosed:
+		if b.consecFails >= b.threshold {
+			b.open(now)
+		}
+	case BreakerHalfOpen:
+		b.open(now)
+	case BreakerOpen:
+		// A straggler from a request admitted before the circuit opened;
+		// the streak count above is all it contributes.
+	}
+}
+
+// open (re)opens the circuit, doubling the reopen wait; caller holds b.mu.
+func (b *breaker) open(now time.Time) {
+	if b.wait <= 0 {
+		b.wait = b.base
+	} else {
+		b.wait *= 2
+	}
+	if b.wait > b.maxWait {
+		b.wait = b.maxWait
+	}
+	b.state = BreakerOpen
+	b.reopenAt = now.Add(b.jittered(b.wait))
+	b.opens++
+}
+
+// snapshot reads the breaker for Health()/metrics.
+func (b *breaker) snapshot(now time.Time) (state BreakerState, consecFails int, opens uint64, reopenIn time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen {
+		if d := b.reopenAt.Sub(now); d > 0 {
+			reopenIn = d
+		}
+	}
+	return b.state, b.consecFails, b.opens, reopenIn
+}

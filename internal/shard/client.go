@@ -8,6 +8,7 @@ import (
 
 	"ensembler/internal/comm"
 	"ensembler/internal/ensemble"
+	"ensembler/internal/faultpoint"
 	"ensembler/internal/nn"
 	"ensembler/internal/tensor"
 	"ensembler/internal/trace"
@@ -80,17 +81,27 @@ type Config struct {
 	// within this duration — straggler insurance; first answer wins, the
 	// loser is cancelled.
 	HedgeAfter time.Duration
-	// DownAfter is how many consecutive failures mark a shard down
-	// (default 3). A down shard still receives every request — traffic must
-	// stay selection-independent — but with a single attempt and no
-	// hedging, so a dead process costs one fast connection-refused per
-	// request instead of a retry storm.
+	// DownAfter is the circuit-breaker threshold: this many consecutive
+	// failures open a shard's circuit (default 3). An open circuit
+	// short-circuits requests to the shard — no dial, no retry storm — and
+	// recovery runs through the half-open single-probe admission below.
 	DownAfter int
-	// ProbeTimeout bounds the single attempt a down shard gets per
-	// request (default 1s). A cleanly dead process refuses connections
+	// ProbeTimeout bounds the single half-open probe a recovering shard
+	// gets (default 1s). A cleanly dead process refuses connections
 	// immediately, but a black-holed host (partition, dropped SYNs) would
-	// otherwise stall every gather for the kernel connect timeout.
+	// otherwise stall the probing gather for the kernel connect timeout.
 	ProbeTimeout time.Duration
+	// BreakerBackoff is the first reopen wait after a circuit opens
+	// (default 500ms); each failed half-open probe doubles it up to
+	// BreakerMaxBackoff (default 15s), with ±BreakerJitter fractional
+	// jitter (default 0.2; negative disables) so a fleet of clients does
+	// not re-probe a recovering shard in lockstep.
+	BreakerBackoff    time.Duration
+	BreakerMaxBackoff time.Duration
+	BreakerJitter     float64
+	// BreakerSeed seeds the jitter rng (shard k uses BreakerSeed+k), so
+	// tests replay exact reopen schedules. 0 means seed 1.
+	BreakerSeed int64
 	// Tracer, when set, makes every Infer a root trace leg: head compute,
 	// per-shard scatter round trips (hedges and retries marked), and
 	// select+tail each become spans, and the minted trace ID rides every
@@ -99,47 +110,60 @@ type Config struct {
 	Tracer *trace.Tracer
 }
 
-// Health is one shard's observed state.
+// Health is one shard's observed state. Down is the compatibility view of
+// the circuit: true whenever the breaker is not closed.
 type Health struct {
 	Addr                string
 	Bodies              Range
 	Down                bool
+	Breaker             BreakerState
 	Requests            uint64
 	Failures            uint64
 	Hedged              uint64
+	ShortCircuits       uint64 // requests answered by an open circuit, no wire traffic
+	BreakerOpens        uint64 // closed/half-open → open transitions
+	ReopenIn            time.Duration
 	ConsecutiveFailures int
 	LastErr             string
 }
 
-// shardHealth tracks one shard's failure state under a mutex (the counters
-// are touched once per request per shard; contention is negligible next to
-// a network round trip).
+// shardHealth tracks one shard's wire counters under a mutex plus its
+// circuit breaker (the counters are touched once per request per shard;
+// contention is negligible next to a network round trip). Requests and
+// failures count actual wire attempts; short-circuited requests count only
+// in shortCircuits — an open circuit generating zero traffic must not look
+// like a shard failing traffic.
 type shardHealth struct {
-	mu          sync.Mutex
-	consecFails int
-	requests    uint64
-	failures    uint64
-	hedged      uint64
-	lastErr     string
+	mu            sync.Mutex
+	requests      uint64
+	failures      uint64
+	hedged        uint64
+	shortCircuits uint64
+	lastErr       string
+	br            *breaker
 }
 
+// succeed records one successful exchange — regardless of which leg won it:
+// a hedge-leg success closes the circuit and clears the failure streak
+// exactly like a primary-leg success (TestHedgeLegSuccessResetsBreaker pins
+// this).
 func (h *shardHealth) succeed() {
 	h.mu.Lock()
 	h.requests++
-	h.consecFails = 0
 	h.lastErr = ""
 	h.mu.Unlock()
+	h.br.recordSuccess()
 }
 
 func (h *shardHealth) fail(err error) {
 	h.mu.Lock()
 	h.requests++
 	h.failures++
-	h.consecFails++
 	if err != nil {
 		h.lastErr = err.Error()
 	}
 	h.mu.Unlock()
+	h.br.recordFailure(time.Now())
 }
 
 func (h *shardHealth) hedge() {
@@ -148,10 +172,10 @@ func (h *shardHealth) hedge() {
 	h.mu.Unlock()
 }
 
-func (h *shardHealth) isDown(downAfter int) bool {
+func (h *shardHealth) shortCircuit() {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.consecFails >= downAfter
+	h.shortCircuits++
+	h.mu.Unlock()
 }
 
 // taggedRuntime ties a runtime to the configuration epoch that built it, so
@@ -169,6 +193,9 @@ type Client struct {
 	cfg    Config
 	pools  []*comm.Pool
 	health []*shardHealth
+	// fps are the per-shard exchange fault sites (shard/exchange/<k>),
+	// consulted once per attempt leg — one atomic load each when disarmed.
+	fps []*faultpoint.Site
 
 	// acts recycles trace span storage across requests so a traced Infer
 	// performs no per-request span allocation.
@@ -219,14 +246,26 @@ func NewClient(cfg Config) (*Client, error) {
 	if cfg.ProbeTimeout <= 0 {
 		cfg.ProbeTimeout = time.Second
 	}
+	if cfg.BreakerBackoff <= 0 {
+		cfg.BreakerBackoff = 500 * time.Millisecond
+	}
+	if cfg.BreakerMaxBackoff <= 0 {
+		cfg.BreakerMaxBackoff = 15 * time.Second
+	}
+	if cfg.BreakerJitter == 0 {
+		cfg.BreakerJitter = 0.2
+	}
+	if cfg.BreakerSeed == 0 {
+		cfg.BreakerSeed = 1
+	}
 	c := &Client{cfg: cfg, newRuntime: cfg.NewRuntime}
 	c.acts.New = func() any { return new(trace.Active) }
-	for _, addr := range cfg.Addrs {
+	for k, addr := range cfg.Addrs {
 		pool, err := comm.NewPool(addr, cfg.PoolSize, func(cc *comm.Client) error {
 			cc.Model = cfg.Model
 			cc.Version = cfg.Version
 			return nil
-		})
+		}, comm.WithDialFault(fmt.Sprintf("shard/dial/%d", k)))
 		if err != nil {
 			for _, p := range c.pools {
 				p.Close()
@@ -234,7 +273,10 @@ func NewClient(cfg Config) (*Client, error) {
 			return nil, err
 		}
 		c.pools = append(c.pools, pool)
-		c.health = append(c.health, &shardHealth{})
+		c.health = append(c.health, &shardHealth{br: newBreaker(
+			cfg.DownAfter, cfg.BreakerBackoff, cfg.BreakerMaxBackoff,
+			cfg.BreakerJitter, cfg.BreakerSeed+int64(k))})
+		c.fps = append(c.fps, faultpoint.New(fmt.Sprintf("shard/exchange/%d", k)))
 	}
 	return c, nil
 }
@@ -244,17 +286,23 @@ func (c *Client) Shards() int { return len(c.pools) }
 
 // Health snapshots every shard's observed state, in shard order.
 func (c *Client) Health() []Health {
+	now := time.Now()
 	out := make([]Health, len(c.health))
 	for k, h := range c.health {
+		state, consecFails, opens, reopenIn := h.br.snapshot(now)
 		h.mu.Lock()
 		out[k] = Health{
 			Addr:                c.cfg.Addrs[k],
 			Bodies:              c.cfg.Ranges[k],
-			Down:                h.consecFails >= c.cfg.DownAfter,
+			Down:                state != BreakerClosed,
+			Breaker:             state,
 			Requests:            h.requests,
 			Failures:            h.failures,
 			Hedged:              h.hedged,
-			ConsecutiveFailures: h.consecFails,
+			ShortCircuits:       h.shortCircuits,
+			BreakerOpens:        opens,
+			ReopenIn:            reopenIn,
+			ConsecutiveFailures: consecFails,
 			LastErr:             h.lastErr,
 		}
 		h.mu.Unlock()
@@ -472,21 +520,32 @@ type exchangeStats struct {
 }
 
 // exchange runs the feature round trip against one shard with the
-// configured retry and hedging policy, updating the shard's health. The
-// trace context (if any) rides every attempt, stitching the shard server's
-// leg into the caller's trace.
+// configured retry and hedging policy, updating the shard's circuit
+// breaker. An open circuit short-circuits without touching the wire; a
+// half-open one admits this request as the single recovery probe. The trace
+// context (if any) rides every attempt, stitching the shard server's leg
+// into the caller's trace.
 func (c *Client) exchange(ctx context.Context, k int, feats *tensor.Tensor, tc trace.Context) (*comm.Exchanged, comm.Timing, exchangeStats, error) {
 	h := c.health[k]
-	down := h.isDown(c.cfg.DownAfter)
-	attempts := 1 + c.cfg.Retries
-	if down {
-		// A down shard gets exactly one cheap probe per request: traffic
-		// stays selection-independent, but a dead process doesn't earn a
-		// retry storm. Any success resets the state.
-		attempts = 1
-	}
 	var total comm.Timing
 	var st exchangeStats
+	admit, probe := h.br.allow(time.Now())
+	if !admit {
+		// Short-circuit: no dial, no retries, a constant-cost refusal. The
+		// decision depends only on the shard's observed health — never on
+		// the selection — so the traffic pattern stays selection-
+		// independent, and Infer's graceful degradation decides whether the
+		// missing features matter.
+		h.shortCircuit()
+		return nil, total, st, fmt.Errorf("shard: shard %d (%s): %w", k, c.cfg.Addrs[k], ErrBreakerOpen)
+	}
+	attempts := 1 + c.cfg.Retries
+	if probe {
+		// The half-open probe is a single bounded attempt with no hedging:
+		// its verdict alone decides whether the circuit closes or reopens
+		// with doubled backoff.
+		attempts = 1
+	}
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if err := ctx.Err(); err != nil {
@@ -497,14 +556,14 @@ func (c *Client) exchange(ctx context.Context, k int, feats *tensor.Tensor, tc t
 			st.retries++
 		}
 		attemptCtx := ctx
-		if down {
+		if probe {
 			// Bound the probe: a black-holed host must not stall the
-			// gather for the kernel connect timeout on every request.
+			// gather for the kernel connect timeout.
 			var cancel context.CancelFunc
 			attemptCtx, cancel = context.WithTimeout(ctx, c.cfg.ProbeTimeout)
 			defer cancel()
 		}
-		res, t, hedged, err := c.exchangeOnce(attemptCtx, k, feats, down, tc)
+		res, t, hedged, err := c.exchangeOnce(attemptCtx, k, feats, probe, tc)
 		st.hedged = st.hedged || hedged
 		total.BytesUp += t.BytesUp
 		total.BytesDown += t.BytesDown
@@ -524,19 +583,27 @@ func (c *Client) exchange(ctx context.Context, k int, feats *tensor.Tensor, tc t
 		lastErr = err
 	}
 	// A caller-side cancellation or deadline says nothing about the
-	// shard's health — charging it would mark healthy shards down under
-	// an impatient client and strip them of retries and hedging.
+	// shard's health — charging it would open circuits on healthy shards
+	// under an impatient client. An admitted half-open probe must still
+	// hand its slot back, or the circuit wedges half-open with every
+	// future request short-circuited.
 	if ctx.Err() == nil {
 		h.fail(lastErr)
+	} else if probe {
+		h.br.releaseProbe()
 	}
 	return nil, total, st, lastErr
 }
 
 // exchangeOnce performs a single (possibly hedged) exchange with shard k,
-// reporting whether a hedge request was launched.
-func (c *Client) exchangeOnce(ctx context.Context, k int, feats *tensor.Tensor, down bool, tc trace.Context) (*comm.Exchanged, comm.Timing, bool, error) {
+// reporting whether a hedge request was launched. Each attempt leg —
+// primary and hedge alike — passes the shard's exchange fault site first.
+func (c *Client) exchangeOnce(ctx context.Context, k int, feats *tensor.Tensor, probe bool, tc trace.Context) (*comm.Exchanged, comm.Timing, bool, error) {
 	pool := c.pools[k]
-	if c.cfg.HedgeAfter <= 0 || down {
+	if c.cfg.HedgeAfter <= 0 || probe {
+		if err := c.fps[k].Inject(); err != nil {
+			return nil, comm.Timing{}, false, err
+		}
 		ex, t, err := pool.ExchangeTraced(ctx, feats, tc)
 		return ex, t, false, err
 	}
@@ -549,6 +616,10 @@ func (c *Client) exchangeOnce(ctx context.Context, k int, feats *tensor.Tensor, 
 	defer cancel() // aborts the losing request; its broken conn is discarded by the pool
 	ch := make(chan result, 2)
 	launch := func() {
+		if err := c.fps[k].Inject(); err != nil {
+			ch <- result{nil, comm.Timing{}, err}
+			return
+		}
 		f, t, err := pool.ExchangeTraced(hctx, feats, tc)
 		ch <- result{f, t, err}
 	}

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"strconv"
+	"time"
 
 	"ensembler/internal/ensemble"
 	"ensembler/internal/telemetry"
@@ -26,12 +27,32 @@ func (c *Client) RegisterMetrics(reg *telemetry.Registry) {
 			"bodies": c.cfg.Ranges[k].String(),
 		}
 		reg.GaugeFunc("ensembler_shard_up",
-			"1 while the shard answers, 0 after DownAfter consecutive failures.",
+			"1 while the shard's circuit is closed, 0 once it opens.",
 			labels, func() float64 {
-				if h.isDown(c.cfg.DownAfter) {
+				state, _, _, _ := h.br.snapshot(time.Now())
+				if state != BreakerClosed {
 					return 0
 				}
 				return 1
+			})
+		reg.GaugeFunc("ensembler_shard_breaker_state",
+			"Circuit breaker state: 0 closed, 1 open, 2 half-open.",
+			labels, func() float64 {
+				state, _, _, _ := h.br.snapshot(time.Now())
+				return float64(state)
+			})
+		reg.CounterFunc("ensembler_shard_breaker_opens_total",
+			"Times the shard's circuit opened (threshold trip or failed probe).",
+			labels, func() float64 {
+				_, _, opens, _ := h.br.snapshot(time.Now())
+				return float64(opens)
+			})
+		reg.CounterFunc("ensembler_shard_short_circuits_total",
+			"Requests answered by an open circuit without touching the wire.",
+			labels, func() float64 {
+				h.mu.Lock()
+				defer h.mu.Unlock()
+				return float64(h.shortCircuits)
 			})
 		reg.CounterFunc("ensembler_shard_requests_total",
 			"Feature exchanges attempted against the shard.",
